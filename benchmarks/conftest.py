@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one table/figure of the paper: it runs the
+experiment once (pytest-benchmark pedantic, single round — these are
+simulations, not microbenchmarks), prints the same rows the paper reports,
+and asserts the paper's qualitative *shape* (who wins, roughly by how much).
+
+Sizes default to reduced-but-faithful parameters; set ``REPRO_FULL=1`` for
+the paper's full scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "") not in ("", "0", "false")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,39 @@
+"""Bench: co-location interference ablation (paper Section I motivation)."""
+
+from repro.experiments.exp_interference import run
+from repro.experiments.report import format_table
+
+
+def test_ablation_interference(run_once, capsys):
+    res = run_once(run, penalties=(0.0, 0.2, 0.4))
+    rows = [
+        (
+            f"{p:g}",
+            f"{res.makespans['delay'][i]:.0f}",
+            f"{res.makespans['lips'][i]:.0f}",
+            f"{res.costs['lips'][i]:.4f}",
+        )
+        for i, p in enumerate(res.penalties)
+    ]
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_table(
+                ["penalty", "delay makespan", "LiPS makespan", "LiPS $"],
+                rows,
+                title="Interference — contention stretches time, not dollars",
+            )
+        )
+    # makespans degrade monotonically with interference for both schedulers
+    for name in ("delay", "lips"):
+        series = res.makespans[name]
+        assert all(a <= b + 1e-6 for a, b in zip(series, series[1:])), (name, series)
+        assert res.slowdown(name) > 1.0
+    # LiPS dollars stay flat: per-CPU-second pricing bills work, not wall
+    # time, and LiPS runs without speculation
+    lips_costs = res.costs["lips"]
+    assert max(lips_costs) - min(lips_costs) <= 1e-9 + 0.02 * max(lips_costs)
+    # the delay baseline keeps Hadoop's speculation on: interference makes
+    # stragglers, stragglers spawn duplicates, duplicates cost real dollars
+    delay_costs = res.costs["delay"]
+    assert delay_costs[-1] >= delay_costs[0]

@@ -1,0 +1,66 @@
+"""Ablation bench: HDFS replication factor vs locality and cost.
+
+Replication is the baselines' only data-placement lever: more replicas
+multiply each block's local machines, raising the locality the greedy
+schedulers can find.  LiPS is insensitive — it *moves* blocks where the LP
+wants them regardless of how many copies the ingest wrote.
+"""
+
+from repro.cluster.builder import build_paper_testbed
+from repro.experiments.report import format_table
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.schedulers import DelayScheduler, LipsScheduler
+from repro.workload.apps import table4_jobs
+
+
+def test_ablation_replication(run_once, capsys):
+    cluster = build_paper_testbed(12, c1_medium_fraction=0.5, seed=1)
+    w = table4_jobs()
+
+    def sweep():
+        out = {}
+        for repl in (1, 2, 3):
+            for name, sched, spec in (
+                ("delay", DelayScheduler(), True),
+                ("lips", LipsScheduler(epoch_length=1800.0), False),
+            ):
+                sim = HadoopSimulator(
+                    cluster, w, sched,
+                    SimConfig(placement_seed=7, replication=repl, speculative=spec),
+                )
+                out[(repl, name)] = sim.run().metrics
+        return out
+
+    metrics = run_once(sweep)
+    rows = []
+    for repl in (1, 2, 3):
+        d = metrics[(repl, "delay")]
+        l = metrics[(repl, "lips")]
+        rows.append(
+            (
+                repl,
+                f"{100*d.data_locality:.1f}%",
+                f"{d.total_cost:.4f}",
+                f"{100*l.data_locality:.1f}%",
+                f"{l.total_cost:.4f}",
+            )
+        )
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_table(
+                ["replication", "delay locality", "delay $", "LiPS locality", "LiPS $"],
+                rows,
+                title="Ablation — replication factor (baseline lever, LiPS-neutral)",
+            )
+        )
+    # more replicas help the delay scheduler's locality monotonically
+    delay_loc = [metrics[(r, "delay")].data_locality for r in (1, 2, 3)]
+    assert delay_loc[0] <= delay_loc[1] + 0.02 and delay_loc[1] <= delay_loc[2] + 0.02
+    assert delay_loc[2] > delay_loc[0]
+    # LiPS stays (near-)fully local at every replication factor
+    for r in (1, 2, 3):
+        assert metrics[(r, "lips")].data_locality >= 0.95
+    # and stays cheaper than delay at every replication factor
+    for r in (1, 2, 3):
+        assert metrics[(r, "lips")].total_cost < metrics[(r, "delay")].total_cost

@@ -1,0 +1,44 @@
+"""Ablation bench: speculative execution's dollar cost on the baselines.
+
+Paper, Section VI-A: "keeping this feature enabled may lead to better
+performance for both delay and default schedulers but it will also increase
+their dollar cost."
+"""
+
+from repro.cluster.builder import build_paper_testbed
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.schedulers import FifoScheduler
+from repro.workload.apps import table4_jobs
+
+
+def test_ablation_speculation_cost(run_once, capsys):
+    cluster = build_paper_testbed(20, c1_medium_fraction=0.5)
+    w = table4_jobs()
+
+    def both():
+        out = {}
+        for spec in (False, True):
+            sim = HadoopSimulator(
+                cluster,
+                w,
+                FifoScheduler(),
+                SimConfig(placement_seed=7, speculative=spec),
+            )
+            out[spec] = sim.run().metrics
+        return out
+
+    metrics = run_once(both)
+    with capsys.disabled():
+        for spec, m in metrics.items():
+            print(
+                f"\n  speculation={'on' if spec else 'off':3s} "
+                f"cost=${m.total_cost:.4f} makespan={m.makespan:.0f}s "
+                f"spec-attempts={m.speculative_attempts} killed={m.killed_attempts}"
+            )
+    on, off = metrics[True], metrics[False]
+    # speculation launched real duplicate work...
+    assert on.speculative_attempts > 0
+    # ...which costs real dollars
+    assert on.total_cost >= off.total_cost
+    # ...and does not hurt (usually helps) the makespan
+    assert on.makespan <= off.makespan * 1.05

@@ -1,0 +1,34 @@
+"""Bench: the cost/deadline frontier (the analytic epoch-tradeoff twin).
+
+"LiPS ... should be deployed when constraints on overall makespan are
+flexible" — the frontier prices that flexibility: cost falls monotonically
+as the deadline relaxes and flattens once the cheapest machines can absorb
+everything.
+"""
+
+from repro.experiments.exp_deadline import run
+from repro.experiments.report import format_table
+
+
+def test_cost_deadline_frontier(run_once, capsys):
+    frontier = run_once(run, num_points=6)
+    rows = [
+        (f"{p.deadline_s:.0f}", f"{p.cost:.4f}" if p.feasible else "infeasible")
+        for p in frontier.points
+    ]
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_table(
+                ["deadline s", "min cost $"],
+                rows,
+                title="Cost/deadline frontier (Table IV, 20 nodes, 50% c1)",
+            )
+        )
+    feas = frontier.feasible_points()
+    assert len(feas) >= 4
+    costs = [p.cost for p in feas]
+    # flexibility is worth money: monotone non-increasing frontier
+    assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+    # and worth a lot end to end on a heterogeneous cluster
+    assert costs[-1] < costs[0] * 0.8

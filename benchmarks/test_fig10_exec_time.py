@@ -1,0 +1,47 @@
+"""Bench: regenerate paper Figure 10 (execution time, 100-node SWIM day).
+
+Paper: LiPS' total execution time is 40-100% longer than the delay
+scheduler's and similar to the default's.  With online arrivals spread over
+the day, makespans are arrival-dominated; the response-time sum captures the
+paper's per-job slowdown.
+"""
+
+from conftest import full_scale
+
+from repro.experiments.common import DEFAULT, DELAY, LIPS
+from repro.experiments.fig10_exec_time_100 import fig10_rows, run
+from repro.experiments.report import format_table
+
+
+def _run_params():
+    if full_scale():
+        return dict()
+    return dict(num_nodes=40, num_jobs=120, duration_s=6 * 3600.0)
+
+
+def test_fig10_exec_time(run_once, capsys):
+    res = run_once(run, **_run_params())
+    comp = res.comparison
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_table(
+                ["setting", "default s", "delay s", "LiPS s", "LiPS vs delay"],
+                fig10_rows(res),
+                title="Figure 10 — execution time (paper: LiPS 40-100% longer)",
+            )
+        )
+        for name in (DEFAULT, DELAY, LIPS):
+            m = comp.metrics[name]
+            print(
+                f"  {name:8s} sum of job response times: "
+                f"{m.total_job_execution_time:12.0f}s"
+            )
+    # LiPS does not optimise execution time: its per-job response times are
+    # at least as long as the delay scheduler's in aggregate
+    assert (
+        comp.metrics[LIPS].total_job_execution_time
+        >= comp.metrics[DELAY].total_job_execution_time
+    )
+    # and the makespan is no shorter than delay's
+    assert comp.makespan(LIPS) >= comp.makespan(DELAY) * 0.99

@@ -1,0 +1,41 @@
+"""Bench: regenerate paper Figure 11 (per-node CPU time, epoch 400 vs 600).
+
+Paper caption: "Shorter epoch length results in higher parallelism and
+faster job executions (but also higher cost)."
+"""
+
+import numpy as np
+
+from repro.experiments.fig11_cpu_breakdown import run
+from repro.experiments.report import format_table
+
+
+def test_fig11_cpu_breakdown(run_once, capsys):
+    res = run_once(run)
+    headers = ["node", "type", "$/cpu-s"] + [f"CPU-s @e={e:.0f}" for e in res.epochs]
+    rows = [
+        [m.name, m.instance_type, f"{m.cpu_cost:.2e}"]
+        + [f"{res.cpu_per_node[e][m.machine_id]:.0f}" for e in res.epochs]
+        for m in res.cluster.machines
+    ]
+    with capsys.disabled():
+        print("\n" + format_table(headers, rows, title="Figure 11 — CPU time per node"))
+        for e in res.epochs:
+            print(
+                f"  epoch {e:.0f}s: cost=${res.costs[e]:.4f} "
+                f"makespan={res.makespans[e]:.0f}s "
+                f"top-quartile share={100*res.concentration(e):.1f}%"
+            )
+    short, long_ = res.epochs[0], res.epochs[-1]
+    # caption claims: shorter epoch is faster but more expensive
+    assert res.makespans[short] <= res.makespans[long_]
+    assert res.costs[short] >= res.costs[long_]
+    # all CPU time conserves across epochs (same workload)
+    t_short = res.cpu_per_node[short].sum()
+    t_long = res.cpu_per_node[long_].sum()
+    assert abs(t_short - t_long) / t_short < 0.05
+    # cheap nodes carry the bulk of the work under LiPS
+    prices = np.array([m.cpu_cost for m in res.cluster.machines])
+    cheap = prices <= np.median(prices)
+    share_on_cheap = res.cpu_per_node[long_][cheap].sum() / t_long
+    assert share_on_cheap > 0.5, share_on_cheap

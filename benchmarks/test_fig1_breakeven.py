@@ -1,0 +1,30 @@
+"""Bench: regenerate paper Figure 1 (move-the-data break-even curves)."""
+
+from repro.experiments.fig1_breakeven import run
+from repro.experiments.report import format_table
+
+
+def test_fig1_breakeven(run_once, capsys):
+    res = run_once(run)
+    rows = [
+        [app, f"{res.break_even_ratio[app]:.2f}"] + [f"{100*s:.1f}%" for s in curve]
+        for app, curve in res.savings.items()
+    ]
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_table(
+                ["app", "break-even a/b"] + [f"r={r:g}" for r in res.ratios],
+                rows,
+                title="Figure 1 — relative saving vs CPU price ratio",
+            )
+        )
+    # CPU-intensive apps break even at smaller price ratios than I/O apps
+    be = res.break_even_ratio
+    assert be["pi"] <= be["wordcount"] <= be["stress2"] <= be["stress1"] <= be["grep"]
+    # at ratio 1 moving never helps an input-bearing job (transfer is pure loss)
+    for app in ("grep", "stress1", "stress2", "wordcount"):
+        assert res.savings[app][0] <= 0.0
+    # savings are monotone in the price ratio for every app
+    for curve in res.savings.values():
+        assert all(a <= b + 1e-12 for a, b in zip(curve, curve[1:]))

@@ -1,0 +1,38 @@
+"""Bench: regenerate paper Figure 5 (simulated savings vs problem size).
+
+Paper: cost reduction grows from ~30% at (J:200, S:10, M:10) to ~70% at
+(J:1000, S:100, M:100).  Reduced mode runs the sweep's first three sizes;
+``REPRO_FULL=1`` runs the paper's five.
+"""
+
+from conftest import full_scale
+
+from repro.experiments.fig5_simulated_savings import PAPER_SIZES, run
+from repro.experiments.report import format_table
+
+REDUCED_SIZES = PAPER_SIZES[:3]
+
+
+def test_fig5_savings(run_once, capsys):
+    sizes = PAPER_SIZES if full_scale() else REDUCED_SIZES
+    res = run_once(run, sizes=sizes, seeds=(0, 1))
+    rows = [
+        (f"J:{j} S:{s} M:{m}", f"{lp:.4f}", f"{d:.4f}", f"{100*r:.1f}%")
+        for (j, s, m), lp, d, r in zip(res.sizes, res.lp_costs, res.default_costs, res.reductions)
+    ]
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_table(
+                ["size", "LiPS $", "default $", "reduction"],
+                rows,
+                title="Figure 5 — cost reduction vs problem size (paper: ~30% -> ~70%)",
+            )
+        )
+    # LiPS (the LP optimum) always beats the ideal-locality default
+    assert all(r > 0 for r in res.reductions)
+    # savings grow with problem size (the figure's headline trend)
+    assert res.reductions[-1] > res.reductions[0]
+    # magnitudes in the paper's ballpark
+    assert 0.15 <= res.reductions[0] <= 0.55, res.reductions
+    assert res.reductions[-1] >= 0.40, res.reductions

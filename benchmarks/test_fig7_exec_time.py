@@ -1,0 +1,28 @@
+"""Bench: regenerate paper Figure 7 (execution time vs node diversity).
+
+Paper: scheduling with LiPS results in 40-100% longer total job execution
+time than the delay scheduler, because LiPS prefers cheap (slow) instances.
+"""
+
+from repro.experiments.common import DELAY, LIPS
+from repro.experiments.fig7_exec_time import fig7_rows, run
+from repro.experiments.report import format_table
+
+
+def test_fig7_exec_time(run_once, capsys):
+    res = run_once(run)
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_table(
+                ["node mix", "default s", "delay s", "LiPS s", "LiPS vs delay"],
+                fig7_rows(res),
+                title="Figure 7 — execution time (paper: LiPS 40-100% longer)",
+            )
+        )
+    # LiPS trades time for dollars: slower than delay everywhere
+    for comp in res.comparisons:
+        assert comp.makespan(LIPS) > comp.makespan(DELAY)
+    # the penalty is at least the paper's lower band in the diverse settings
+    slowdowns = res.slowdowns(baseline=DELAY)
+    assert slowdowns[-1] >= 0.40, slowdowns

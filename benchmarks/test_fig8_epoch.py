@@ -1,0 +1,34 @@
+"""Bench: regenerate paper Figure 8 (epoch length tradeoff).
+
+Paper: "as we increase the epoch length the cost decreases, at the expense
+of higher execution time".  Individual DES points can wobble; the claim is
+about the sweep's envelope, so we assert the endpoints and a rank trend.
+"""
+
+from conftest import full_scale
+
+from repro.experiments.fig8_epoch_tradeoff import PAPER_EPOCHS, run
+from repro.experiments.report import format_table
+
+REDUCED_EPOCHS = (300.0, 900.0, 1800.0)
+
+
+def test_fig8_epoch_tradeoff(run_once, capsys):
+    epochs = PAPER_EPOCHS if full_scale() else REDUCED_EPOCHS
+    res = run_once(run, epochs=epochs)
+    rows = [
+        (f"{e:.0f}s", f"{t:.0f}", f"{c:.4f}")
+        for e, t, c in zip(res.epochs, res.exec_times, res.costs)
+    ]
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_table(
+                ["epoch", "exec time s (8a)", "total $ (8b)"],
+                rows,
+                title="Figure 8 — longer epochs: cheaper but slower",
+            )
+        )
+    # endpoints: the longest epoch is cheaper and slower than the shortest
+    assert res.costs[-1] < res.costs[0]
+    assert res.exec_times[-1] > res.exec_times[0]

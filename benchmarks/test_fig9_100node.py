@@ -1,0 +1,41 @@
+"""Bench: regenerate paper Figure 9 (total dollar cost, 100-node SWIM day).
+
+Paper: LiPS saves 68-69% versus both the default and delay schedulers on a
+400-job Facebook-like day.  Reduced mode replays a quarter-day, 40-node,
+120-job slice; ``REPRO_FULL=1`` runs the paper's full size.
+"""
+
+from conftest import full_scale
+
+from repro.experiments.common import DEFAULT, DELAY, LIPS
+from repro.experiments.fig9_100node_cost import fig9_rows, run
+from repro.experiments.report import format_table
+
+
+def _run_params():
+    if full_scale():
+        return dict()
+    return dict(num_nodes=40, num_jobs=120, duration_s=6 * 3600.0)
+
+
+def test_fig9_100node_cost(run_once, capsys):
+    res = run_once(run, **_run_params())
+    with capsys.disabled():
+        print(
+            "\n"
+            + format_table(
+                ["setting", "default $", "delay $", "LiPS $", "vs default", "vs delay"],
+                fig9_rows(res),
+                title="Figure 9 — total dollar cost (paper: 68-69% saving)",
+            )
+        )
+    comp = res.comparison
+    assert comp.cost(LIPS) < comp.cost(DEFAULT)
+    assert comp.cost(LIPS) < comp.cost(DELAY)
+    # diverse 3-type cluster: savings should be large
+    assert comp.saving_vs(DELAY) >= 0.35, comp.saving_vs(DELAY)
+    assert comp.saving_vs(DEFAULT) >= 0.35, comp.saving_vs(DEFAULT)
+    # both baselines cost about the same (paper: "68% to 69% ... compared
+    # with both schedulers")
+    rel = abs(comp.cost(DEFAULT) - comp.cost(DELAY)) / comp.cost(DEFAULT)
+    assert rel < 0.25, rel

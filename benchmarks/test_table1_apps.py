@@ -1,0 +1,23 @@
+"""Bench: regenerate paper Table I (application CPU intensiveness)."""
+
+from repro.experiments.tables import table1
+from repro.workload.apps import APP_PROFILES
+
+
+def test_table1_apps(run_once, capsys):
+    text = run_once(table1)
+    with capsys.disabled():
+        print("\n" + text)
+    # paper values verbatim
+    assert APP_PROFILES["grep"].cpu_per_block == 20.0
+    assert APP_PROFILES["stress1"].cpu_per_block == 37.0
+    assert APP_PROFILES["stress2"].cpu_per_block == 75.0
+    assert APP_PROFILES["wordcount"].cpu_per_block == 90.0
+    assert APP_PROFILES["pi"].cpu_per_block is None  # the table's infinity
+    # the I/O -> CPU ordering the figure relies on
+    assert (
+        APP_PROFILES["grep"].tcp
+        < APP_PROFILES["stress1"].tcp
+        < APP_PROFILES["stress2"].tcp
+        < APP_PROFILES["wordcount"].tcp
+    )

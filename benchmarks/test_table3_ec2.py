@@ -1,0 +1,21 @@
+"""Bench: regenerate paper Table III (EC2 catalog and price-per-cycle gap)."""
+
+from repro.cluster.ec2 import ec2_instance
+from repro.experiments.tables import table3
+
+
+def test_table3_ec2(run_once, capsys):
+    text = run_once(table3)
+    with capsys.disabled():
+        print("\n" + text)
+    m1 = ec2_instance("m1.medium")
+    c1 = ec2_instance("c1.medium")
+    # footnote figures verbatim
+    assert abs(m1.cpu_cost_millicent(0.0) - 4.44) < 1e-9
+    assert abs(m1.cpu_cost_millicent(1.0) - 6.39) < 1e-9
+    assert abs(c1.cpu_cost_millicent(0.0) - 0.92) < 1e-9
+    assert abs(c1.cpu_cost_millicent(1.0) - 1.28) < 1e-9
+    # the claim the whole evaluation leans on: c1.medium is 4-5x cheaper
+    # per ECU-second than m1.medium
+    ratio = m1.cpu_cost_millicent() / c1.cpu_cost_millicent()
+    assert 4.0 <= ratio <= 5.5, ratio

@@ -1,0 +1,18 @@
+"""Bench: regenerate paper Table IV (the 9-job, 1608-map workload)."""
+
+from repro.experiments.tables import table4
+from repro.workload.apps import table4_jobs
+
+
+def test_table4_jobs(run_once, capsys):
+    text = run_once(table4)
+    with capsys.disabled():
+        print("\n" + text)
+    w = table4_jobs()
+    assert w.num_jobs == 9
+    assert w.total_tasks() == 1608  # "more than 1608 maps tasks"
+    assert abs(w.total_input_mb() - 100 * 1024) < 1e-6  # 100 GB
+    by_app = {}
+    for j in w.jobs:
+        by_app[j.app] = by_app.get(j.app, 0) + 1
+    assert by_app == {"pi": 2, "wordcount": 2, "grep": 3, "stress2": 2}

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Epoch tuning: explore LiPS' cost/performance dial (paper Figure 8).
+
+The epoch length is LiPS' one user-facing knob: short epochs behave almost
+greedily (fast, pricey), long epochs let the LP concentrate work on the
+cheapest nodes (cheap, slow).  This example sweeps the epoch on the 20-node
+testbed, prints the frontier, and picks the cheapest epoch meeting a
+makespan budget — the "users can fine-tune the cost-performance tradeoff"
+workflow the paper advertises.
+
+Run:  python examples/epoch_tuning.py [makespan_budget_seconds]
+"""
+
+import sys
+
+from repro.cluster import build_paper_testbed
+from repro.hadoop import HadoopSimulator, SimConfig
+from repro.schedulers import LipsScheduler
+from repro.workload import table4_jobs
+
+EPOCHS = (300.0, 600.0, 900.0, 1200.0, 1800.0, 2400.0)
+
+
+def main() -> None:
+    budget = float(sys.argv[1]) if len(sys.argv) > 1 else 3000.0
+    cluster = build_paper_testbed(20, c1_medium_fraction=0.5)
+    workload = table4_jobs()
+
+    frontier = []
+    print(f"{'epoch':>8s} {'cost $':>10s} {'makespan s':>12s}")
+    for e in EPOCHS:
+        sim = HadoopSimulator(
+            cluster,
+            workload,
+            LipsScheduler(epoch_length=e),
+            SimConfig(placement_seed=7, speculative=False),
+        )
+        m = sim.run().metrics
+        frontier.append((e, m.total_cost, m.makespan))
+        print(f"{e:8.0f} {m.total_cost:10.4f} {m.makespan:12.0f}")
+
+    feasible = [(c, e, t) for e, c, t in frontier if t <= budget]
+    print(f"\nmakespan budget: {budget:.0f}s")
+    if feasible:
+        cost, epoch, t = min(feasible)
+        print(f"-> pick epoch={epoch:.0f}s: cost=${cost:.4f}, makespan={t:.0f}s")
+    else:
+        e, c, t = min(frontier, key=lambda r: r[2])
+        print(f"-> no epoch meets the budget; fastest is epoch={e:.0f}s at {t:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

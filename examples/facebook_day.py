@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""A Facebook-like day at scale: the paper's 100-node SWIM experiment.
+
+Synthesises a day-long, heavy-tailed MapReduce trace (interactive / medium /
+long job classes, diurnal arrivals — the published shape of SWIM's FB-2010
+workload), replays it on a 100-node, three-instance-type, three-zone EC2
+cluster, and compares the dollar bill under the default, delay, and LiPS
+schedulers.
+
+This is the paper's Figures 9-10 at example scale (pass --full for the real
+thing; it takes a few minutes).
+
+Run:  python examples/facebook_day.py [--full]
+"""
+
+import sys
+
+from repro.experiments.common import DEFAULT, DELAY, LIPS
+from repro.experiments.fig9_100node_cost import run
+from repro.workload import SwimConfig, synthesize_facebook_day
+from repro.workload.swim import class_histogram
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    params = {} if full else dict(num_nodes=30, num_jobs=90, duration_s=6 * 3600.0)
+
+    # show what the synthetic trace looks like first
+    preview = synthesize_facebook_day(SwimConfig(num_jobs=params.get("num_jobs", 400)))
+    sizes = sorted(j.num_tasks for j in preview.jobs)
+    print(
+        f"trace preview: {preview.num_jobs} jobs, classes={class_histogram(preview)}, "
+        f"map counts p50={sizes[len(sizes)//2]}, p90={sizes[int(len(sizes)*0.9)]}, "
+        f"max={sizes[-1]}"
+    )
+
+    res = run(**params)
+    comp = res.comparison
+    print(f"\n{res.num_nodes}-node cluster, {res.num_jobs} jobs:")
+    for name in (DEFAULT, DELAY, LIPS):
+        m = comp.metrics[name]
+        print(
+            f"  {name:8s} cost=${m.total_cost:8.3f}  makespan={m.makespan:8.0f}s  "
+            f"locality={m.data_locality:6.1%}"
+        )
+    print(
+        f"\nLiPS saving: {comp.saving_vs(DEFAULT):.1%} vs default, "
+        f"{comp.saving_vs(DELAY):.1%} vs delay "
+        f"(paper at full scale: 68-69% vs both)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,212 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro tables            # Tables I, III, IV
+    python -m repro fig1              # break-even curves
+    python -m repro fig5 --full       # paper-scale simulated savings
+    python -m repro fig6 fig7         # 20-node cost / exec-time sweep
+    python -m repro all               # everything (reduced sizes)
+
+``--full`` switches to the paper's full experiment sizes (equivalent to
+``REPRO_FULL=1`` for the benchmark suite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+def _run_tables(full: bool, csv_dir=None) -> None:
+    from repro.experiments import tables
+
+    tables.main([])
+
+
+def _run_fig1(full: bool, csv_dir=None) -> None:
+    from repro.experiments import fig1_breakeven
+
+    fig1_breakeven.main()
+
+
+def _run_fig5(full: bool, csv_dir=None) -> None:
+    from repro.experiments.export import export_all
+    from repro.experiments.fig5_simulated_savings import PAPER_SIZES, SMALL_SIZES, run
+    from repro.experiments.report import format_table
+
+    res = run(sizes=PAPER_SIZES if full else SMALL_SIZES)
+    rows = [
+        (f"J:{j} S:{s} M:{m}", f"{lp:.4f}", f"{d:.4f}", f"{100*r:.1f}%")
+        for (j, s, m), lp, d, r in zip(res.sizes, res.lp_costs, res.default_costs, res.reductions)
+    ]
+    print(
+        format_table(
+            ["problem size", "LiPS $", "default $", "cost reduction"],
+            rows,
+            title="Figure 5 — cost reduction vs problem size",
+        )
+    )
+    if csv_dir:
+        for p in export_all(csv_dir, fig5=res):
+            print(f"wrote {p}")
+
+
+def _run_fig6(full: bool, csv_dir=None) -> None:
+    from repro.experiments import fig6_cost_reduction
+
+    fig6_cost_reduction.main()
+
+
+def _run_fig7(full: bool, csv_dir=None) -> None:
+    from repro.experiments import fig7_exec_time
+
+    fig7_exec_time.main()
+
+
+def _run_fig8(full: bool, csv_dir=None) -> None:
+    from repro.experiments import fig8_epoch_tradeoff
+
+    fig8_epoch_tradeoff.main()
+
+
+def _run_fig9(full: bool, csv_dir=None) -> None:
+    from repro.experiments.fig9_100node_cost import fig9_rows, fig10_rows, run
+    from repro.experiments.report import format_table
+
+    params = {} if full else dict(num_nodes=40, num_jobs=120, duration_s=6 * 3600.0)
+    res = run(**params)
+    print(
+        format_table(
+            ["setting", "default $", "delay $", "LiPS $", "vs default", "vs delay"],
+            fig9_rows(res),
+            title="Figure 9 — total dollar cost",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["setting", "default s", "delay s", "LiPS s", "LiPS vs delay"],
+            fig10_rows(res),
+            title="Figure 10 — total job execution time",
+        )
+    )
+    if csv_dir:
+        from repro.experiments.export import export_all
+
+        for p in export_all(csv_dir, fig9=res):
+            print(f"wrote {p}")
+
+
+def _run_fig10(full: bool, csv_dir=None) -> None:
+    _run_fig9(full, csv_dir)
+
+
+def _run_fig11(full: bool, csv_dir=None) -> None:
+    from repro.experiments import fig11_cpu_breakdown
+
+    fig11_cpu_breakdown.main()
+
+
+def _run_fairness(full: bool, csv_dir=None) -> None:
+    from repro.experiments import exp_fairness
+
+    exp_fairness.main()
+
+
+def _run_check(full: bool, csv_dir=None) -> None:
+    from repro.experiments import check
+
+    check.main()
+
+
+def _run_interference(full: bool, csv_dir=None) -> None:
+    from repro.experiments import exp_interference
+
+    exp_interference.main()
+
+
+def _run_frontier(full: bool, csv_dir=None) -> None:
+    from repro.experiments import exp_deadline
+
+    if csv_dir:
+        from repro.experiments.export import export_all
+
+        frontier = exp_deadline.run()
+        for p in export_all(csv_dir, frontier=frontier):
+            print(f"wrote {p}")
+    exp_deadline.main()
+
+
+COMMANDS: Dict[str, Callable[[bool], None]] = {
+    "tables": _run_tables,
+    "fig1": _run_fig1,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "fairness": _run_fairness,
+    "frontier": _run_frontier,
+    "interference": _run_interference,
+    "check": _run_check,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the LiPS paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help=f"one or more of: {', '.join(COMMANDS)}, or 'all'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at the paper's full experiment sizes (slower)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write result CSVs to DIR (supported: fig5, fig9/fig10, frontier)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    wanted: List[str] = []
+    for name in args.experiments:
+        if name == "all":
+            wanted.extend(COMMANDS)
+        elif name in COMMANDS:
+            wanted.append(name)
+        else:
+            print(
+                f"unknown experiment {name!r}; choose from: "
+                f"{', '.join(COMMANDS)}, all",
+                file=sys.stderr,
+            )
+            return 2
+    seen = set()
+    for name in wanted:
+        if name in seen:
+            continue
+        seen.add(name)
+        COMMANDS[name](args.full, args.csv)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Cluster substrate: machines, data stores, topology, and EC2 pricing.
+
+This package models the environment the LiPS paper evaluates on — Amazon EC2
+clusters of heterogeneous instance types spread across availability zones —
+as plain data the scheduler and the Hadoop simulator both consume:
+
+* :mod:`repro.cluster.machine` / :mod:`repro.cluster.storage` — the ``M`` and
+  ``S`` sets of the paper's notation (Table II);
+* :mod:`repro.cluster.ec2` — the instance catalog of paper Table III with
+  per-ECU-second prices;
+* :mod:`repro.cluster.topology` — zones, bandwidth, and latency;
+* :mod:`repro.cluster.network` — the ``MS``, ``SS`` and ``B`` matrices;
+* :mod:`repro.cluster.builder` — convenience construction of the paper's
+  testbeds (20-node and 100-node mixes).
+"""
+
+from repro.cluster.builder import ClusterBuilder, build_paper_testbed
+from repro.cluster.ec2 import EC2_CATALOG, InstanceType, ec2_instance
+from repro.cluster.machine import Machine
+from repro.cluster.network import NetworkModel
+from repro.cluster.storage import DataStore
+from repro.cluster.topology import Topology, Zone
+
+__all__ = [
+    "ClusterBuilder",
+    "Cluster",
+    "DataStore",
+    "EC2_CATALOG",
+    "InstanceType",
+    "Machine",
+    "NetworkModel",
+    "Topology",
+    "Zone",
+    "build_paper_testbed",
+    "ec2_instance",
+]
+
+from repro.cluster.builder import Cluster  # noqa: E402  (re-export)

@@ -1,0 +1,130 @@
+"""Amazon EC2 instance catalog — paper Table III.
+
+The paper prices CPU by the *EC2-Compute-Unit second* rather than by
+instance-hour: "for demonstration purposes and in order to use actual prices
+we break down the charges to EC2 CPU unit per second" (Table III footnote).
+That footnote also gives the derived per-ECU-second prices we reproduce here:
+c1.medium 0.92–1.28 millicent, m1.medium 4.44–6.39 millicent — a 4–5x
+cost-per-cycle gap the LiPS LP exploits.
+
+All dollar amounts in this module are plain dollars; helpers convert to the
+millicent units used in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Dollars per millicent.
+MILLICENT = 1e-5
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """An EC2 instance type row from paper Table III.
+
+    ``price_low``/``price_high`` are the paper's dollar-per-hour range (spot
+    vs on-demand spread); ``ecu`` is total EC2 Compute Units.
+
+    ``millicent_low``/``millicent_high``, when set, pin the per-ECU-second
+    price to the values quoted in the Table III footnote.  The footnote's
+    m1.medium figure (4.44–6.39 millicent) is *not* ``price/hr ÷ ECU ÷
+    3600`` — the authors appear to have divided by 1 compute unit rather
+    than 2 — but it is the number that produces the 4–5x c1/m1 price gap
+    the experiments exploit, so we reproduce it verbatim and fall back to
+    the derived value only where the paper gives none.
+    """
+
+    name: str
+    cpus: int
+    ecu: float
+    memory_gb: float
+    storage_gb: float
+    price_low: float
+    price_high: float
+    millicent_low: Optional[float] = None
+    millicent_high: Optional[float] = None
+
+    def price_per_hour(self, point: float = 0.5) -> float:
+        """Interpolated $/hr at ``point`` in [0, 1] across the price range."""
+        if not 0.0 <= point <= 1.0:
+            raise ValueError("price point must be within [0, 1]")
+        return self.price_low + point * (self.price_high - self.price_low)
+
+    def cpu_cost_per_ecu_second(self, point: float = 0.5) -> float:
+        """Dollar cost of one ECU-second (the paper's CPU-second unit)."""
+        if self.millicent_low is not None and self.millicent_high is not None:
+            if not 0.0 <= point <= 1.0:
+                raise ValueError("price point must be within [0, 1]")
+            mc = self.millicent_low + point * (self.millicent_high - self.millicent_low)
+            return mc * MILLICENT
+        return self.price_per_hour(point) / (self.ecu * SECONDS_PER_HOUR)
+
+    def cpu_cost_millicent(self, point: float = 0.5) -> float:
+        """Per-ECU-second cost in millicents (as quoted in Table III)."""
+        return self.cpu_cost_per_ecu_second(point) / MILLICENT
+
+
+#: Paper Table III verbatim.
+EC2_CATALOG: Dict[str, InstanceType] = {
+    "m1.small": InstanceType(
+        name="m1.small", cpus=1, ecu=1.0, memory_gb=1.7, storage_gb=160.0,
+        price_low=0.08, price_high=0.12,
+    ),
+    "m1.medium": InstanceType(
+        name="m1.medium", cpus=1, ecu=2.0, memory_gb=3.75, storage_gb=410.0,
+        price_low=0.13, price_high=0.23,
+        millicent_low=4.44, millicent_high=6.39,  # Table III footnote
+    ),
+    "c1.medium": InstanceType(
+        name="c1.medium", cpus=2, ecu=5.0, memory_gb=1.7, storage_gb=350.0,
+        price_low=0.17, price_high=0.23,
+        millicent_low=0.92, millicent_high=1.28,  # Table III footnote
+    ),
+    # Mentioned in passing ("results hold across the entire spectrum of
+    # instances (e.g. including m1.large)"); 2012-era list price.
+    "m1.large": InstanceType(
+        name="m1.large", cpus=2, ecu=4.0, memory_gb=7.5, storage_gb=850.0,
+        price_low=0.26, price_high=0.46,
+    ),
+}
+
+
+def ec2_instance(name: str) -> InstanceType:
+    """Look up an instance type; raises ``KeyError`` with the known names."""
+    try:
+        return EC2_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown EC2 instance type {name!r}; known: {sorted(EC2_CATALOG)}"
+        ) from None
+
+
+#: The paper's cross-zone transfer price: $0.01/GB == 62.5 millicent / 64 MB.
+CROSS_ZONE_TRANSFER_PER_GB: float = 0.01
+
+
+def transfer_cost_per_mb(cross_zone: bool) -> float:
+    """Dollar cost of moving one MB (cross-zone only; intra-zone is free)."""
+    return CROSS_ZONE_TRANSFER_PER_GB / 1024.0 if cross_zone else 0.0
+
+
+def table3_rows(point: float = 0.5) -> Tuple[Tuple[str, int, float, float, float, str, float], ...]:
+    """Rows of paper Table III plus derived per-ECU-second millicent price."""
+    rows = []
+    for it in EC2_CATALOG.values():
+        rows.append(
+            (
+                it.name,
+                it.cpus,
+                it.ecu,
+                it.memory_gb,
+                it.storage_gb,
+                f"{it.price_low:.2f}-{it.price_high:.2f}",
+                it.cpu_cost_millicent(point),
+            )
+        )
+    return tuple(rows)

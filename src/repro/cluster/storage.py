@@ -1,0 +1,57 @@
+"""Data stores (the ``S`` set; HDFS DataNodes or remote stores like S3).
+
+A data store may be co-located with a computation node (the common HDFS
+DataNode-on-TaskTracker layout) or stand alone (an S3-like remote store).
+Sizes are in megabytes throughout the code base; the paper's 64 MB HDFS block
+is the natural unit and lives in :data:`BLOCK_MB`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Default HDFS block size used throughout the paper (64 MB).
+BLOCK_MB: float = 64.0
+
+
+@dataclass
+class DataStore:
+    """A storage location for data-object segments.
+
+    Attributes
+    ----------
+    store_id:
+        Dense index into the cluster's store list.
+    capacity_mb:
+        ``Cap(S)`` — maximum megabytes the store can hold.
+    zone:
+        Availability zone, used for bandwidth/prices.
+    colocated_machine:
+        ``machine_id`` of the co-located computation node, or ``None`` for a
+        remote store.  Local machine↔store transfer is (near-)free.
+    """
+
+    store_id: int
+    name: str
+    capacity_mb: float
+    zone: str = "default"
+    colocated_machine: Optional[int] = None
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_mb < 0:
+            raise ValueError(f"store {self.name!r}: capacity must be >= 0")
+
+    @property
+    def is_local(self) -> bool:
+        """True when this store sits on a computation node."""
+        return self.colocated_machine is not None
+
+    def capacity_blocks(self, block_mb: float = BLOCK_MB) -> float:
+        """Capacity expressed in HDFS blocks."""
+        return self.capacity_mb / block_mb
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        loc = f"@M{self.colocated_machine}" if self.is_local else "remote"
+        return f"DataStore({self.name!r}, {self.capacity_mb:g} MB, {loc})"

@@ -1,0 +1,122 @@
+"""Zones, racks and the physical network fabric.
+
+The paper's testbeds span three EC2 availability zones.  Bandwidth follows
+the figures the authors measured/emulated: 500 Mbps within a zone, 250 Mbps
+across zones, with cross-zone RTT about three times intra-zone RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+#: Paper defaults (Section VI-A, "Network").
+INTRA_ZONE_MBPS: float = 500.0
+INTER_ZONE_MBPS: float = 250.0
+INTRA_ZONE_RTT_MS: float = 0.5
+INTER_ZONE_RTT_FACTOR: float = 3.0
+
+#: Megabytes per second for a given megabits-per-second link.
+def mbps_to_mb_per_s(mbps: float) -> float:
+    """Convert link megabits/s to megabytes/s."""
+    return mbps / 8.0
+
+
+@dataclass(frozen=True)
+class Zone:
+    """An availability zone (e.g. ``us-east-a``)."""
+
+    name: str
+    intra_bandwidth_mbps: float = INTRA_ZONE_MBPS
+    rtt_ms: float = INTRA_ZONE_RTT_MS
+
+
+@dataclass
+class Topology:
+    """Pairwise bandwidth/latency between zones.
+
+    ``bandwidth_mbps(a, b)`` and ``rtt_ms(a, b)`` answer for any pair of zone
+    names; per-pair overrides let tests model asymmetric fabrics ("the RTT
+    latency is not the same within (or across) different availability
+    zones").
+    """
+
+    zones: Dict[str, Zone] = field(default_factory=dict)
+    inter_bandwidth_mbps: float = INTER_ZONE_MBPS
+    _bandwidth_overrides: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    _rtt_overrides: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    @staticmethod
+    def of(zone_names: Iterable[str], **kwargs) -> "Topology":
+        """Build a topology with default-parameterised zones."""
+        topo = Topology(**kwargs)
+        for name in zone_names:
+            topo.add_zone(Zone(name))
+        return topo
+
+    def add_zone(self, zone: Zone) -> None:
+        """Register a zone; duplicate names are rejected."""
+        if zone.name in self.zones:
+            raise ValueError(f"duplicate zone {zone.name!r}")
+        self.zones[zone.name] = zone
+
+    def _check(self, name: str) -> Zone:
+        try:
+            return self.zones[name]
+        except KeyError:
+            raise KeyError(f"unknown zone {name!r}; known: {sorted(self.zones)}") from None
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def set_bandwidth(self, a: str, b: str, mbps: float) -> None:
+        """Override the bandwidth (Mbps) for one zone pair."""
+        self._check(a), self._check(b)
+        self._bandwidth_overrides[self._key(a, b)] = mbps
+
+    def set_rtt(self, a: str, b: str, ms: float) -> None:
+        """Override the round-trip latency (ms) for one zone pair."""
+        self._check(a), self._check(b)
+        self._rtt_overrides[self._key(a, b)] = ms
+
+    def bandwidth_mbps(self, a: str, b: str) -> float:
+        """Link bandwidth between two zones (same name → intra-zone)."""
+        za, zb = self._check(a), self._check(b)
+        override = self._bandwidth_overrides.get(self._key(a, b))
+        if override is not None:
+            return override
+        if a == b:
+            return za.intra_bandwidth_mbps
+        return self.inter_bandwidth_mbps
+
+    def bandwidth_mb_per_s(self, a: str, b: str) -> float:
+        """Link bandwidth between two zones in MB/s."""
+        return mbps_to_mb_per_s(self.bandwidth_mbps(a, b))
+
+    def rtt_ms(self, a: str, b: str) -> float:
+        """Round-trip latency between two zones in milliseconds."""
+        za, zb = self._check(a), self._check(b)
+        override = self._rtt_overrides.get(self._key(a, b))
+        if override is not None:
+            return override
+        if a == b:
+            return za.rtt_ms
+        return max(za.rtt_ms, zb.rtt_ms) * INTER_ZONE_RTT_FACTOR
+
+    def cross_zone(self, a: str, b: str) -> bool:
+        """True when the two zone names differ (priced traffic)."""
+        self._check(a), self._check(b)
+        return a != b
+
+    def zone_names(self) -> List[str]:
+        """Sorted list of registered zone names."""
+        return sorted(self.zones)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology(zones={self.zone_names()})"
+
+
+def paper_topology() -> Topology:
+    """The three-availability-zone topology of the paper's experiments."""
+    return Topology.of(["us-east-a", "us-east-b", "us-east-c"])

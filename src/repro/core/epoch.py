@@ -1,0 +1,323 @@
+"""The epoch controller: drives the online model across epochs.
+
+Implements Section V-B's loop: wait an epoch, collect queued jobs, solve the
+Figure 4 LP against the epoch's capacity, execute the scheduled fractions,
+and re-queue whatever landed on the fake node F.  Dollar costs accumulate in
+a :class:`~repro.cost.accounting.CostLedger`; per-node CPU time is recorded
+per epoch (the paper's Figure 11 breakdown).
+
+Residual jobs
+-------------
+When a fraction of a job is parked on F, the remainder re-enters the queue
+as a *residual*: the same job scaled by the unscheduled fraction, its data
+origin updated to wherever the scheduled portion placed the data (so
+already-moved data is not re-charged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.builder import Cluster
+from repro.core.co_online import OnlineModelConfig, solve_co_online
+from repro.core.model import SchedulingInput
+from repro.core.solution import CoScheduleSolution, CostBreakdown
+from repro.cost.accounting import CostLedger
+from repro.workload.job import DataObject, Job, Workload
+
+#: Fractions below this are considered fully scheduled (numerical noise).
+MIN_RESIDUAL: float = 1e-6
+
+
+@dataclass
+class _QueueEntry:
+    """A queued (possibly residual) job."""
+
+    job: Job
+    fraction: float  # of the *original* job still to schedule
+    origin_store: Optional[int]  # current data location; None if input-less
+
+
+@dataclass
+class EpochReport:
+    """What happened in one epoch."""
+
+    index: int
+    start_time: float
+    num_queued: int
+    num_scheduled: int
+    num_requeued: int
+    cost: CostBreakdown
+    machine_cpu_seconds: np.ndarray
+    solution: Optional[CoScheduleSolution] = None
+
+
+@dataclass
+class OnlineRunResult:
+    """Aggregate outcome of an online run."""
+
+    reports: List[EpochReport]
+    ledger: CostLedger
+    job_completion: Dict[int, float]
+    makespan: float
+    machine_cpu_seconds: np.ndarray
+
+    @property
+    def total_cost(self) -> float:
+        """Total dollars across the run's ledger."""
+        return self.ledger.total
+
+    @property
+    def num_epochs(self) -> int:
+        """Number of scheduling epochs executed."""
+        return len(self.reports)
+
+    def total_execution_time(self) -> float:
+        """Sum of per-job response times (arrival -> completion)."""
+        return sum(self.job_completion.values())
+
+
+class EpochController:
+    """Runs the online LiPS model epoch by epoch over a workload.
+
+    Parameters
+    ----------
+    cluster:
+        The target cluster.
+    epoch_length:
+        Seconds per epoch (``e``) — the cost/performance dial.
+    backend:
+        LP backend (defaults to HiGHS).
+    enforce_bandwidth:
+        Toggle constraint (21).
+    keep_solutions:
+        Retain per-epoch LP solutions in the reports (memory-heavy).
+    max_epochs:
+        Safety cap; the run aborts loudly rather than looping forever.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        epoch_length: float,
+        backend: Optional[object] = None,
+        enforce_bandwidth: bool = True,
+        keep_solutions: bool = False,
+        max_epochs: int = 100000,
+        fairness: Optional[object] = None,
+    ) -> None:
+        if epoch_length <= 0:
+            raise ValueError("epoch_length must be positive")
+        self.cluster = cluster
+        self.epoch_length = epoch_length
+        self.backend = backend
+        self.enforce_bandwidth = enforce_bandwidth
+        self.keep_solutions = keep_solutions
+        self.max_epochs = max_epochs
+        #: optional FairShareConfig applied to every epoch's LP
+        self.fairness = fairness
+
+    # -- helpers -------------------------------------------------------------
+    def _build_epoch_input(
+        self, entries: List[_QueueEntry], store_used_mb: np.ndarray, data: List[DataObject]
+    ) -> Tuple[SchedulingInput, List[int]]:
+        """Scale queued entries into a one-epoch workload.
+
+        Each entry becomes a job reading a private scaled copy of its data
+        object (size ``fraction * original``), originating at the entry's
+        current data location.
+        """
+        jobs: List[Job] = []
+        objs: List[DataObject] = []
+        for pos, entry in enumerate(entries):
+            job = entry.job
+            if job.data_ids:
+                orig = data[job.data_ids[0]]
+                obj = DataObject(
+                    data_id=len(objs),
+                    name=f"{orig.name}@{pos}",
+                    size_mb=orig.size_mb * entry.fraction,
+                    origin_store=entry.origin_store
+                    if entry.origin_store is not None
+                    else orig.origin_store,
+                    block_mb=orig.block_mb,
+                )
+                objs.append(obj)
+                jobs.append(
+                    Job(
+                        job_id=pos,
+                        name=job.name,
+                        tcp=job.tcp,
+                        data_ids=[obj.data_id],
+                        num_tasks=max(1, int(round(job.num_tasks * entry.fraction))),
+                        cpu_seconds_noinput=job.cpu_seconds_noinput * entry.fraction,
+                        arrival_time=job.arrival_time,
+                        pool=job.pool,
+                        app=job.app,
+                    )
+                )
+            else:
+                jobs.append(
+                    Job(
+                        job_id=pos,
+                        name=job.name,
+                        tcp=0.0,
+                        data_ids=[],
+                        num_tasks=max(1, int(round(job.num_tasks * entry.fraction))),
+                        cpu_seconds_noinput=job.cpu_seconds_noinput * entry.fraction,
+                        arrival_time=job.arrival_time,
+                        pool=job.pool,
+                        app=job.app,
+                    )
+                )
+        sub = Workload(jobs=jobs, data=objs)
+        inp = SchedulingInput.from_parts(self.cluster, sub)
+        return inp, [e.job.job_id for e in entries]
+
+    @staticmethod
+    def _charge(
+        ledger: CostLedger,
+        inp: SchedulingInput,
+        sol: CoScheduleSolution,
+        original_ids: List[int],
+    ) -> CostBreakdown:
+        """Record the epoch's real dollar costs with attribution."""
+        bd = sol.cost_breakdown(inp)
+        # CPU per (job, machine)
+        cpu_jl = np.einsum("klm->kl", sol.xt_data) * inp.cpu[:, None] + sol.xt_free * inp.cpu[:, None]
+        cost_jl = cpu_jl * inp.cluster.cpu_cost_vector()[None, :]
+        for k, l in zip(*np.nonzero(cost_jl > 0)):
+            ledger.charge_cpu(
+                float(cost_jl[k, l]), job_id=original_ids[k], machine_id=int(l)
+            )
+        # runtime transfer per (machine, store)
+        mb_lm = sol.transfer_mb(inp)
+        cost_lm = mb_lm * inp.ms_cost
+        for l, m in zip(*np.nonzero(cost_lm > 0)):
+            ledger.charge_runtime_transfer(
+                float(cost_lm[l, m]), machine_id=int(l), store_id=int(m)
+            )
+        # placement per (data, store)
+        if inp.num_data:
+            moved = sol.xd.copy()
+            moved[np.arange(inp.num_data), inp.origin] = 0.0
+            cost_ij = moved * inp.ss_cost[inp.origin, :] * inp.data_size_mb[:, None]
+            for i, j in zip(*np.nonzero(cost_ij > 0)):
+                ledger.charge_placement_transfer(float(cost_ij[i, j]), store_id=int(j))
+        return bd
+
+    # -- main loop -----------------------------------------------------------
+    def run(self, workload: Workload) -> OnlineRunResult:
+        """Schedule an entire workload online; returns the aggregate result."""
+        e = self.epoch_length
+        L = self.cluster.num_machines
+        ledger = CostLedger()
+        reports: List[EpochReport] = []
+        job_completion: Dict[int, float] = {}
+        machine_cpu_total = np.zeros(L)
+        store_used_mb = np.zeros(self.cluster.num_stores)
+
+        arrivals = sorted(workload.jobs, key=lambda j: (j.arrival_time, j.job_id))
+        next_arrival = 0
+        queue: List[_QueueEntry] = []
+        epoch = 0
+
+        while next_arrival < len(arrivals) or queue:
+            if epoch >= self.max_epochs:
+                raise RuntimeError(f"exceeded max_epochs={self.max_epochs}")
+            start = epoch * e
+            # Jobs that have arrived by the start of this epoch join the queue.
+            while next_arrival < len(arrivals) and arrivals[next_arrival].arrival_time <= start:
+                job = arrivals[next_arrival]
+                origin = (
+                    workload.data[job.data_ids[0]].origin_store if job.data_ids else None
+                )
+                queue.append(_QueueEntry(job=job, fraction=1.0, origin_store=origin))
+                next_arrival += 1
+
+            if not queue:
+                epoch += 1  # idle epoch waiting for arrivals
+                continue
+
+            inp, original_ids = self._build_epoch_input(queue, store_used_mb, workload.data)
+            remaining_cap = np.maximum(self.cluster.store_capacity_vector() - store_used_mb, 0.0)
+            sol = solve_co_online(
+                inp,
+                OnlineModelConfig(epoch_length=e, enforce_bandwidth=self.enforce_bandwidth),
+                backend=self.backend,
+                store_capacity=remaining_cap,
+                fairness=self.fairness,
+            )
+            bd = self._charge(ledger, inp, sol, original_ids)
+
+            # machine CPU time this epoch (wall seconds of busy CPU)
+            cpu_l = sol.machine_cpu_load(inp)
+            machine_cpu_total += cpu_l
+            busy_l = cpu_l / self.cluster.throughput_vector()
+
+            # account placed data: every placed fraction occupies its store
+            if inp.num_data:
+                store_used_mb += sol.xd.T @ inp.data_size_mb
+
+            # requeue residuals, complete the rest
+            new_queue: List[_QueueEntry] = []
+            scheduled = 0
+            requeued = 0
+            for pos, entry in enumerate(queue):
+                fake_frac = float(sol.fake[pos])
+                done_frac = entry.fraction * (1.0 - fake_frac)
+                residual = entry.fraction * fake_frac
+                if residual > MIN_RESIDUAL:
+                    origin = entry.origin_store
+                    if inp.job_data[pos] >= 0:
+                        i = inp.job_data[pos]
+                        placed = sol.xd[i]
+                        if placed.max() > 0:
+                            origin = int(np.argmax(placed))
+                    new_queue.append(
+                        _QueueEntry(job=entry.job, fraction=residual, origin_store=origin)
+                    )
+                    requeued += 1
+                else:
+                    # job finishes this epoch; completion = epoch start + the
+                    # busy time of the busiest machine running it
+                    if inp.job_data[pos] >= 0:
+                        used = np.nonzero(sol.xt_data[pos].sum(axis=1) > MIN_RESIDUAL)[0]
+                    else:
+                        used = np.nonzero(sol.xt_free[pos] > MIN_RESIDUAL)[0]
+                    finish_offset = float(busy_l[used].max()) if len(used) else 0.0
+                    completion = start + min(e, finish_offset) if len(used) else start
+                    job_completion[entry.job.job_id] = max(
+                        completion - entry.job.arrival_time, 0.0
+                    )
+                if done_frac > MIN_RESIDUAL:
+                    scheduled += 1
+            queue = new_queue
+
+            reports.append(
+                EpochReport(
+                    index=epoch,
+                    start_time=start,
+                    num_queued=len(original_ids),
+                    num_scheduled=scheduled,
+                    num_requeued=requeued,
+                    cost=bd,
+                    machine_cpu_seconds=cpu_l,
+                    solution=sol if self.keep_solutions else None,
+                )
+            )
+            epoch += 1
+
+        makespan = 0.0
+        for job in workload.jobs:
+            makespan = max(makespan, job.arrival_time + job_completion.get(job.job_id, 0.0))
+        return OnlineRunResult(
+            reports=reports,
+            ledger=ledger,
+            job_completion=job_completion,
+            makespan=makespan,
+            machine_cpu_seconds=machine_cpu_total,
+        )

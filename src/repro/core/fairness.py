@@ -1,0 +1,129 @@
+"""Fair sharing for LiPS (the paper's multi-tenancy dimension).
+
+"In a multi-tenant sharing cloud, it is also important to distribute the
+resource fairly among users."  The paper folds fairness into the
+co-scheduling dimensions it optimises jointly; this module implements that
+as LP side constraints on the online model: each pool (user/class) is
+guaranteed a minimum scheduled-CPU share of the epoch.
+
+For pool *p* with queued demand ``D_p`` and weight ``w_p`` (default: equal
+weights over active pools), the constraint is
+
+    scheduled_cpu(p)  >=  fulfillment * min(D_p, w_p * C_e)
+
+where ``C_e`` is the epoch's total cluster CPU capacity.  The ``min`` keeps
+a small pool from being granted more than it even asks for, so the
+constraints are always simultaneously satisfiable against the capacity
+constraint (12)/(23); the bandwidth constraint (21) can still bite in
+pathological topologies, in which case the solve reports infeasibility
+rather than silently dropping fairness.
+
+:func:`jains_index` quantifies the fairness of an allocation for the
+evaluation ("the results also demonstrate its significant fairness ...
+improvements").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import SchedulingInput
+from repro.core.solution import CoScheduleSolution
+
+
+@dataclass(frozen=True)
+class FairShareConfig:
+    """Fair-share policy.
+
+    ``weights`` maps pool name to relative weight (normalised over *active*
+    pools each epoch; missing pools default to weight 1).  ``fulfillment``
+    in (0, 1] softens the guarantee — 1.0 demands the exact fair share,
+    which can collide with constraint (21); 0.9 is a practical default.
+    """
+
+    weights: Optional[Dict[str, float]] = None
+    fulfillment: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fulfillment <= 1.0:
+            raise ValueError("fulfillment must be in (0, 1]")
+        if self.weights is not None and any(w <= 0 for w in self.weights.values()):
+            raise ValueError("pool weights must be positive")
+
+    def weight_of(self, pool: str) -> float:
+        """Relative weight of a pool (1.0 when unlisted)."""
+        if self.weights is None:
+            return 1.0
+        return self.weights.get(pool, 1.0)
+
+
+def pool_demands(inp: SchedulingInput) -> Dict[str, Tuple[np.ndarray, float]]:
+    """Per-pool (job indices, total CPU demand) over the input's job set."""
+    pools: Dict[str, List[int]] = {}
+    for k, job in enumerate(inp.workload.jobs):
+        pools.setdefault(job.pool, []).append(k)
+    return {
+        pool: (np.asarray(ids, dtype=int), float(inp.cpu[ids].sum()))
+        for pool, ids in pools.items()
+    }
+
+
+def fairness_rows(
+    inp: SchedulingInput,
+    epoch_length: float,
+    config: FairShareConfig,
+) -> List[Tuple[np.ndarray, float]]:
+    """Build the min-CPU rows the assembler consumes."""
+    if epoch_length <= 0:
+        raise ValueError("epoch_length must be positive")
+    demands = pool_demands(inp)
+    if not demands:
+        return []
+    total_capacity = float(inp.tp.sum()) * epoch_length
+    total_weight = sum(config.weight_of(p) for p in demands)
+    rows: List[Tuple[np.ndarray, float]] = []
+    for pool, (ids, demand) in sorted(demands.items()):
+        share = config.weight_of(pool) / total_weight * total_capacity
+        guarantee = config.fulfillment * min(demand, share)
+        if guarantee > 0:
+            rows.append((ids, guarantee))
+    return rows
+
+
+def pool_scheduled_cpu(inp: SchedulingInput, sol: CoScheduleSolution) -> Dict[str, float]:
+    """Equivalent-CPU-seconds actually scheduled per pool."""
+    frac = sol.xt_data.sum(axis=(1, 2)) + sol.xt_free.sum(axis=1)
+    out: Dict[str, float] = {}
+    for k, job in enumerate(inp.workload.jobs):
+        out[job.pool] = out.get(job.pool, 0.0) + float(frac[k] * inp.cpu[k])
+    return out
+
+
+def jains_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1 when all equal, -> 1/n when one dominates."""
+    v = np.asarray(list(values), dtype=float)
+    if v.size == 0:
+        return 1.0
+    if np.any(v < 0):
+        raise ValueError("values must be non-negative")
+    peak = v.max()
+    if peak == 0:
+        return 1.0
+    v = v / peak  # scale-invariant; also avoids under/overflow in the squares
+    total = v.sum()
+    return float(total**2 / (v.size * np.square(v).sum()))
+
+
+def fulfillment_ratios(
+    inp: SchedulingInput,
+    sol: CoScheduleSolution,
+) -> Dict[str, float]:
+    """Scheduled / demanded CPU per pool (the fairness evaluation metric)."""
+    scheduled = pool_scheduled_cpu(inp, sol)
+    out: Dict[str, float] = {}
+    for pool, (ids, demand) in pool_demands(inp).items():
+        out[pool] = scheduled.get(pool, 0.0) / demand if demand > 0 else 1.0
+    return out

@@ -1,0 +1,150 @@
+"""Fractional-to-integral schedule rounding (paper Section IV, "Integrality").
+
+The LP yields fractional job portions.  MapReduce divides jobs into tasks, so
+a fraction maps to a task count — but "since starting a thread requires a
+small fixed amount of CPU time ... a minimum viable task size exists".  This
+module:
+
+* drops assignments below the minimum viable fraction and re-normalises;
+* converts each job's remaining fractions into integral task counts with the
+  largest-remainder method (total exactly ``num_tasks``);
+* reports the integrality gap bound: the LP optimum is a lower bound on any
+  integral schedule, so ``integral_cost - lp_cost`` bounds the distance from
+  the (unknown) integral optimum from above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import SchedulingInput
+from repro.core.solution import CoScheduleSolution
+
+
+def largest_remainder_round(weights: np.ndarray, total: int) -> np.ndarray:
+    """Integer apportionment of ``total`` by ``weights`` (largest remainder).
+
+    Always returns non-negative integers summing to ``total``; zero-weight
+    entries receive tasks only if every positive weight is saturated.
+    """
+    if total < 0:
+        raise ValueError("total must be >= 0")
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 1:
+        raise ValueError("weights must be one-dimensional")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    s = w.sum()
+    if s == 0:
+        out = np.zeros(len(w), dtype=int)
+        if total and len(w):
+            out[0] = total
+        return out
+    quota = w / s * total
+    base = np.floor(quota).astype(int)
+    rem = total - int(base.sum())
+    if rem > 0:
+        order = np.argsort(-(quota - base))
+        base[order[:rem]] += 1
+    return base
+
+
+@dataclass
+class IntegralSchedule:
+    """Integral task assignment derived from a fractional solution.
+
+    ``task_counts[k]`` maps ``(machine, store)`` — store ``-1`` for
+    input-less jobs — to a task count.  ``solution`` is the rounded
+    fractional equivalent (counts / num_tasks), usable with every
+    :class:`CoScheduleSolution` helper.
+    """
+
+    task_counts: List[Dict[Tuple[int, int], int]]
+    solution: CoScheduleSolution
+    lp_cost: float
+    integral_cost: float
+
+    @property
+    def integrality_gap(self) -> float:
+        """Upper bound on the cost distance from the integral optimum."""
+        return self.integral_cost - self.lp_cost
+
+    @property
+    def relative_gap(self) -> float:
+        """Integrality gap as a fraction of the LP optimum."""
+        if self.lp_cost == 0:
+            return 0.0
+        return self.integrality_gap / self.lp_cost
+
+    def total_tasks(self) -> int:
+        """Total integral tasks across all jobs."""
+        return sum(sum(c.values()) for c in self.task_counts)
+
+
+def round_schedule(
+    inp: SchedulingInput,
+    sol: CoScheduleSolution,
+    min_fraction: Optional[float] = None,
+) -> IntegralSchedule:
+    """Round a fractional schedule to integral per-(machine, store) tasks.
+
+    ``min_fraction`` is the minimum viable task size expressed as a fraction
+    of the job (default: half of one task, ``0.5 / num_tasks``); assignments
+    below it are dropped before apportionment, implementing the paper's
+    round-up-to-minimum-size rule.
+    """
+    K, L, S = inp.num_jobs, inp.num_machines, inp.num_stores
+    counts: List[Dict[Tuple[int, int], int]] = []
+    xt_data = np.zeros_like(sol.xt_data)
+    xt_free = np.zeros_like(sol.xt_free)
+
+    for k, job in enumerate(inp.workload.jobs):
+        n_tasks = job.num_tasks
+        threshold = min_fraction if min_fraction is not None else 0.5 / n_tasks
+        if inp.job_data[k] >= 0:
+            frac = sol.xt_data[k].copy()  # (L, S)
+        else:
+            frac = sol.xt_free[k].copy()[:, None]  # (L, 1)
+        scheduled = frac.sum()
+        job_counts: Dict[Tuple[int, int], int] = {}
+        if scheduled > 0:
+            frac[frac < threshold * scheduled] = 0.0
+            flat = frac.reshape(-1)
+            # Apportion the job's *scheduled* share of tasks.
+            target = int(round(n_tasks * min(1.0, scheduled)))
+            assigned = largest_remainder_round(flat, target)
+            nz = np.nonzero(assigned)[0]
+            width = frac.shape[1]
+            for idx in nz:
+                l, m = divmod(int(idx), width)
+                store = m if inp.job_data[k] >= 0 else -1
+                job_counts[(l, store)] = int(assigned[idx])
+                new_frac = assigned[idx] / n_tasks
+                if inp.job_data[k] >= 0:
+                    xt_data[k, l, m] = new_frac
+                else:
+                    xt_free[k, l] = new_frac
+        counts.append(job_counts)
+
+    rounded = CoScheduleSolution(
+        xt_data=xt_data,
+        xt_free=xt_free,
+        xd=sol.xd.copy(),
+        fake=sol.fake.copy(),
+        objective=float("nan"),
+        fake_unit_cost=sol.fake_unit_cost,
+        model=sol.model + "+rounded",
+        epoch=sol.epoch,
+    )
+    integral_cost = rounded.cost_breakdown(inp).real_total
+    lp_cost = sol.cost_breakdown(inp).real_total
+    rounded.objective = integral_cost
+    return IntegralSchedule(
+        task_counts=counts,
+        solution=rounded,
+        lp_cost=lp_cost,
+        integral_cost=integral_cost,
+    )

@@ -1,0 +1,215 @@
+"""Schedule/placement solution objects and their independent validation.
+
+A :class:`CoScheduleSolution` holds the fractional assignments produced by
+any of the three LP models:
+
+* ``xt_data[k, l, m]`` — portion of job *k* on machine *l* reading store *m*
+  (zero rows for input-less jobs);
+* ``xt_free[k, l]`` — portion of input-less job *k* on machine *l*;
+* ``fake[k]`` — portion parked on the online model's fake node F;
+* ``xd[i, j]`` — portion of data object *i* placed on store *j* (identity
+  placement in the simple-task model).
+
+Cost evaluation is vectorised and *independent of the LP objective code*, so
+tests can require ``solution cost == LP objective`` as a modelling check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.model import SchedulingInput
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Dollar cost split into the objective's three terms (plus fake)."""
+
+    placement_transfer: float
+    execution: float
+    runtime_transfer: float
+    fake: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """All terms summed, fake-node penalty included."""
+        return self.placement_transfer + self.execution + self.runtime_transfer + self.fake
+
+    @property
+    def real_total(self) -> float:
+        """Total excluding the fake-node penalty (actual dollars charged)."""
+        return self.placement_transfer + self.execution + self.runtime_transfer
+
+
+@dataclass
+class CoScheduleSolution:
+    """Fractional co-schedule: task fractions, data placement, diagnostics."""
+
+    xt_data: np.ndarray  # (K, L, S)
+    xt_free: np.ndarray  # (K, L)
+    xd: np.ndarray  # (D, S)
+    fake: np.ndarray  # (K,)
+    objective: float
+    #: per-job $ cost of parking the whole job on the fake node (zeros when
+    #: the model has no fake node)
+    fake_unit_cost: Optional[np.ndarray] = None
+    model: str = ""
+    epoch: Optional[float] = None
+
+    # -- derived quantities -------------------------------------------------
+    def job_coverage(self) -> np.ndarray:
+        """Scheduled fraction per job (should be >= 1 - fake residual)."""
+        return self.xt_data.sum(axis=(1, 2)) + self.xt_free.sum(axis=1) + self.fake
+
+    def machine_cpu_load(self, inp: SchedulingInput) -> np.ndarray:
+        """Equivalent-CPU-seconds assigned to each machine."""
+        load_d = np.einsum("klm,k->l", self.xt_data, inp.cpu)
+        load_n = self.xt_free.T @ inp.cpu
+        return load_d + load_n
+
+    def store_data_load(self, inp: SchedulingInput) -> np.ndarray:
+        """MB placed on each store by the xd placement."""
+        return self.xd.T @ inp.data_size_mb
+
+    def transfer_mb(self, inp: SchedulingInput) -> np.ndarray:
+        """(L, S) MB read from store m by machine l during execution."""
+        return np.einsum("klm,k->lm", self.xt_data, inp.size_mb)
+
+    def cost_breakdown(self, inp: SchedulingInput) -> CostBreakdown:
+        """Evaluate the paper's objective terms on this solution.
+
+        Note: the paper's Eq. (6)/(16) omit the ``Size(D_i)`` factor that its
+        runtime-transfer term (8)/(18) carries; since ``SS`` is a *unit*
+        ($/MB) price, dollars require the size factor and we include it (see
+        DESIGN.md).
+        """
+        moved = self.xd.copy()
+        if moved.size:
+            # moving a fraction to the origin store itself is free
+            moved[np.arange(len(inp.origin)), inp.origin] = 0.0
+            ss_unit = inp.ss_cost[inp.origin, :]  # (D, S)
+            placement = float(np.sum(moved * ss_unit * inp.data_size_mb[:, None]))
+        else:
+            placement = 0.0
+
+        execution = float(
+            np.einsum("klm,kl->", self.xt_data, inp.jm) + np.sum(self.xt_free * inp.jm)
+        )
+        runtime = float(np.sum(self.transfer_mb(inp) * inp.ms_cost))
+        if self.fake_unit_cost is not None:
+            fake_cost = float(np.sum(self.fake * self.fake_unit_cost))
+        else:
+            fake_cost = 0.0
+        return CostBreakdown(
+            placement_transfer=placement,
+            execution=execution,
+            runtime_transfer=runtime,
+            fake=fake_cost,
+        )
+
+    def scheduled_fraction(self, k: int) -> float:
+        """Fraction of job k actually scheduled on real machines."""
+        return float(self.xt_data[k].sum() + self.xt_free[k].sum())
+
+    def machines_used(self, tol: float = 1e-9) -> np.ndarray:
+        """Machines with any assigned work."""
+        used = (self.xt_data.sum(axis=(0, 2)) + self.xt_free.sum(axis=0)) > tol
+        return np.where(used)[0]
+
+    def data_locality(self, inp: SchedulingInput, tol: float = 1e-9) -> float:
+        """Fraction of read MB served from a machine-local store."""
+        mb = self.transfer_mb(inp)
+        total = mb.sum()
+        if total <= tol:
+            return 1.0
+        local = 0.0
+        for s in inp.cluster.stores:
+            if s.colocated_machine is not None:
+                local += mb[s.colocated_machine, s.store_id]
+        return float(local / total)
+
+
+@dataclass
+class ValidationReport:
+    """Constraint-by-constraint verdict from :func:`validate_solution`."""
+
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def validate_solution(
+    inp: SchedulingInput,
+    sol: CoScheduleSolution,
+    horizon: Optional[float] = None,
+    check_epoch_bandwidth: bool = False,
+    tol: float = 1e-6,
+) -> ValidationReport:
+    """Re-check the paper's constraints (9)–(15)/(19)–(26) on a solution.
+
+    ``horizon`` replaces machine uptime (pass the epoch length for online
+    solutions); ``check_epoch_bandwidth`` additionally enforces constraint
+    (21).  Independent of the LP assembly code by construction.
+    """
+    v: List[str] = []
+    K, L, S = inp.num_jobs, inp.num_machines, inp.num_stores
+
+    cover = sol.job_coverage()
+    for k in np.where(cover < 1.0 - tol)[0]:
+        v.append(f"job {k} covered only {cover[k]:.6f} (constraint 10/20)")
+
+    if inp.num_data:
+        data_cover = sol.xd.sum(axis=1)
+        for i in np.where(data_cover < 1.0 - tol)[0]:
+            v.append(f"data {i} placed only {data_cover[i]:.6f} (constraint 9/19)")
+        load = sol.store_data_load(inp)
+        over = load > inp.cap_mb * (1 + tol) + tol
+        for j in np.where(over)[0]:
+            v.append(f"store {j} holds {load[j]:.1f} MB > cap {inp.cap_mb[j]:.1f} (11/22)")
+
+    cap = inp.machine_capacity(horizon)
+    mload = sol.machine_cpu_load(inp)
+    rel = tol * np.maximum(1.0, cap)
+    for l in np.where(mload > cap + rel)[0]:
+        v.append(f"machine {l} load {mload[l]:.2f} cpu-s > cap {cap[l]:.2f} (12/23)")
+
+    # coupling (13/24): per job k with data i, per store: sum_l xt <= xd_im
+    for k in inp.jobs_with_input():
+        i = inp.job_data[k]
+        read = sol.xt_data[k].sum(axis=0)  # (S,)
+        bad = read > sol.xd[i] + tol
+        for m in np.where(bad)[0]:
+            v.append(
+                f"job {k} reads {read[m]:.6f} of data {i} from store {m} "
+                f"but only {sol.xd[i, m]:.6f} is placed there (13/24)"
+            )
+
+    frac_bad = (
+        (sol.xt_data < -tol).any()
+        or (sol.xt_data > 1 + tol).any()
+        or (sol.xt_free < -tol).any()
+        or (sol.xt_free > 1 + tol).any()
+        or (sol.xd < -tol).any()
+        or (sol.xd > 1 + tol).any()
+        or (sol.fake < -tol).any()
+        or (sol.fake > 1 + tol).any()
+    )
+    if frac_bad:
+        v.append("some fractions fall outside [0, 1] (14/15/25/26)")
+
+    if check_epoch_bandwidth:
+        e = horizon if horizon is not None else (sol.epoch or 0.0)
+        with np.errstate(divide="ignore"):
+            inv_bw = np.where(inp.bandwidth > 0, 1.0 / inp.bandwidth, np.inf)  # (L, S)
+        # transfer seconds per (job, machine): sum_m xt[k,l,m]*size_k/B[l,m]
+        secs = np.einsum("klm,lm->kl", sol.xt_data, inv_bw) * inp.size_mb[:, None]
+        bad = secs > e * (1 + tol) + tol
+        for k, l in zip(*np.where(bad)):
+            v.append(f"job {k} on machine {l} transfers for {secs[k, l]:.1f}s > epoch {e}s (21)")
+
+    return ValidationReport(ok=not v, violations=v)

@@ -1,0 +1,23 @@
+"""Dollar-cost model: pricing functions and the cost ledger.
+
+The paper accounts cost in two buckets — CPU (equivalent-CPU-seconds priced
+per machine) and network (MB moved priced per store/machine pair) — and
+reports totals in dollars or millicents.  :class:`~repro.cost.accounting.CostLedger`
+accumulates both buckets with per-job and per-machine attribution so the
+experiment harness can print the breakdowns behind Figures 6, 9 and 11.
+"""
+
+from repro.cost.accounting import CostLedger, CostRecord
+from repro.cost.pricing import (
+    cpu_cost,
+    move_data_break_even,
+    transfer_cost,
+)
+
+__all__ = [
+    "CostLedger",
+    "CostRecord",
+    "cpu_cost",
+    "move_data_break_even",
+    "transfer_cost",
+]

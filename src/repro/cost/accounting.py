@@ -1,0 +1,136 @@
+"""Cost ledger: attributable accumulation of CPU and transfer charges.
+
+Every charge records *who* (job), *where* (machine or store pair) and *what*
+(category), so experiment reports can slice totals per job, per machine or
+per category — the per-node CPU-time breakdown of paper Figure 11 and the
+cost bars of Figures 6/9 both read from a ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Charge categories.
+CPU = "cpu"
+PLACEMENT_TRANSFER = "placement-transfer"  # data store -> data store (Eq. 6/16)
+RUNTIME_TRANSFER = "runtime-transfer"  # store -> machine during execution (Eq. 8/18)
+
+
+@dataclass(frozen=True)
+class CostRecord:
+    """One atomic charge."""
+
+    category: str
+    amount: float
+    job_id: Optional[int] = None
+    machine_id: Optional[int] = None
+    store_id: Optional[int] = None
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise ValueError("charges must be non-negative")
+
+
+@dataclass
+class CostLedger:
+    """Accumulates :class:`CostRecord` entries with query helpers."""
+
+    records: List[CostRecord] = field(default_factory=list)
+
+    # -- recording ----------------------------------------------------------
+    def charge_cpu(
+        self,
+        amount: float,
+        job_id: Optional[int] = None,
+        machine_id: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        """Record a CPU charge (dollars) with optional attribution."""
+        self.records.append(
+            CostRecord(CPU, amount, job_id=job_id, machine_id=machine_id, detail=detail)
+        )
+
+    def charge_placement_transfer(
+        self,
+        amount: float,
+        store_id: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        """Record a store-to-store data-move charge."""
+        self.records.append(
+            CostRecord(PLACEMENT_TRANSFER, amount, store_id=store_id, detail=detail)
+        )
+
+    def charge_runtime_transfer(
+        self,
+        amount: float,
+        job_id: Optional[int] = None,
+        machine_id: Optional[int] = None,
+        store_id: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        """Record a store-to-machine read (or shuffle) charge."""
+        self.records.append(
+            CostRecord(
+                RUNTIME_TRANSFER,
+                amount,
+                job_id=job_id,
+                machine_id=machine_id,
+                store_id=store_id,
+                detail=detail,
+            )
+        )
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger's records into this one."""
+        self.records.extend(other.records)
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def total(self) -> float:
+        """Sum of every recorded charge."""
+        return sum(r.amount for r in self.records)
+
+    def total_by_category(self) -> Dict[str, float]:
+        """Totals keyed by charge category."""
+        out: Dict[str, float] = {}
+        for r in self.records:
+            out[r.category] = out.get(r.category, 0.0) + r.amount
+        return out
+
+    def total_for_job(self, job_id: int) -> float:
+        """Dollars attributed to one job."""
+        return sum(r.amount for r in self.records if r.job_id == job_id)
+
+    def total_for_machine(self, machine_id: int) -> float:
+        """Dollars attributed to one machine."""
+        return sum(r.amount for r in self.records if r.machine_id == machine_id)
+
+    def by_machine(self) -> Dict[int, float]:
+        """Per-machine totals over machine-attributed charges."""
+        out: Dict[int, float] = {}
+        for r in self.records:
+            if r.machine_id is not None:
+                out[r.machine_id] = out.get(r.machine_id, 0.0) + r.amount
+        return out
+
+    def by_job(self) -> Dict[int, float]:
+        """Per-job totals over job-attributed charges."""
+        out: Dict[int, float] = {}
+        for r in self.records:
+            if r.job_id is not None:
+                out[r.job_id] = out.get(r.job_id, 0.0) + r.amount
+        return out
+
+    def category_total(self, category: str) -> float:
+        """Total for one charge category."""
+        return sum(r.amount for r in self.records if r.category == category)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cats = ", ".join(f"{k}={v:.6f}" for k, v in sorted(self.total_by_category().items()))
+        return f"CostLedger(total={self.total:.6f}$ [{cats}])"

@@ -1,0 +1,99 @@
+"""Multi-tenant chargeback: turn a run's ledger into per-tenant bills.
+
+The paper's motivation is the cloud customer's bill; in a multi-tenant
+cluster that bill must be *allocated*.  Most charges carry a ``job_id`` and
+allocate directly; placement transfers do not (moving a block serves
+whoever reads it later), so they are spread over the jobs that benefited —
+by default proportionally to each job's directly-attributed spend, the
+standard cost-accounting treatment of shared infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.cost.accounting import CostLedger
+from repro.workload.job import Workload
+
+
+@dataclass
+class TenantBill:
+    """One pool's allocated bill."""
+
+    pool: str
+    direct: float  # charges carrying a job_id in this pool
+    shared: float  # allocated share of unattributed charges
+
+    @property
+    def total(self) -> float:
+        """Direct plus allocated shared spend."""
+        return self.direct + self.shared
+
+
+@dataclass
+class ChargebackReport:
+    """Allocation of a full ledger across pools."""
+
+    bills: Dict[str, TenantBill]
+    unallocated: float  # shared charges with no basis to allocate (no spend)
+
+    @property
+    def total(self) -> float:
+        """Sum of all bills plus any unallocated remainder."""
+        return sum(b.total for b in self.bills.values()) + self.unallocated
+
+    def bill_for(self, pool: str) -> TenantBill:
+        """The bill of one pool."""
+        return self.bills[pool]
+
+    def rows(self):
+        """(pool, direct, shared, total) rows sorted by pool."""
+        out = []
+        for pool in sorted(self.bills):
+            b = self.bills[pool]
+            out.append((pool, b.direct, b.shared, b.total))
+        return out
+
+
+def chargeback(
+    ledger: CostLedger,
+    workload: Workload,
+    weights: Optional[Mapping[str, float]] = None,
+) -> ChargebackReport:
+    """Allocate a ledger to the workload's pools.
+
+    ``weights`` overrides the shared-cost allocation basis (pool -> weight);
+    the default basis is each pool's direct spend.  Conservation holds by
+    construction: the report's total equals the ledger's.
+    """
+    pool_of_job = {j.job_id: j.pool for j in workload.jobs}
+    pools = sorted({j.pool for j in workload.jobs})
+
+    direct: Dict[str, float] = {p: 0.0 for p in pools}
+    shared_total = 0.0
+    for record in ledger.records:
+        if record.job_id is not None and record.job_id in pool_of_job:
+            direct[pool_of_job[record.job_id]] += record.amount
+        else:
+            shared_total += record.amount
+
+    if weights is not None:
+        basis = {p: float(weights.get(p, 0.0)) for p in pools}
+        if any(v < 0 for v in basis.values()):
+            raise ValueError("allocation weights must be non-negative")
+    else:
+        basis = dict(direct)
+    basis_sum = sum(basis.values())
+
+    bills: Dict[str, TenantBill] = {}
+    unallocated = 0.0
+    if basis_sum > 0:
+        for p in pools:
+            share = shared_total * basis[p] / basis_sum
+            bills[p] = TenantBill(pool=p, direct=direct[p], shared=share)
+    else:
+        for p in pools:
+            bills[p] = TenantBill(pool=p, direct=direct[p], shared=0.0)
+        unallocated = shared_total
+    return ChargebackReport(bills=bills, unallocated=unallocated)

@@ -1,0 +1,77 @@
+"""Pricing primitives, including the paper's Figure 1 break-even rule.
+
+The introduction's motivating inequality: moving a job's data from node A to
+node B pays off iff
+
+    c * a  >  c * b + d
+
+where ``c`` is CPU-seconds per MB (``TCP``), ``a``/``b`` the per-CPU-second
+prices on A/B, and ``d`` the per-MB transfer price.  Figure 1 plots, per
+application, the relative saving as a function of the price ratio ``a / b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def cpu_cost(cpu_seconds: float, price_per_cpu_second: float) -> float:
+    """Dollar cost of ``cpu_seconds`` at a machine's unit price."""
+    if cpu_seconds < 0:
+        raise ValueError("cpu_seconds must be >= 0")
+    if price_per_cpu_second < 0:
+        raise ValueError("price must be >= 0")
+    return cpu_seconds * price_per_cpu_second
+
+
+def transfer_cost(mb: float, price_per_mb: float) -> float:
+    """Dollar cost of moving ``mb`` megabytes at a link's unit price."""
+    if mb < 0:
+        raise ValueError("mb must be >= 0")
+    if price_per_mb < 0:
+        raise ValueError("price must be >= 0")
+    return mb * price_per_mb
+
+
+@dataclass(frozen=True)
+class BreakEven:
+    """Outcome of the move-the-data decision for one job/node pair."""
+
+    stay_cost_per_mb: float
+    move_cost_per_mb: float
+
+    @property
+    def should_move(self) -> bool:
+        """True when moving the data is strictly cheaper (c*a > c*b + d)."""
+        return self.stay_cost_per_mb > self.move_cost_per_mb
+
+    @property
+    def saving_per_mb(self) -> float:
+        """Dollar saving per MB from moving (negative when staying wins)."""
+        return self.stay_cost_per_mb - self.move_cost_per_mb
+
+    @property
+    def relative_saving(self) -> float:
+        """Saving as a fraction of the stay-put cost (Figure 1's y-axis)."""
+        if self.stay_cost_per_mb == 0:
+            return 0.0
+        return self.saving_per_mb / self.stay_cost_per_mb
+
+
+def move_data_break_even(
+    tcp: float,
+    src_cpu_price: float,
+    dst_cpu_price: float,
+    transfer_price_per_mb: float,
+) -> BreakEven:
+    """Evaluate the Figure 1 break-even rule for one (job, A, B) choice.
+
+    Parameters mirror the paper: ``tcp`` is ``c`` (CPU-s/MB),
+    ``src_cpu_price`` is ``a``, ``dst_cpu_price`` is ``b`` and
+    ``transfer_price_per_mb`` is ``d``.
+    """
+    if tcp < 0:
+        raise ValueError("tcp must be >= 0")
+    stay = tcp * src_cpu_price
+    move = tcp * dst_cpu_price + transfer_price_per_mb
+    return BreakEven(stay_cost_per_mb=stay, move_cost_per_mb=move)

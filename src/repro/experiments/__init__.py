@@ -1,0 +1,15 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function returning a result dataclass
+plus a ``main()`` that prints the same rows/series the paper reports.  The
+``benchmarks/`` tree wraps these in pytest-benchmark cases; EXPERIMENTS.md
+records paper-vs-measured for each.
+
+Scale knob: most experiments accept a ``scale`` parameter — ``1.0`` is the
+paper's full size; benchmarks default to reduced sizes so the suite stays
+fast (set ``REPRO_FULL=1`` to run everything full-size).
+"""
+
+from repro.experiments.report import format_series, format_table
+
+__all__ = ["format_series", "format_table"]

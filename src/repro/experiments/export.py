@@ -1,0 +1,126 @@
+"""CSV export of experiment results (for external plotting).
+
+Every figure module returns a typed result; these helpers flatten them to
+``(header, rows)`` pairs and write CSV files, so the paper's plots can be
+regenerated in any plotting tool from ``python -m repro ... `` runs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple, Union
+
+PathLike = Union[str, Path]
+
+Table = Tuple[List[str], List[List[object]]]
+
+
+def write_csv(path: PathLike, header: Sequence[str], rows: Iterable[Sequence[object]]) -> Path:
+    """Write one table; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(header))
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def fig5_table(res) -> Table:
+    """Flatten a Fig5Result to (header, rows)."""
+    header = ["tasks", "stores", "machines", "lips_cost", "default_cost", "reduction"]
+    rows = [
+        [j, s, m, lp, d, r]
+        for (j, s, m), lp, d, r in zip(
+            res.sizes, res.lp_costs, res.default_costs, res.reductions
+        )
+    ]
+    return header, rows
+
+
+def fig6_table(res) -> Table:
+    """Flatten a Fig6Result to (header, rows)."""
+    from repro.experiments.common import DEFAULT, DELAY, LIPS
+
+    header = [
+        "c1_fraction", "default_cost", "delay_cost", "lips_cost",
+        "default_makespan", "delay_makespan", "lips_makespan",
+    ]
+    rows = []
+    for mix, comp in zip(res.mixes, res.comparisons):
+        rows.append(
+            [
+                mix,
+                comp.cost(DEFAULT), comp.cost(DELAY), comp.cost(LIPS),
+                comp.makespan(DEFAULT), comp.makespan(DELAY), comp.makespan(LIPS),
+            ]
+        )
+    return header, rows
+
+
+def fig8_table(res) -> Table:
+    """Flatten a Fig8Result to (header, rows)."""
+    header = ["epoch_s", "cost", "exec_time_s"]
+    rows = [[e, c, t] for e, c, t in zip(res.epochs, res.costs, res.exec_times)]
+    return header, rows
+
+
+def fig9_table(res) -> Table:
+    """Flatten a Fig9Result to (header, rows)."""
+    from repro.experiments.common import DEFAULT, DELAY, LIPS
+
+    c = res.comparison
+    header = ["scheduler", "cost", "makespan_s", "response_time_sum_s", "locality"]
+    rows = [
+        [
+            name,
+            c.cost(name),
+            c.makespan(name),
+            c.metrics[name].total_job_execution_time,
+            c.metrics[name].data_locality,
+        ]
+        for name in (DEFAULT, DELAY, LIPS)
+    ]
+    return header, rows
+
+
+def fig11_table(res) -> Table:
+    """Flatten a Fig11Result to (header, rows)."""
+    header = ["machine", "instance_type", "cpu_cost"] + [
+        f"cpu_seconds_e{int(e)}" for e in res.epochs
+    ]
+    rows = []
+    for m in res.cluster.machines:
+        rows.append(
+            [m.name, m.instance_type, m.cpu_cost]
+            + [float(res.cpu_per_node[e][m.machine_id]) for e in res.epochs]
+        )
+    return header, rows
+
+
+def frontier_table(frontier) -> Table:
+    """Flatten a CostDeadlineFrontier to (header, rows)."""
+    header = ["deadline_s", "cost", "feasible"]
+    rows = [[p.deadline_s, p.cost if p.feasible else "", p.feasible] for p in frontier.points]
+    return header, rows
+
+
+def export_all(out_dir: PathLike, **results) -> List[Path]:
+    """Write every provided result (keyed fig5/fig6/fig8/fig9/fig11/frontier)."""
+    builders = {
+        "fig5": fig5_table,
+        "fig6": fig6_table,
+        "fig8": fig8_table,
+        "fig9": fig9_table,
+        "fig11": fig11_table,
+        "frontier": frontier_table,
+    }
+    written: List[Path] = []
+    for key, res in results.items():
+        if key not in builders:
+            raise KeyError(f"unknown result kind {key!r}; known: {sorted(builders)}")
+        header, rows = builders[key](res)
+        written.append(write_csv(Path(out_dir) / f"{key}.csv", header, rows))
+    return written

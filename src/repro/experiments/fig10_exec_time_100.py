@@ -1,0 +1,30 @@
+"""Figure 10 — execution time for the 100-node runs (see Figure 9 module)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig9_100node_cost import (
+    DEFAULT_EPOCH_S,
+    Fig9Result,
+    fig10_rows,
+    run,
+)
+from repro.experiments.report import format_table
+
+__all__ = ["run", "fig10_rows", "main", "DEFAULT_EPOCH_S", "Fig9Result"]
+
+
+def main() -> None:
+    """Print the Figure 10 execution-time table."""
+    res = run()
+    print(
+        format_table(
+            ["setting", "default s", "delay s", "LiPS s", "LiPS vs delay"],
+            fig10_rows(res),
+            title="Figure 10 — total job execution time, 100-node SWIM day "
+            "(paper: LiPS 40-100% longer than delay, similar to default)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Figure 5 — simulated average cost reduction vs problem size.
+
+The paper's analytic simulation: draw a fully random problem (costs in the
+Figure 5 caption ranges), solve the offline co-scheduling LP for the optimal
+dollar cost, and compare with the "default" schedule — blocks shuffled
+randomly over the cluster and every task run data-local, which "is the same
+as the ideal delay scheduler".  Cost reduction grows with problem size
+(paper: ~30% at J:200/S:10/M:10 to ~70% at J:1000/S:100/M:100) because a
+bigger cluster gives the LP more freedom to chase cheap cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.co_offline import solve_co_offline
+from repro.core.model import SchedulingInput
+from repro.experiments.report import format_table
+from repro.workload.generator import RandomWorkload, random_workload
+
+#: the paper's x-axis: (total tasks J, stores S, machines M)
+PAPER_SIZES: Tuple[Tuple[int, int, int], ...] = (
+    (200, 10, 10),
+    (400, 25, 25),
+    (600, 50, 50),
+    (800, 75, 75),
+    (1000, 100, 100),
+)
+
+SMALL_SIZES: Tuple[Tuple[int, int, int], ...] = (
+    (100, 5, 5),
+    (200, 10, 10),
+    (400, 20, 20),
+)
+
+#: capacity window per machine.  The sweep keeps uptime fixed while the
+#: machine count grows, so capacity binds hard at the small end (forcing the
+#: LP onto expensive nodes) and relaxes at the large end — the mechanism
+#: behind the paper's 30% -> 70% reduction growth.  300 s reproduces that
+#: range with the caption's cost distributions.
+SWEEP_UPTIME_S: float = 300.0
+
+
+def ideal_local_cost(rw: RandomWorkload, seed: int = 0) -> float:
+    """Cost of the shuffled-blocks, 100%-data-local 'default' schedule.
+
+    Blocks land uniformly at random on machine-co-located stores; each task
+    runs on the machine hosting its block, so the only cost is execution at
+    that machine's CPU price.
+    """
+    rng = np.random.default_rng(seed)
+    hosts = [
+        s.colocated_machine for s in rw.cluster.stores if s.colocated_machine is not None
+    ]
+    if not hosts:
+        raise ValueError("cluster has no machine-co-located stores")
+    prices = rw.cluster.cpu_cost_vector()
+    total = 0.0
+    for job in rw.workload.jobs:
+        cpu = job.total_cpu_seconds(rw.workload.data)
+        # spread the job's work uniformly over randomly chosen hosts, one
+        # draw per task (block)
+        draws = rng.choice(hosts, size=job.num_tasks)
+        total += float(np.mean(prices[draws])) * cpu
+    return total
+
+
+@dataclass
+class Fig5Result:
+    sizes: Sequence[Tuple[int, int, int]]
+    lp_costs: List[float]
+    default_costs: List[float]
+    reductions: List[float]  # fraction saved by LiPS
+
+
+def run(
+    sizes: Sequence[Tuple[int, int, int]] = PAPER_SIZES,
+    seeds: Sequence[int] = (0, 1),
+    backend: object = None,
+    uptime: float = SWEEP_UPTIME_S,
+) -> Fig5Result:
+    """Average LP-vs-ideal-local cost reduction over sizes and seeds."""
+    lp_costs, default_costs, reductions = [], [], []
+    for (j, s, m) in sizes:
+        lp_total, def_total = 0.0, 0.0
+        for seed in seeds:
+            rw = random_workload(j, s, m, seed=seed, uptime=uptime)
+            inp = SchedulingInput.from_parts(
+                rw.cluster, rw.workload, ms_cost=rw.ms_cost, ss_cost=rw.ss_cost
+            )
+            sol = solve_co_offline(inp, backend=backend)
+            lp_total += sol.cost_breakdown(inp).real_total
+            def_total += ideal_local_cost(rw, seed=seed + 1000)
+        lp_costs.append(lp_total / len(seeds))
+        default_costs.append(def_total / len(seeds))
+        reductions.append(1.0 - lp_costs[-1] / default_costs[-1] if default_costs[-1] else 0.0)
+    return Fig5Result(
+        sizes=list(sizes),
+        lp_costs=lp_costs,
+        default_costs=default_costs,
+        reductions=reductions,
+    )
+
+
+def main() -> None:
+    """Print the Figure 5 table."""
+    res = run()
+    rows = []
+    for (j, s, m), lp, d, r in zip(res.sizes, res.lp_costs, res.default_costs, res.reductions):
+        rows.append((f"J:{j} S:{s} M:{m}", f"{lp:.4f}", f"{d:.4f}", f"{100*r:.1f}%"))
+    print(
+        format_table(
+            ["problem size", "LiPS $", "default $", "cost reduction"],
+            rows,
+            title="Figure 5 — average cost reduction vs problem size "
+            "(paper: ~30% smallest, ~70% largest)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

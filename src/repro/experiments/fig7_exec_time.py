@@ -1,0 +1,36 @@
+"""Figure 7 — total job execution time for the Figure 6 settings.
+
+Thin wrapper: Figures 6 and 7 come from the same simulator runs (see
+:mod:`repro.experiments.fig6_cost_reduction`); this module re-exports the
+execution-time view so each figure has its own entry point and benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6_cost_reduction import (
+    DEFAULT_EPOCH_S,
+    Fig6Result,
+    PAPER_MIXES,
+    fig7_rows,
+    run,
+)
+from repro.experiments.report import format_table
+
+__all__ = ["run", "fig7_rows", "main", "PAPER_MIXES", "DEFAULT_EPOCH_S", "Fig6Result"]
+
+
+def main() -> None:
+    """Print the Figure 7 execution-time table."""
+    res = run()
+    print(
+        format_table(
+            ["node mix", "default s", "delay s", "LiPS s", "LiPS vs delay"],
+            fig7_rows(res),
+            title="Figure 7 — total job execution time "
+            "(paper: LiPS 40-100% longer than delay, growing with fast nodes)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

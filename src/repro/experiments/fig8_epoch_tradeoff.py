@@ -1,0 +1,74 @@
+"""Figure 8 — the epoch-length cost/performance tradeoff.
+
+Same testbed as Figure 6(iii) (20 nodes, 50% c1.medium, Table IV jobs); the
+epoch length sweeps up.  The paper: "as we increase the epoch length the
+cost decreases, at the expense of higher execution time" — longer epochs let
+the LP concentrate work on the cheapest nodes (cheap but slow), shorter
+epochs force parallelism (fast but pricey).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.builder import build_paper_testbed
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.schedulers import LipsScheduler
+from repro.experiments.report import format_table
+from repro.workload.apps import table4_jobs
+
+PAPER_EPOCHS: Sequence[float] = (300.0, 600.0, 900.0, 1200.0, 1800.0, 2400.0)
+
+
+@dataclass
+class Fig8Result:
+    epochs: Sequence[float]
+    costs: List[float]  # total $ per epoch setting (Fig 8b)
+    exec_times: List[float]  # makespan seconds (Fig 8a)
+
+
+def run(
+    epochs: Sequence[float] = PAPER_EPOCHS,
+    total_nodes: int = 20,
+    c1_fraction: float = 0.5,
+    seed: int = 0,
+    placement_seed: int = 7,
+    backend: Optional[object] = None,
+    workload=None,
+) -> Fig8Result:
+    """Run LiPS per epoch length on the Fig 6(iii) testbed."""
+    cluster = build_paper_testbed(total_nodes, c1_medium_fraction=c1_fraction, seed=seed)
+    w = workload if workload is not None else table4_jobs()
+    costs, times = [], []
+    for e in epochs:
+        sim = HadoopSimulator(
+            cluster,
+            w,
+            LipsScheduler(epoch_length=e, backend=backend),
+            SimConfig(placement_seed=placement_seed, speculative=False),
+        )
+        m = sim.run().metrics
+        costs.append(m.total_cost)
+        times.append(m.makespan)
+    return Fig8Result(epochs=list(epochs), costs=costs, exec_times=times)
+
+
+def main() -> None:
+    """Print the Figure 8 sweep."""
+    res = run()
+    rows = [
+        (f"{e:.0f}s", f"{t:.0f}", f"{c:.4f}")
+        for e, t, c in zip(res.epochs, res.exec_times, res.costs)
+    ]
+    print(
+        format_table(
+            ["epoch", "exec time s (8a)", "total $ (8b)"],
+            rows,
+            title="Figure 8 — epoch length: cost falls, execution time rises",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

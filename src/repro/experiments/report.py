@@ -1,0 +1,45 @@
+"""ASCII rendering of experiment tables and series."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render a fixed-width table (markdown-ish pipes)."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float], y_fmt: str = "{:.4f}") -> str:
+    """Render an (x, y) series as two aligned columns."""
+    lines = [name]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {str(x):>16s}  {y_fmt.format(y)}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3g}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def percent(x: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * x:.1f}%"

@@ -1,0 +1,119 @@
+"""Discrete-event simulation core: a deterministic event queue.
+
+Events are ``(time, priority, seq, callback)`` heap entries; ``seq`` breaks
+ties so same-time events fire in scheduling order, keeping runs fully
+deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    priority: int
+    seq: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Returned by :meth:`EventQueue.schedule`; allows cancellation."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Mark the event cancelled; it will not fire."""
+        self._entry.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been cancelled."""
+        return self._entry.cancelled
+
+    @property
+    def time(self) -> float:
+        """The simulation time the event is scheduled for."""
+        return self._entry.time
+
+
+class EventQueue:
+    """A deterministic min-heap event queue with a simulation clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, time: float, callback: Callback, priority: int = 0) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation ``time``.
+
+        ``priority`` orders same-time events (lower fires first).  Scheduling
+        in the past raises — that is always a simulator bug.
+        """
+        if time < self._now - 1e-9:
+            raise ValueError(f"cannot schedule at {time} before now={self._now}")
+        entry = _Entry(time=max(time, self._now), priority=priority, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def schedule_in(self, delay: float, callback: Callback, priority: int = 0) -> EventHandle:
+        """Schedule relative to the current clock."""
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        return self.schedule(self._now + delay, callback, priority)
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            self._processed += 1
+            entry.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Run until the queue drains (or ``until``/``max_events`` hits)."""
+        count = 0
+        while self._heap:
+            if until is not None and self.peek_time() is not None and self.peek_time() > until:
+                self._now = until
+                return
+            if not self.step():
+                return
+            count += 1
+            if count > max_events:
+                raise RuntimeError(f"exceeded max_events={max_events}; runaway simulation?")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next (non-cancelled) event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,101 @@
+"""Machine-failure injection for the simulator.
+
+MapReduce's claim to fame is graceful failure handling ("ability to
+gracefully handle failure of infrastructure nodes and benefit from
+already-performed work"); this module lets runs exercise that path:
+
+* a :class:`FailurePlan` lists ``(machine_id, fail_time, recover_time)``
+  events (``recover_time=None`` = permanent loss);
+* on failure the tracker stops accepting work, its running attempts are
+  killed (partially-burned cycles are still billed — failures cost real
+  dollars) and their tasks re-enter the pending queue;
+* the machine's co-located DataNode goes offline with it: replicas there
+  are unreadable until recovery, so schedulers fall back to other replicas;
+* on recovery the tracker and store rejoin and idle slots are re-offered.
+
+:func:`random_failure_plan` draws failures from an exponential
+time-to-failure model for soak-style tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One machine outage."""
+
+    machine_id: int
+    fail_time: float
+    recover_time: Optional[float] = None  # None = never comes back
+
+    def __post_init__(self) -> None:
+        if self.fail_time < 0:
+            raise ValueError("fail_time must be >= 0")
+        if self.recover_time is not None and self.recover_time <= self.fail_time:
+            raise ValueError("recover_time must be after fail_time")
+
+
+@dataclass
+class FailurePlan:
+    """A set of outages to inject into one run."""
+
+    events: List[FailureEvent] = field(default_factory=list)
+
+    def add(self, machine_id: int, fail_time: float, recover_time: Optional[float] = None) -> None:
+        """Append one outage event to the plan."""
+        self.events.append(FailureEvent(machine_id, fail_time, recover_time))
+
+    def validate(self, num_machines: int) -> None:
+        """Check machine ids and reject overlapping outages."""
+        for e in self.events:
+            if not 0 <= e.machine_id < num_machines:
+                raise ValueError(f"failure references unknown machine {e.machine_id}")
+        if len({e.machine_id for e in self.events}) < len(self.events):
+            # allow repeated outages of the same machine only if disjoint
+            by_machine = {}
+            for e in sorted(self.events, key=lambda e: e.fail_time):
+                prev = by_machine.get(e.machine_id)
+                if prev is not None and (prev.recover_time is None or e.fail_time < prev.recover_time):
+                    raise ValueError(
+                        f"overlapping outages for machine {e.machine_id}"
+                    )
+                by_machine[e.machine_id] = e
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def random_failure_plan(
+    num_machines: int,
+    horizon_s: float,
+    mean_time_to_failure_s: float,
+    mean_repair_s: float = 600.0,
+    seed: int = 0,
+    max_concurrent_fraction: float = 0.3,
+) -> FailurePlan:
+    """Exponential TTF/TTR outages over a horizon.
+
+    ``max_concurrent_fraction`` caps how many machines may be down at once
+    (a full-cluster outage would just deadlock every scheduler).
+    """
+    if mean_time_to_failure_s <= 0 or mean_repair_s <= 0:
+        raise ValueError("failure/repair means must be positive")
+    rng = np.random.default_rng(seed)
+    plan = FailurePlan()
+    max_down = max(1, int(num_machines * max_concurrent_fraction))
+    outages: List[Tuple[float, float]] = []  # (fail, recover) sorted later
+    for m in range(num_machines):
+        t = float(rng.exponential(mean_time_to_failure_s))
+        while t < horizon_s:
+            repair = float(rng.exponential(mean_repair_s))
+            concurrent = sum(1 for f, r in outages if f < t + repair and r > t)
+            if concurrent < max_down:
+                plan.add(m, t, t + repair)
+                outages.append((t, t + repair))
+            t += repair + float(rng.exponential(mean_time_to_failure_s))
+    return plan

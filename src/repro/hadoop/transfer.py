@@ -1,0 +1,69 @@
+"""Network transfer timing for the simulator.
+
+Transfer *cost* (dollars) comes from the cluster's ``ms_cost``/``ss_cost``
+matrices; this module supplies transfer *time*.  Reads are timed by the
+machine↔store bandwidth matrix with a simple NIC-contention approximation:
+the effective bandwidth of a new flow is the link bandwidth divided by the
+number of flows concurrently active on the reading machine's NIC.  The share
+is fixed at flow start (no in-flight re-balancing) — a standard DES
+simplification that keeps runs deterministic and is accurate when flows are
+short relative to the contention horizon (64 MB blocks are).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.cluster.builder import Cluster
+
+
+@dataclass
+class NetworkSimulator:
+    """Tracks active flows per machine NIC and times transfers."""
+
+    cluster: Cluster
+    #: extra seconds added per remote read (connection setup, RTT-ish)
+    per_flow_latency_s: float = 0.05
+    _active_flows: Dict[int, int] = field(default_factory=dict)
+
+    def read_time(self, machine_id: int, store_id: int, mb: float) -> float:
+        """Seconds to read ``mb`` from ``store_id`` into ``machine_id``.
+
+        Local reads use the local-disk rate and never contend.
+        """
+        if mb < 0:
+            raise ValueError("mb must be >= 0")
+        if mb == 0:
+            return 0.0
+        bw = self.cluster.network.bandwidth[machine_id, store_id]
+        store = self.cluster.stores[store_id]
+        if store.colocated_machine == machine_id:
+            return mb / bw
+        flows = self._active_flows.get(machine_id, 0) + 1
+        return self.per_flow_latency_s + mb / (bw / flows)
+
+    def store_move_time(self, src_store: int, dst_store: int, mb: float) -> float:
+        """Seconds to move ``mb`` between stores (placement transfers)."""
+        if mb <= 0:
+            return 0.0
+        bw = self.cluster.network.store_bandwidth(src_store, dst_store)
+        return mb / bw
+
+    def flow_started(self, machine_id: int) -> None:
+        """Count a new remote read on the machine's NIC."""
+        self._active_flows[machine_id] = self._active_flows.get(machine_id, 0) + 1
+
+    def flow_finished(self, machine_id: int) -> None:
+        """Release a remote read from the machine's NIC."""
+        n = self._active_flows.get(machine_id, 0)
+        if n <= 1:
+            self._active_flows.pop(machine_id, None)
+        else:
+            self._active_flows[machine_id] = n - 1
+
+    def active_flows(self, machine_id: int) -> int:
+        """Concurrent remote reads on one machine."""
+        return self._active_flows.get(machine_id, 0)

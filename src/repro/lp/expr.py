@@ -1,0 +1,151 @@
+"""Linear expression algebra for the LP modelling layer.
+
+Expressions are kept as ``{variable-index: coefficient}`` dictionaries plus a
+constant term.  This keeps model construction O(#nonzeros) and lets
+:class:`repro.lp.problem.LinearProgram` assemble sparse constraint matrices
+without ever materialising dense rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from numbers import Real
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable owned by a :class:`LinearProgram`.
+
+    Variables are identified by their ``index`` within the owning model;
+    ``name`` is only used for debugging and solution reporting.
+    """
+
+    index: int
+    name: str
+    lower: float = 0.0
+    upper: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ValueError(
+                f"variable {self.name!r}: lower bound {self.lower} exceeds "
+                f"upper bound {self.upper}"
+            )
+
+    # -- arithmetic sugar: build LinExpr objects -------------------------
+    def _as_expr(self) -> "LinExpr":
+        return LinExpr({self.index: 1.0}, 0.0)
+
+    def __add__(self, other: object) -> "LinExpr":
+        return self._as_expr() + other
+
+    def __radd__(self, other: object) -> "LinExpr":
+        return self._as_expr() + other
+
+    def __sub__(self, other: object) -> "LinExpr":
+        return self._as_expr() - other
+
+    def __rsub__(self, other: object) -> "LinExpr":
+        return (-1.0) * self._as_expr() + other
+
+    def __mul__(self, coeff: object) -> "LinExpr":
+        return self._as_expr() * coeff
+
+    def __rmul__(self, coeff: object) -> "LinExpr":
+        return self._as_expr() * coeff
+
+    def __neg__(self) -> "LinExpr":
+        return self._as_expr() * -1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.name!r}, [{self.lower}, {self.upper}])"
+
+
+@dataclass
+class LinExpr:
+    """An affine expression ``sum(coeffs[i] * x_i) + constant``."""
+
+    coeffs: Dict[int, float] = field(default_factory=dict)
+    constant: float = 0.0
+
+    @staticmethod
+    def zero() -> "LinExpr":
+        return LinExpr({}, 0.0)
+
+    @staticmethod
+    def from_terms(terms: Iterable[Tuple[Variable, Number]], constant: float = 0.0) -> "LinExpr":
+        """Build an expression from ``(variable, coefficient)`` pairs.
+
+        Repeated variables accumulate, which is convenient when summing over
+        the index sets of the scheduling LPs.
+        """
+        coeffs: Dict[int, float] = {}
+        for var, coeff in terms:
+            coeffs[var.index] = coeffs.get(var.index, 0.0) + float(coeff)
+        return LinExpr(coeffs, float(constant))
+
+    def copy(self) -> "LinExpr":
+        """Independent copy of the expression."""
+        return LinExpr(dict(self.coeffs), self.constant)
+
+    def add_term(self, var: Variable, coeff: Number) -> "LinExpr":
+        """In-place accumulate ``coeff * var``; returns self for chaining."""
+        self.coeffs[var.index] = self.coeffs.get(var.index, 0.0) + float(coeff)
+        return self
+
+    # -- operators --------------------------------------------------------
+    @staticmethod
+    def _coerce(other: object) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return other._as_expr()
+        if isinstance(other, Real):
+            return LinExpr({}, float(other))
+        raise TypeError(f"cannot use {type(other).__name__} in a linear expression")
+
+    def __add__(self, other: object) -> "LinExpr":
+        rhs = self._coerce(other)
+        out = dict(self.coeffs)
+        for idx, c in rhs.coeffs.items():
+            out[idx] = out.get(idx, 0.0) + c
+        return LinExpr(out, self.constant + rhs.constant)
+
+    def __radd__(self, other: object) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: object) -> "LinExpr":
+        return self.__add__(self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: object) -> "LinExpr":
+        return (self * -1.0).__add__(other)
+
+    def __mul__(self, coeff: object) -> "LinExpr":
+        if not isinstance(coeff, Real):
+            raise TypeError("linear expressions can only be scaled by numbers")
+        c = float(coeff)
+        return LinExpr({i: v * c for i, v in self.coeffs.items()}, self.constant * c)
+
+    def __rmul__(self, coeff: object) -> "LinExpr":
+        return self.__mul__(coeff)
+
+    def __neg__(self) -> "LinExpr":
+        return self.__mul__(-1.0)
+
+    # -- evaluation -------------------------------------------------------
+    def value(self, assignment: Mapping[int, float]) -> float:
+        """Evaluate the expression under a ``{var-index: value}`` map."""
+        return self.constant + sum(c * assignment[i] for i, c in self.coeffs.items())
+
+    def nonzero_terms(self) -> Dict[int, float]:
+        """Coefficients with exact zeros dropped (used by matrix assembly)."""
+        return {i: c for i, c in self.coeffs.items() if c != 0.0}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{c:+g}*x{i}" for i, c in sorted(self.coeffs.items())]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"

@@ -1,0 +1,58 @@
+"""Solver-independent LP results."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class LPStatus(enum.Enum):
+    """Outcome of an LP solve, normalised across backends."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass
+class LPResult:
+    """Result of solving a :class:`~repro.lp.problem.LinearProgram`.
+
+    ``x`` is indexed by variable index; ``by_name`` offers name-based access.
+    ``objective`` includes the model's constant objective term.
+    """
+
+    status: LPStatus
+    objective: float
+    x: Optional[np.ndarray]
+    by_name: Dict[str, float] = field(default_factory=dict)
+    iterations: int = 0
+    backend: str = ""
+    message: str = ""
+    #: dual values (marginals) of the ``A_ub`` rows, when the backend
+    #: provides them: d(objective)/d(b_ub); <= 0 for binding <= rows of a
+    #: minimisation.  None when unavailable.
+    dual_ub: Optional[np.ndarray] = None
+    #: dual values of the ``A_eq`` rows, when available.
+    dual_eq: Optional[np.ndarray] = None
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when the solve reached optimality."""
+        return self.status is LPStatus.OPTIMAL
+
+    def __getitem__(self, name: str) -> float:
+        return self.by_name[name]
+
+    def require_optimal(self) -> "LPResult":
+        """Raise if the solve did not reach optimality; returns self."""
+        if not self.is_optimal:
+            raise RuntimeError(
+                f"LP solve failed: status={self.status.value} "
+                f"backend={self.backend!r} message={self.message!r}"
+            )
+        return self

@@ -1,0 +1,301 @@
+"""From-scratch two-phase revised simplex solver.
+
+The paper solves its scheduling LPs with GLPK's simplex; this module is an
+independent, dependency-free (NumPy only) reference implementation used to
+cross-validate the HiGHS backend in the test suite and in the LP-backend
+ablation benchmark.
+
+Implementation notes
+--------------------
+* Operates on :class:`~repro.lp.standard_form.StandardFormLP`
+  (``min c@y, A@y == b, y >= 0, b >= 0``).
+* Phase 1 minimises the sum of artificial variables to find a basic feasible
+  solution; phase 2 optimises the true objective from there.
+* Pricing uses Dantzig's rule (most negative reduced cost) with an automatic
+  switch to Bland's rule after a stall to guarantee termination under
+  degeneracy.
+* The basis inverse is maintained explicitly (dense); adequate for the
+  model sizes the tests exercise (hundreds of rows/columns).  Production
+  solves go through HiGHS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.standard_form import StandardFormLP, to_standard_form
+
+
+class SimplexError(RuntimeError):
+    """Raised on internal simplex failures (singular basis, iteration cap)."""
+
+
+@dataclass
+class _Tableau:
+    """Mutable simplex state: basis indices and the dense basis inverse."""
+
+    a: np.ndarray
+    b: np.ndarray
+    basis: np.ndarray  # column index of each basic variable, len m
+    b_inv: np.ndarray  # (m, m) inverse of the basis matrix
+
+    def xb(self) -> np.ndarray:
+        return self.b_inv @ self.b
+
+
+class SimplexBackend:
+    """Dense two-phase revised simplex.
+
+    Parameters
+    ----------
+    max_iterations:
+        Safety cap on total pivots across both phases.
+    tol:
+        Numerical tolerance for reduced costs / ratio tests.
+    bland_after:
+        Number of non-improving pivots after which pricing switches from
+        Dantzig to Bland's anti-cycling rule.
+    """
+
+    name = "simplex"
+
+    def __init__(
+        self,
+        max_iterations: int = 20000,
+        tol: float = 1e-9,
+        bland_after: int = 50,
+        presolve: bool = False,
+    ) -> None:
+        self.max_iterations = max_iterations
+        self.tol = tol
+        self.bland_after = bland_after
+        #: apply repro.lp.presolve reductions first; duals are then not
+        #: reported (row identities change under row elimination)
+        self.presolve = presolve
+
+    # -- public API -----------------------------------------------------------
+    def solve(self, lp: LinearProgram) -> LPResult:
+        """Assemble and solve a LinearProgram, mapping names."""
+        result = self.solve_assembled(lp.assemble())
+        if result.x is not None:
+            result.by_name = lp.value_map(result.x)
+        return result
+
+    def solve_assembled(self, asm) -> LPResult:
+        """Solve a pre-assembled LP (kept dense internally — test scale only)."""
+        if self.presolve:
+            from repro.lp.presolve import PresolveStatus, presolve
+
+            pre = presolve(asm)
+            if pre.status is PresolveStatus.INFEASIBLE:
+                return LPResult(
+                    status=LPStatus.INFEASIBLE,
+                    objective=float("nan"),
+                    x=None,
+                    backend=self.name,
+                    message="presolve proved infeasibility",
+                )
+            inner = SimplexBackend(
+                max_iterations=self.max_iterations,
+                tol=self.tol,
+                bland_after=self.bland_after,
+                presolve=False,
+            ).solve_assembled(pre.reduced)
+            if inner.x is not None:
+                inner.x = pre.restore(inner.x)
+            inner.dual_ub = None  # row identities changed under elimination
+            inner.dual_eq = None
+            return inner
+        if asm.num_variables == 0:
+            feasible = bool(np.all(asm.b_ub >= 0)) and bool(np.all(asm.b_eq == 0))
+            return LPResult(
+                status=LPStatus.OPTIMAL if feasible else LPStatus.INFEASIBLE,
+                objective=asm.objective_constant if feasible else float("nan"),
+                x=np.zeros(0),
+                by_name={},
+                backend=self.name,
+            )
+        std = to_standard_form(asm)
+        try:
+            status, y, iters, pi = self._solve_standard(std)
+        except SimplexError as exc:
+            return LPResult(
+                status=LPStatus.ERROR,
+                objective=float("nan"),
+                x=None,
+                backend=self.name,
+                message=str(exc),
+            )
+        if status is not LPStatus.OPTIMAL:
+            return LPResult(
+                status=status,
+                objective=float("nan") if status is LPStatus.INFEASIBLE else float("-inf"),
+                x=None,
+                backend=self.name,
+                iterations=iters,
+            )
+        x = std.recover(y)
+        objective = float(std.c @ y) + std.objective_constant
+        dual_ub, dual_eq = self._map_duals(std, pi, asm)
+        return LPResult(
+            status=LPStatus.OPTIMAL,
+            objective=objective,
+            x=x,
+            by_name={},
+            iterations=iters,
+            backend=self.name,
+            dual_ub=dual_ub,
+            dual_eq=dual_eq,
+        )
+
+    @staticmethod
+    def _map_duals(std, pi, asm):
+        """Map standard-form row prices back to the assembled rows.
+
+        ``pi[i]`` is d(objective)/d(b_std[i]); a standard row is ``sign``
+        times the original, so the original marginal is ``sign * pi[i]``.
+        Bound rows fold into variable reduced costs and are not reported.
+        """
+        if pi is None:
+            return None, None
+        dual_ub = np.zeros(asm.a_ub.shape[0])
+        dual_eq = np.zeros(asm.a_eq.shape[0])
+        for i, (kind, idx, sign) in enumerate(std.row_origin):
+            # undo equilibration: the scaled row is (orig / scale), so the
+            # marginal w.r.t. the original rhs picks up a 1/scale factor
+            value = sign * pi[i] / std.row_scale[i]
+            if kind == "ub":
+                dual_ub[idx] = value
+            elif kind == "eq":
+                dual_eq[idx] = value
+        return dual_ub, dual_eq
+
+    # -- standard form driver ---------------------------------------------------
+    def _solve_standard(
+        self, std: StandardFormLP
+    ) -> tuple[LPStatus, np.ndarray, int, "np.ndarray | None"]:
+        a, b, c = std.a, std.b, std.c
+        m, n = a.shape
+        if m == 0:
+            # No constraints: optimum is 0 for c >= 0, else unbounded.
+            if np.any(c < -self.tol):
+                return LPStatus.UNBOUNDED, np.zeros(n), 0, None
+            return LPStatus.OPTIMAL, np.zeros(n), 0, np.zeros(0)
+
+        # ---- phase 1: artificial basis ----
+        a1 = np.hstack([a, np.eye(m)])
+        c1 = np.concatenate([np.zeros(n), np.ones(m)])
+        tab = _Tableau(a=a1, b=b, basis=np.arange(n, n + m), b_inv=np.eye(m))
+        status, iters1 = self._iterate(tab, c1)
+        if status is not LPStatus.OPTIMAL:
+            raise SimplexError("phase 1 did not converge")
+        phase1_obj = float(c1[tab.basis] @ tab.xb())
+        if phase1_obj > 1e-7:
+            return LPStatus.INFEASIBLE, np.zeros(n), iters1, None
+
+        # Drive any artificial variables still in the basis out (degeneracy).
+        self._purge_artificials(tab, n)
+
+        # ---- phase 2 ----
+        tab.a = tab.a[:, :n]
+        c2 = c
+        # Rows whose basic variable is an un-purgeable artificial correspond
+        # to redundant constraints; freeze them by keeping the artificial at
+        # zero with zero cost.
+        art_rows = tab.basis >= n
+        if np.any(art_rows):
+            tab.a = np.hstack([tab.a, np.eye(m)[:, np.where(art_rows)[0]]])
+            c2 = np.concatenate([c, np.zeros(int(art_rows.sum()))])
+            remap = {}
+            for new_j, row in enumerate(np.where(art_rows)[0]):
+                remap[n + row] = n + new_j
+            tab.basis = np.array([remap.get(j, j) for j in tab.basis])
+        status, iters2 = self._iterate(tab, c2)
+        if status is LPStatus.UNBOUNDED:
+            return LPStatus.UNBOUNDED, np.zeros(n), iters1 + iters2, None
+        if status is not LPStatus.OPTIMAL:
+            raise SimplexError("phase 2 did not converge")
+        y = np.zeros(tab.a.shape[1])
+        y[tab.basis] = tab.xb()
+        pi = c2[tab.basis] @ tab.b_inv  # row prices: d(obj)/d(b)
+        return LPStatus.OPTIMAL, y[:n], iters1 + iters2, pi
+
+    # -- pivoting ---------------------------------------------------------------
+    def _iterate(self, tab: _Tableau, c: np.ndarray) -> tuple[LPStatus, int]:
+        m, n_tot = tab.a.shape
+        stall = 0
+        last_obj = np.inf
+        for it in range(self.max_iterations):
+            xb = tab.xb()
+            obj = float(c[tab.basis] @ xb)
+            if obj < last_obj - self.tol:
+                stall = 0
+            else:
+                stall += 1
+            last_obj = obj
+            use_bland = stall > self.bland_after
+
+            # reduced costs: r = c - (c_B B^-1) A
+            y_dual = c[tab.basis] @ tab.b_inv
+            reduced = c - y_dual @ tab.a
+            reduced[tab.basis] = 0.0  # numerical exactness for basics
+
+            if use_bland:
+                candidates = np.where(reduced < -self.tol)[0]
+                if candidates.size == 0:
+                    return LPStatus.OPTIMAL, it
+                entering = int(candidates[0])
+            else:
+                entering = int(np.argmin(reduced))
+                if reduced[entering] >= -self.tol:
+                    return LPStatus.OPTIMAL, it
+
+            direction = tab.b_inv @ tab.a[:, entering]
+            positive = direction > self.tol
+            if not np.any(positive):
+                return LPStatus.UNBOUNDED, it
+
+            ratios = np.full(m, np.inf)
+            ratios[positive] = xb[positive] / direction[positive]
+            if use_bland:
+                min_ratio = ratios.min()
+                ties = np.where(ratios <= min_ratio + self.tol)[0]
+                # Bland: leave the tied row whose basic variable has the
+                # smallest index.
+                leaving = int(ties[np.argmin(tab.basis[ties])])
+            else:
+                leaving = int(np.argmin(ratios))
+
+            self._pivot(tab, entering, leaving, direction)
+        raise SimplexError(f"iteration cap {self.max_iterations} reached")
+
+    @staticmethod
+    def _pivot(tab: _Tableau, entering: int, leaving: int, direction: np.ndarray) -> None:
+        """Product-form basis-inverse update for one pivot."""
+        m = tab.b_inv.shape[0]
+        pivot = direction[leaving]
+        if abs(pivot) < 1e-12:
+            raise SimplexError("numerically singular pivot")
+        eta = np.eye(m)
+        eta[:, leaving] = -direction / pivot
+        eta[leaving, leaving] = 1.0 / pivot
+        tab.b_inv = eta @ tab.b_inv
+        tab.basis[leaving] = entering
+
+    def _purge_artificials(self, tab: _Tableau, n: int) -> None:
+        """Pivot basic artificial variables out where a real column can enter."""
+        m = tab.b_inv.shape[0]
+        for row in range(m):
+            if tab.basis[row] < n:
+                continue
+            row_vec = tab.b_inv[row] @ tab.a[:, :n]
+            candidates = np.where(np.abs(row_vec) > 1e-9)[0]
+            if candidates.size == 0:
+                continue  # redundant row; handled in phase 2
+            entering = int(candidates[0])
+            direction = tab.b_inv @ tab.a[:, entering]
+            self._pivot(tab, entering, row, direction)

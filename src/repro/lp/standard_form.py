@@ -1,0 +1,201 @@
+"""Conversion of assembled LPs to equality standard form.
+
+The from-scratch simplex backend operates on the classical form
+
+    min  c @ y        s.t.  A @ y == b,   y >= 0.
+
+This module rewrites a general model (bounded variables, ``<=``/``==`` rows)
+into that form:
+
+* a finite lower bound ``l`` is shifted out (``y = x - l``);
+* a variable with ``l = -inf`` is split into a positive/negative pair;
+* a finite upper bound becomes an extra ``<=`` row;
+* every ``<=`` row receives a slack variable.
+
+:func:`StandardFormLP.recover` maps a standard-form solution vector back to
+the original variable space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.lp.problem import AssembledLP
+
+
+@dataclass
+class StandardFormLP:
+    """``min c @ y  s.t.  A @ y == b, y >= 0`` plus the recovery recipe."""
+
+    c: np.ndarray
+    a: np.ndarray  # dense (m, n) — the simplex backend is dense
+    b: np.ndarray
+    objective_constant: float
+    #: per original variable: (kind, data)
+    #:   ("shift", (col, lower))        -> x = y[col] + lower
+    #:   ("split", (col_pos, col_neg))  -> x = y[col_pos] - y[col_neg]
+    recovery: List[Tuple[str, Tuple]]
+    num_original: int
+    #: per standard-form row: (kind, original index, sign) with kind one of
+    #: "eq" / "ub" / "bound"; ``sign`` is -1 when the row was negated to
+    #: normalise its rhs.  Lets backends map row duals back to the original
+    #: constraints: dual_original = sign * dual_standard / row_scale.
+    row_origin: List[Tuple[str, int, float]] = None  # type: ignore[assignment]
+    #: per-row equilibration divisor applied to A and b (max |coeff|); keeps
+    #: badly scaled rows from slipping past feasibility tolerances.
+    row_scale: np.ndarray = None  # type: ignore[assignment]
+
+    def recover(self, y: np.ndarray) -> np.ndarray:
+        """Map a standard-form solution back to the original variables."""
+        x = np.zeros(self.num_original)
+        for i, (kind, data) in enumerate(self.recovery):
+            if kind == "shift":
+                col, lower = data
+                x[i] = y[col] + lower
+            else:
+                col_pos, col_neg = data
+                x[i] = y[col_pos] - y[col_neg]
+        return x
+
+
+def to_standard_form(asm: AssembledLP) -> StandardFormLP:
+    """Rewrite an :class:`AssembledLP` into equality standard form."""
+    n = asm.num_variables
+    lowers = asm.bounds[:, 0]
+    uppers = asm.bounds[:, 1]
+
+    # --- variable rewriting ------------------------------------------------
+    recovery: List[Tuple[str, Tuple]] = []
+    col_of: List[Tuple[int, ...]] = []  # original var -> std-form column(s)
+    next_col = 0
+    obj_const = asm.objective_constant
+    for i in range(n):
+        lo = lowers[i]
+        if np.isfinite(lo):
+            recovery.append(("shift", (next_col, float(lo))))
+            col_of.append((next_col,))
+            obj_const += asm.c[i] * lo
+            next_col += 1
+        else:
+            recovery.append(("split", (next_col, next_col + 1)))
+            col_of.append((next_col, next_col + 1))
+            next_col += 2
+    n_std = next_col
+
+    def expand_row(row: "sparse.csr_matrix") -> np.ndarray:
+        """Expand a sparse row over original vars into std-form columns."""
+        out = np.zeros(n_std)
+        row = row.tocoo()
+        for j, v in zip(row.col, row.data):
+            cols = col_of[j]
+            out[cols[0]] += v
+            if len(cols) == 2:
+                out[cols[1]] -= v
+        return out
+
+    # --- objective -----------------------------------------------------------
+    c = np.zeros(n_std)
+    for j in range(n):
+        cols = col_of[j]
+        c[cols[0]] += asm.c[j]
+        if len(cols) == 2:
+            c[cols[1]] -= asm.c[j]
+
+    # --- rows: shift rhs by lower bounds ------------------------------------
+    def shifted_rhs(mat: sparse.csr_matrix, rhs: np.ndarray) -> np.ndarray:
+        if mat.shape[0] == 0:
+            return rhs.copy()
+        finite_lo = np.where(np.isfinite(lowers), lowers, 0.0)
+        return rhs - mat @ finite_lo
+
+    b_ub = shifted_rhs(asm.a_ub, asm.b_ub)
+    b_eq = shifted_rhs(asm.a_eq, asm.b_eq)
+
+    rows: List[np.ndarray] = []
+    rhs: List[float] = []
+    origins: List[Tuple[str, int, float]] = []
+    slack_count = 0
+
+    for r in range(asm.a_eq.shape[0]):
+        rows.append(expand_row(asm.a_eq.getrow(r)))
+        rhs.append(float(b_eq[r]))
+        origins.append(("eq", r, 1.0))
+
+    ub_rows: List[np.ndarray] = []
+    for r in range(asm.a_ub.shape[0]):
+        ub_rows.append(expand_row(asm.a_ub.getrow(r)))
+        rhs.append(float(b_ub[r]))
+        origins.append(("ub", r, 1.0))
+        slack_count += 1
+
+    # upper bounds become <= rows in shifted space: y <= upper - lower
+    bound_rows: List[np.ndarray] = []
+    for i in range(n):
+        up = uppers[i]
+        if np.isfinite(up):
+            lo = lowers[i] if np.isfinite(lowers[i]) else 0.0
+            row = np.zeros(n_std)
+            cols = col_of[i]
+            row[cols[0]] = 1.0
+            if len(cols) == 2:
+                row[cols[1]] = -1.0
+            bound_rows.append(row)
+            rhs.append(float(up - lo))
+            origins.append(("bound", i, 1.0))
+            slack_count += 1
+
+    total_rows = len(rows) + len(ub_rows) + len(bound_rows)
+    a = np.zeros((total_rows, n_std + slack_count))
+    for r, row in enumerate(rows):
+        a[r, :n_std] = row
+    slack = 0
+    for k, row in enumerate(ub_rows):
+        r = len(rows) + k
+        a[r, :n_std] = row
+        a[r, n_std + slack] = 1.0
+        slack += 1
+    for k, row in enumerate(bound_rows):
+        r = len(rows) + len(ub_rows) + k
+        a[r, :n_std] = row
+        a[r, n_std + slack] = 1.0
+        slack += 1
+
+    c_full = np.concatenate([c, np.zeros(slack_count)])
+    b_full = np.asarray(rhs, dtype=float)
+
+    # row equilibration: divide every row by its largest structural
+    # coefficient so relative and absolute feasibility tolerances agree
+    # (a row like 1e-8*x <= -1e-8 is a *100%* violation of x >= 1 even
+    # though its absolute residual is tiny)
+    if total_rows:
+        struct = np.abs(a[:, :n_std])
+        scale = struct.max(axis=1)
+        scale[scale < 1e-300] = 1.0
+        a /= scale[:, None]
+        b_full /= scale
+    else:
+        scale = np.ones(0)
+
+    # normalise rows to b >= 0 (phase-1 requirement)
+    neg = b_full < 0
+    a[neg] *= -1.0
+    b_full[neg] *= -1.0
+    origins = [
+        (kind, idx, -sign if neg[r] else sign)
+        for r, (kind, idx, sign) in enumerate(origins)
+    ]
+
+    return StandardFormLP(
+        c=c_full,
+        a=a,
+        b=b_full,
+        objective_constant=obj_const,
+        recovery=recovery,
+        num_original=n,
+        row_origin=origins,
+        row_scale=scale,
+    )

@@ -1,0 +1,83 @@
+"""Independent checks on LP solutions.
+
+These run in tests and (optionally) after every scheduler solve to catch
+modelling or backend bugs: constraint satisfaction, bound satisfaction, and a
+cross-backend optimality (duality-style) gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.lp.problem import LinearProgram, Sense
+from repro.lp.result import LPResult
+
+
+@dataclass
+class SolutionReport:
+    """Outcome of :func:`check_solution`."""
+
+    feasible: bool
+    max_violation: float
+    violations: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+
+def check_solution(lp: LinearProgram, result: LPResult, tol: float = 1e-6) -> SolutionReport:
+    """Verify a result satisfies every constraint and bound of ``lp``.
+
+    Violations are collected with human-readable descriptions; ``tol`` is an
+    absolute tolerance scaled by the magnitude of each row's terms.
+    """
+    if result.x is None:
+        return SolutionReport(feasible=False, max_violation=float("inf"), violations=["no solution vector"])
+    x = result.x
+    violations: List[str] = []
+    worst = 0.0
+
+    for var in lp.variables:
+        v = x[var.index]
+        if v < var.lower - tol:
+            violations.append(f"{var.name} = {v} below lower bound {var.lower}")
+            worst = max(worst, var.lower - v)
+        if v > var.upper + tol:
+            violations.append(f"{var.name} = {v} above upper bound {var.upper}")
+            worst = max(worst, v - var.upper)
+
+    for con in lp.constraints:
+        lhs = sum(c * x[i] for i, c in con.coeffs.items())
+        scale = max(1.0, max((abs(c) for c in con.coeffs.values()), default=1.0), abs(con.rhs))
+        slack_tol = tol * scale
+        if con.sense is Sense.LE and lhs > con.rhs + slack_tol:
+            violations.append(f"{con.name}: {lhs} <= {con.rhs} violated")
+            worst = max(worst, lhs - con.rhs)
+        elif con.sense is Sense.GE and lhs < con.rhs - slack_tol:
+            violations.append(f"{con.name}: {lhs} >= {con.rhs} violated")
+            worst = max(worst, con.rhs - lhs)
+        elif con.sense is Sense.EQ and abs(lhs - con.rhs) > slack_tol:
+            violations.append(f"{con.name}: {lhs} == {con.rhs} violated")
+            worst = max(worst, abs(lhs - con.rhs))
+
+    return SolutionReport(feasible=not violations, max_violation=worst, violations=violations)
+
+
+def duality_gap(lp: LinearProgram, primal: LPResult, reference: LPResult) -> float:
+    """Relative objective gap between two solves of the same model.
+
+    Used to cross-validate backends: for two optimal solutions the gap must
+    be ~0 regardless of which (possibly different) vertex each backend found.
+    """
+    if not (primal.is_optimal and reference.is_optimal):
+        raise ValueError("both results must be optimal to compare")
+    denom = max(1.0, abs(reference.objective))
+    return abs(primal.objective - reference.objective) / denom
+
+
+def objective_value(lp: LinearProgram, x: np.ndarray) -> float:
+    """Evaluate the model objective at an arbitrary point."""
+    return lp.objective.constant + sum(c * x[i] for i, c in lp.objective.coeffs.items())

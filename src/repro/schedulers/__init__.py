@@ -1,0 +1,38 @@
+"""Pluggable task schedulers for the Hadoop simulator.
+
+* :class:`~repro.schedulers.fifo.FifoScheduler` — Hadoop's default:
+  FIFO job order with greedy locality (node, then zone, then any);
+* :class:`~repro.schedulers.delay.DelayScheduler` — Zaharia et al.'s delay
+  scheduling (the paper's strongest "move computation" baseline);
+* :class:`~repro.schedulers.fair.FairScheduler` — Facebook's pool-based
+  fair scheduler;
+* :class:`~repro.schedulers.greedy_cost.GreedyCostScheduler` — the
+  Section IV greedy lower bound (cheapest ``JM + MS`` per assignment);
+* :class:`~repro.schedulers.quincy.QuincyScheduler` — the related-work
+  graph baseline: batch min-cost-flow scheduling (Isard et al.);
+* :class:`~repro.schedulers.lips.LipsScheduler` — the paper's contribution:
+  epoch-based LP co-scheduling of data and tasks.
+"""
+
+from repro.schedulers.adaptive import AdaptiveLipsScheduler
+from repro.schedulers.base import Assignment, TaskScheduler
+from repro.schedulers.capacity import CapacityScheduler
+from repro.schedulers.delay import DelayScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.greedy_cost import GreedyCostScheduler
+from repro.schedulers.lips import LipsScheduler
+from repro.schedulers.quincy import QuincyScheduler
+
+__all__ = [
+    "AdaptiveLipsScheduler",
+    "Assignment",
+    "CapacityScheduler",
+    "DelayScheduler",
+    "FairScheduler",
+    "FifoScheduler",
+    "GreedyCostScheduler",
+    "LipsScheduler",
+    "QuincyScheduler",
+    "TaskScheduler",
+]

@@ -1,0 +1,83 @@
+"""Hadoop's default scheduler: FIFO with greedy locality.
+
+"By default, Hadoop schedules jobs in FIFO order, with 5 priorities.  When a
+TaskTracker becomes idle, the JobTracker assigns it the oldest highest
+priority task in the incoming queue.  For increased data locality, the
+JobTracker greedily picks the task with data closest to the TaskTracker: on
+the same node if possible, otherwise on the same rack, and finally on a
+remote rack."  (Paper, Section II.)
+
+Our zone model plays the rack role: node-local → zone-local → remote zone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.hadoop.jobtracker import JobState
+from repro.hadoop.tasktracker import SimTask, TaskTracker
+from repro.schedulers.base import Assignment, TaskScheduler
+
+#: locality levels, best first
+NODE, ZONE, ANY = 0, 1, 2
+
+
+def locality_of(sim, task: SimTask, tracker: TaskTracker, store_id: int) -> int:
+    """Locality level of reading ``store_id`` from ``tracker``."""
+    store = sim.cluster.stores[store_id]
+    if store.colocated_machine == tracker.machine_id:
+        return NODE
+    if store.zone == tracker.machine.zone:
+        return ZONE
+    return ANY
+
+
+def best_task_for(
+    sim, job: JobState, tracker: TaskTracker, now: float, max_level: int = ANY
+) -> Optional[Tuple[SimTask, Optional[int], int]]:
+    """The job's ready pending task with the best locality for ``tracker``.
+
+    Returns ``(task, source_store, locality_level)`` or None.  Input-less
+    tasks count as node-local (no read).
+    """
+    best: Optional[Tuple[SimTask, Optional[int], int]] = None
+    for task in job.pending:
+        if task.earliest_start > now:
+            continue
+        if task.input_mb == 0:
+            return task, None, NODE
+        stores = (
+            [task.pinned_store]
+            if task.pinned_store is not None
+            else task.candidate_stores
+        )
+        for store in stores:
+            if not sim.store_online(store):
+                continue  # replica on a failed machine
+            level = locality_of(sim, task, tracker, store)
+            if level > max_level:
+                continue
+            if best is None or level < best[2]:
+                best = (task, store, level)
+            if level == NODE:
+                return best
+    return best
+
+
+class FifoScheduler(TaskScheduler):
+    """FIFO job order, greedy per-slot locality."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def _job_order(self) -> List[JobState]:
+        jobs = [j for j in self.sim.jobtracker.queue if j.pending]
+        return sorted(jobs, key=lambda j: (-j.job.priority, j.submit_time, j.job_id))
+
+    def select_task(self, tracker: TaskTracker, now: float) -> Optional[Assignment]:
+        for job in self._job_order():
+            found = best_task_for(self.sim, job, tracker, now)
+            if found is not None:
+                task, store, _level = found
+                return Assignment(job=job, task=task, source_store=store)
+        return None

@@ -1,0 +1,79 @@
+"""Greedy cost scheduling — the paper's Section IV strawman.
+
+"If the CPU capacity of every node in the cluster exceeds the total CPU
+requirement of the entire job set, a simple greedy algorithm would also give
+the optimal solution: for each job J_k and its data portion on S_m, the
+greedy algorithm chooses M_l with lowest JM_kl + MS_lm."
+
+Inverted to slot-driven form: when a tracker offers a slot, it runs the
+pending task whose marginal cost on *this* machine is lowest — but only if
+no other machine would be strictly cheaper *and* is currently idle (else the
+slot declines and lets the cheaper machine take it at its heartbeat).  This
+captures the greedy's behaviour and its capacity blind spot: under
+contention it still crowds the cheapest nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.hadoop.jobtracker import JobState
+from repro.hadoop.tasktracker import SimTask, TaskTracker
+from repro.schedulers.base import Assignment, TaskScheduler
+
+
+class GreedyCostScheduler(TaskScheduler):
+    """Per-assignment cost-greedy scheduler (no LP, no lookahead).
+
+    ``strict`` makes slots decline tasks that some idle cheaper machine
+    could run; without it the scheduler degenerates to "cheapest store for
+    whatever slot asks first".
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        super().__init__()
+        self.strict = strict
+
+    def _marginal_cost(self, task: SimTask, machine_id: int, store: Optional[int]) -> float:
+        machine = self.sim.cluster.machines[machine_id]
+        cost = machine.execution_cost(task.cpu_seconds)
+        if store is not None and task.input_mb > 0:
+            cost += task.input_mb * self.sim.cluster.network.ms_cost[machine_id, store]
+        return cost
+
+    def _cheapest_store(self, task: SimTask, machine_id: int) -> Optional[int]:
+        if task.input_mb == 0 or not task.candidate_stores:
+            return None
+        online = [s for s in task.candidate_stores if self.sim.store_online(s)]
+        if not online:
+            return None
+        ms = self.sim.cluster.network.ms_cost
+        return min(online, key=lambda s: ms[machine_id, s])
+
+    def select_task(self, tracker: TaskTracker, now: float) -> Optional[Assignment]:
+        best: Optional[Tuple[float, JobState, SimTask, Optional[int]]] = None
+        for job in self.sim.jobtracker.queue:
+            for task in job.pending:
+                if task.earliest_start > now:
+                    continue
+                store = self._cheapest_store(task, tracker.machine_id)
+                if task.input_mb > 0 and store is None:
+                    continue  # no online replica right now
+                cost = self._marginal_cost(task, tracker.machine_id, store)
+                if best is None or cost < best[0]:
+                    best = (cost, job, task, store)
+        if best is None:
+            return None
+        cost, job, task, store = best
+        if self.strict and self._idle_cheaper_machine_exists(task, cost):
+            return None
+        return Assignment(job=job, task=task, source_store=store)
+
+    def _idle_cheaper_machine_exists(self, task: SimTask, cost_here: float) -> bool:
+        for other in self.sim.trackers:
+            if not other.has_free_slot:
+                continue
+            store = self._cheapest_store(task, other.machine_id)
+            if self._marginal_cost(task, other.machine_id, store) < cost_here - 1e-12:
+                return True
+        return False

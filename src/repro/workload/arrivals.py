@@ -1,0 +1,61 @@
+"""Arrival processes for the online scheduling setting.
+
+The epoch controller (:mod:`repro.core.epoch`) consumes any
+:class:`ArrivalProcess`; two implementations cover the evaluation needs:
+Poisson arrivals for synthetic experiments and trace-driven arrivals for
+SWIM-style replays.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.workload.job import Job
+
+
+class ArrivalProcess(abc.ABC):
+    """Produces ``(arrival_time, job)`` pairs in nondecreasing time order."""
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[Tuple[float, Job]]:
+        ...
+
+    def jobs_in_window(self, start: float, end: float) -> List[Job]:
+        """All jobs with ``start <= arrival < end`` (convenience for epochs)."""
+        return [job for t, job in self if start <= t < end]
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replays jobs at their recorded ``arrival_time``."""
+
+    def __init__(self, jobs: Sequence[Job]) -> None:
+        self._jobs = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+
+    def __iter__(self) -> Iterator[Tuple[float, Job]]:
+        for job in self._jobs:
+            yield job.arrival_time, job
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Assigns Poisson-process arrival times to a job list.
+
+    The jobs' own ``arrival_time`` fields are ignored; a fresh draw with rate
+    ``rate_per_s`` orders them.  Sampling happens once at construction so
+    iteration is repeatable.
+    """
+
+    def __init__(self, jobs: Sequence[Job], rate_per_s: float, seed: int = 0) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        rng = np.random.default_rng(seed)
+        gaps = rng.exponential(1.0 / rate_per_s, size=len(jobs))
+        times = np.cumsum(gaps)
+        self._schedule: List[Tuple[float, Job]] = [
+            (float(t), j) for t, j in zip(times, jobs)
+        ]
+
+    def __iter__(self) -> Iterator[Tuple[float, Job]]:
+        yield from self._schedule

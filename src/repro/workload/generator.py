@@ -1,0 +1,132 @@
+"""Random workload generation for the Figure 5 simulation study.
+
+The paper's simulator draws "completely random" jobs and clusters within the
+ranges printed in the Figure 5 caption:
+
+* CPU-second cost: 0 – 5 millicent;
+* input data size: 0 – 6 GB;
+* data transfer cost between two nodes: 0 – 60 (millicent) per 64 MB block;
+* job CPU requirement: 0 – 1000 CPU-seconds.
+
+:func:`random_workload` draws jobs/data in those ranges; companion helpers
+draw matching random clusters so the Fig. 5 sweep can scale J, S and M
+independently (its x-axis labels are ``J:200 S:10 M:10`` … ``J:1000 S:100
+M:100``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.builder import Cluster, ClusterBuilder
+from repro.cluster.ec2 import MILLICENT
+from repro.cluster.storage import BLOCK_MB
+from repro.cluster.topology import Topology
+from repro.workload.job import DataObject, Job, Workload
+
+#: Figure 5 caption parameter ranges.
+FIG5_CPU_COST_MILLICENT = (0.0, 5.0)
+FIG5_INPUT_MB = (0.0, 6.0 * 1024.0)
+FIG5_TRANSFER_MILLICENT_PER_BLOCK = (0.0, 60.0)
+FIG5_JOB_CPU_SECONDS = (0.0, 1000.0)
+
+
+@dataclass
+class RandomWorkload:
+    """A random workload plus the random cluster it was drawn against."""
+
+    workload: Workload
+    cluster: Cluster
+    #: explicit random transfer-cost matrices overriding the topology-derived
+    #: ones (Fig. 5 randomises per-pair transfer costs directly).
+    ms_cost: np.ndarray
+    ss_cost: np.ndarray
+
+
+def _random_cluster(
+    num_machines: int,
+    num_stores: int,
+    rng: np.random.Generator,
+    uptime: float,
+) -> Cluster:
+    """A cluster with uniform-random CPU prices in the Fig. 5 range."""
+    builder = ClusterBuilder(topology=Topology.of(["z0"]), default_uptime=uptime)
+    for i in range(num_machines):
+        cost_mc = rng.uniform(*FIG5_CPU_COST_MILLICENT)
+        # ECU spread mimics the paper's heterogeneous instance mix.
+        ecu = float(rng.choice([1.0, 2.0, 4.0, 5.0]))
+        builder.add_machine(
+            name=f"rand-{i:03d}",
+            ecu=ecu,
+            cpu_cost=cost_mc * MILLICENT,
+            zone="z0",
+            with_store=i < num_stores,  # first stores are co-located
+            store_capacity_mb=1e7,
+        )
+    for j in range(num_machines, num_stores):
+        builder.add_remote_store(f"rs-{j:03d}", capacity_mb=1e7, zone="z0")
+    return builder.build()
+
+
+def random_workload(
+    num_tasks: int,
+    num_stores: int,
+    num_machines: int,
+    tasks_per_job: int = 20,
+    seed: int = 0,
+    uptime: float = 3600.0,
+) -> RandomWorkload:
+    """Draw a Fig. 5-style random problem instance.
+
+    ``num_tasks`` matches the figure's ``J`` axis (total number of tasks);
+    jobs bundle ``tasks_per_job`` tasks each, one data object per job.
+    """
+    if num_tasks < 1 or num_stores < 1 or num_machines < 1:
+        raise ValueError("problem dimensions must be >= 1")
+    rng = np.random.default_rng(seed)
+    cluster = _random_cluster(num_machines, num_stores, rng, uptime)
+
+    num_jobs = max(1, num_tasks // tasks_per_job)
+    jobs: List[Job] = []
+    data: List[DataObject] = []
+    for k in range(num_jobs):
+        size_mb = float(rng.uniform(*FIG5_INPUT_MB))
+        size_mb = max(size_mb, BLOCK_MB)  # at least one block
+        cpu_total = float(rng.uniform(*FIG5_JOB_CPU_SECONDS))
+        d = DataObject(
+            data_id=k,
+            name=f"d{k}",
+            size_mb=size_mb,
+            origin_store=int(rng.integers(0, num_stores)),
+        )
+        data.append(d)
+        jobs.append(
+            Job(
+                job_id=k,
+                name=f"rand-job-{k}",
+                tcp=cpu_total / size_mb,
+                data_ids=[k],
+                num_tasks=max(1, min(tasks_per_job, d.num_blocks)),
+            )
+        )
+
+    # Random per-pair transfer costs (the paper randomises these directly
+    # rather than deriving them from a topology).
+    per_mb = np.array(FIG5_TRANSFER_MILLICENT_PER_BLOCK) * MILLICENT / BLOCK_MB
+    ms = rng.uniform(per_mb[0], per_mb[1], size=(num_machines, num_stores))
+    ss = rng.uniform(per_mb[0], per_mb[1], size=(num_stores, num_stores))
+    np.fill_diagonal(ss, 0.0)
+    # co-located machine/store pairs read locally for free
+    for s in cluster.stores:
+        if s.colocated_machine is not None:
+            ms[s.colocated_machine, s.store_id] = 0.0
+
+    return RandomWorkload(
+        workload=Workload(jobs=jobs, data=data),
+        cluster=cluster,
+        ms_cost=ms,
+        ss_cost=ss,
+    )

@@ -1,0 +1,50 @@
+"""The job-data access matrix ``JD``.
+
+``JD`` is an ``m x n`` matrix with ``JD[k, i] = 1`` when job ``J_k`` accesses
+data object ``D_i`` (the paper's binary form), or a fraction in ``(0, 1]``
+for partial accesses ("the ratio of the expected data traffic between J_i and
+D_j to the total size of D_j").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.workload.job import DataObject, Job
+
+
+def access_matrix(
+    jobs: Sequence[Job],
+    data: Sequence[DataObject],
+    fractions: bool = True,
+) -> np.ndarray:
+    """Build ``JD`` for a workload.
+
+    With ``fractions=True`` (default) entries carry each job's
+    ``read_fraction`` — the paper's partial-access extension where
+    "fractional values in JD_ij represent the ratio of the expected data
+    traffic between J_i and D_j to the total size of D_j".  Jobs reading
+    their objects entirely (the paper's main setting) yield the binary
+    matrix either way; ``fractions=False`` forces 0/1 entries.
+    """
+    jd = np.zeros((len(jobs), len(data)))
+    for k, job in enumerate(jobs):
+        for d in job.data_ids:
+            jd[k, d] = job.read_fraction if fractions else 1.0
+    return jd
+
+
+def validate_access_matrix(jd: np.ndarray) -> None:
+    """Sanity-check a JD matrix: entries in [0, 1], no NaNs."""
+    if np.any(~np.isfinite(jd)):
+        raise ValueError("JD contains non-finite entries")
+    if np.any(jd < 0) or np.any(jd > 1):
+        raise ValueError("JD entries must lie in [0, 1]")
+
+
+def accessed_pairs(jd: np.ndarray) -> list[tuple[int, int]]:
+    """All ``(job, data)`` index pairs with a nonzero access."""
+    ks, ds = np.nonzero(jd)
+    return list(zip(ks.tolist(), ds.tolist()))

@@ -1,0 +1,103 @@
+"""Workload statistics: the numbers a trace paper would table.
+
+Summarises a :class:`~repro.workload.job.Workload` the way SWIM summarises
+FB-2010 — job counts and bytes by size class, map-count percentiles,
+arrival-rate shape — so synthetic traces can be eyeballed against published
+trace characteristics and experiments can report what they replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.workload.job import Workload
+
+
+@dataclass
+class WorkloadStats:
+    """Aggregate description of one workload."""
+
+    num_jobs: int
+    num_data_objects: int
+    total_input_gb: float
+    total_cpu_hours: float
+    total_tasks: int
+    map_count_percentiles: Dict[int, float]  # {50: ..., 90: ..., 99: ...}
+    jobs_by_pool: Dict[str, int]
+    bytes_by_pool_gb: Dict[str, float]
+    apps: Dict[str, int]
+    arrival_span_s: float
+    mean_interarrival_s: float
+
+    def rows(self) -> List[tuple]:
+        """Key/value rows for tabular rendering."""
+        out = [
+            ("jobs", self.num_jobs),
+            ("data objects", self.num_data_objects),
+            ("total input", f"{self.total_input_gb:.1f} GB"),
+            ("total CPU", f"{self.total_cpu_hours:.1f} ECU-hours"),
+            ("map tasks", self.total_tasks),
+            ("arrival span", f"{self.arrival_span_s:.0f} s"),
+            ("mean inter-arrival", f"{self.mean_interarrival_s:.1f} s"),
+        ]
+        for p, v in sorted(self.map_count_percentiles.items()):
+            out.append((f"maps p{p}", f"{v:.0f}"))
+        for pool in sorted(self.jobs_by_pool):
+            out.append(
+                (
+                    f"pool {pool}",
+                    f"{self.jobs_by_pool[pool]} jobs / "
+                    f"{self.bytes_by_pool_gb[pool]:.1f} GB",
+                )
+            )
+        return out
+
+
+def summarize(workload: Workload, percentiles: Sequence[int] = (50, 90, 99)) -> WorkloadStats:
+    """Compute the stats over a workload."""
+    maps = np.array([j.num_tasks for j in workload.jobs], dtype=float)
+    arrivals = np.array(sorted(j.arrival_time for j in workload.jobs))
+    jobs_by_pool: Dict[str, int] = {}
+    bytes_by_pool: Dict[str, float] = {}
+    apps: Dict[str, int] = {}
+    for j in workload.jobs:
+        jobs_by_pool[j.pool] = jobs_by_pool.get(j.pool, 0) + 1
+        bytes_by_pool[j.pool] = bytes_by_pool.get(j.pool, 0.0) + j.total_input_mb(workload.data)
+        apps[j.app] = apps.get(j.app, 0) + 1
+    gaps = np.diff(arrivals) if len(arrivals) > 1 else np.zeros(0)
+    return WorkloadStats(
+        num_jobs=workload.num_jobs,
+        num_data_objects=workload.num_data,
+        total_input_gb=workload.total_input_mb() / 1024.0,
+        total_cpu_hours=workload.total_cpu_seconds() / 3600.0,
+        total_tasks=workload.total_tasks(),
+        map_count_percentiles={
+            p: float(np.percentile(maps, p)) for p in percentiles
+        },
+        jobs_by_pool=jobs_by_pool,
+        bytes_by_pool_gb={k: v / 1024.0 for k, v in bytes_by_pool.items()},
+        apps=apps,
+        arrival_span_s=float(arrivals[-1] - arrivals[0]) if len(arrivals) else 0.0,
+        mean_interarrival_s=float(gaps.mean()) if gaps.size else 0.0,
+    )
+
+
+def arrival_histogram(workload: Workload, num_buckets: int = 24) -> np.ndarray:
+    """Job arrivals per equal-width time bucket (the diurnal shape)."""
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be >= 1")
+    arrivals = np.array([j.arrival_time for j in workload.jobs])
+    if arrivals.size == 0:
+        return np.zeros(num_buckets, dtype=int)
+    span = arrivals.max() - arrivals.min()
+    if span == 0:
+        out = np.zeros(num_buckets, dtype=int)
+        out[0] = arrivals.size
+        return out
+    idx = np.minimum(
+        ((arrivals - arrivals.min()) / span * num_buckets).astype(int), num_buckets - 1
+    )
+    return np.bincount(idx, minlength=num_buckets)

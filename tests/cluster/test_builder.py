@@ -1,0 +1,85 @@
+"""Unit tests for cluster assembly and the paper testbed builder."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builder import ClusterBuilder, build_paper_testbed
+from repro.cluster.topology import Topology
+
+
+def test_add_machine_creates_colocated_store():
+    b = ClusterBuilder(topology=Topology.of(["z"]))
+    m = b.add_machine("m0", ecu=1.0, cpu_cost=1e-5, zone="z")
+    c = b.build()
+    store = c.store_for_machine(m.machine_id)
+    assert store is not None
+    assert store.zone == "z"
+
+
+def test_machine_without_store():
+    b = ClusterBuilder(topology=Topology.of(["z"]))
+    b.add_machine("m0", ecu=1.0, cpu_cost=1e-5, zone="z", with_store=False)
+    b.add_remote_store("r", capacity_mb=10.0, zone="z")
+    c = b.build()
+    assert c.store_for_machine(0) is None
+    assert c.num_stores == 1
+
+
+def test_empty_cluster_rejected():
+    b = ClusterBuilder(topology=Topology.of(["z"]))
+    with pytest.raises(ValueError, match="at least one machine"):
+        b.build()
+
+
+def test_add_ec2_nodes_uses_catalog():
+    b = ClusterBuilder(topology=Topology.of(["z"]), price_point=0.0)
+    b.add_ec2_nodes("c1.medium", count=3, zone="z")
+    c = b.build()
+    assert c.num_machines == 3
+    assert all(m.ecu == 5.0 for m in c.machines)
+    assert all(m.instance_type == "c1.medium" for m in c.machines)
+    # 0.92 millicent at the low price point
+    assert c.machines[0].cpu_cost == pytest.approx(0.92e-5)
+
+
+def test_vectors_align_with_machines():
+    c = build_paper_testbed(6, c1_medium_fraction=0.5, seed=0, price_point=0.5)
+    assert c.cpu_cost_vector().shape == (6,)
+    assert c.throughput_vector().shape == (6,)
+    assert c.store_capacity_vector().shape == (6,)
+    for i, m in enumerate(c.machines):
+        assert c.cpu_cost_vector()[i] == m.cpu_cost
+        assert c.throughput_vector()[i] == m.ecu
+
+
+def test_paper_testbed_mix_counts():
+    c = build_paper_testbed(20, c1_medium_fraction=0.5, seed=0)
+    kinds = [m.instance_type for m in c.machines]
+    assert kinds.count("c1.medium") == 10
+    assert kinds.count("m1.medium") == 10
+
+
+def test_paper_testbed_three_zones_round_robin():
+    c = build_paper_testbed(9, seed=0)
+    by_zone = c.machines_by_zone()
+    assert sorted(by_zone) == ["us-east-a", "us-east-b", "us-east-c"]
+    assert all(len(v) == 3 for v in by_zone.values())
+
+
+def test_paper_testbed_price_jitter_varies_within_type():
+    c = build_paper_testbed(20, seed=0)  # all m1.medium, random price points
+    costs = {m.cpu_cost for m in c.machines}
+    assert len(costs) > 1
+
+
+def test_paper_testbed_pinned_price_point_uniform():
+    c = build_paper_testbed(20, seed=0, price_point=0.5)
+    costs = {m.cpu_cost for m in c.machines}
+    assert len(costs) == 1
+
+
+def test_fraction_validation():
+    with pytest.raises(ValueError):
+        build_paper_testbed(10, c1_medium_fraction=0.7, m1_small_fraction=0.7)
+    with pytest.raises(ValueError):
+        build_paper_testbed(0)

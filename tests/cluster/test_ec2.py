@@ -1,0 +1,67 @@
+"""Unit tests for the EC2 catalog (paper Table III)."""
+
+import pytest
+
+from repro.cluster.ec2 import (
+    CROSS_ZONE_TRANSFER_PER_GB,
+    EC2_CATALOG,
+    ec2_instance,
+    table3_rows,
+    transfer_cost_per_mb,
+)
+
+
+def test_catalog_contains_paper_types():
+    assert {"m1.small", "m1.medium", "c1.medium"} <= set(EC2_CATALOG)
+
+
+def test_table3_values_verbatim():
+    c1 = ec2_instance("c1.medium")
+    assert c1.cpus == 2 and c1.ecu == 5.0 and c1.memory_gb == 1.7
+    assert (c1.price_low, c1.price_high) == (0.17, 0.23)
+    m1s = ec2_instance("m1.small")
+    assert m1s.ecu == 1.0 and m1s.storage_gb == 160.0
+
+
+def test_footnote_millicent_overrides():
+    m1 = ec2_instance("m1.medium")
+    assert m1.cpu_cost_millicent(0.0) == pytest.approx(4.44)
+    assert m1.cpu_cost_millicent(1.0) == pytest.approx(6.39)
+
+
+def test_derived_millicent_when_no_override():
+    m1s = ec2_instance("m1.small")
+    # 0.08 $/hr / 1 ECU / 3600 s = 2.22e-5 $ = 2.22 millicent
+    assert m1s.cpu_cost_millicent(0.0) == pytest.approx(2.2222, abs=1e-3)
+
+
+def test_c1_vs_m1_price_gap_is_4_to_5x():
+    ratio = ec2_instance("m1.medium").cpu_cost_millicent() / ec2_instance(
+        "c1.medium"
+    ).cpu_cost_millicent()
+    assert 4.0 <= ratio <= 5.5
+
+
+def test_price_point_validation():
+    with pytest.raises(ValueError):
+        ec2_instance("m1.small").price_per_hour(1.5)
+    with pytest.raises(ValueError):
+        ec2_instance("m1.medium").cpu_cost_per_ecu_second(-0.1)
+
+
+def test_unknown_instance_lists_known():
+    with pytest.raises(KeyError, match="m1.small"):
+        ec2_instance("x9.gigantic")
+
+
+def test_cross_zone_transfer_price():
+    assert CROSS_ZONE_TRANSFER_PER_GB == 0.01
+    # paper: 62.5 millicent per 64 MB block
+    per_block = transfer_cost_per_mb(cross_zone=True) * 64.0
+    assert per_block == pytest.approx(62.5e-5)
+    assert transfer_cost_per_mb(cross_zone=False) == 0.0
+
+
+def test_table3_rows_cover_catalog():
+    rows = table3_rows()
+    assert {r[0] for r in rows} == set(EC2_CATALOG)

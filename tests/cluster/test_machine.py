@@ -1,0 +1,49 @@
+"""Unit tests for the machine model."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+
+
+def mk(**kw):
+    defaults = dict(machine_id=0, name="m", ecu=2.0, cpu_cost=1e-5)
+    defaults.update(kw)
+    return Machine(**defaults)
+
+
+def test_capacity_is_ecu_times_uptime():
+    m = mk(ecu=4.0, uptime=100.0)
+    assert m.capacity == pytest.approx(400.0)
+
+
+def test_execution_cost():
+    m = mk(cpu_cost=2e-5)
+    assert m.execution_cost(1000.0) == pytest.approx(0.02)
+
+
+def test_execution_cost_rejects_negative():
+    with pytest.raises(ValueError):
+        mk().execution_cost(-1.0)
+
+
+def test_wall_time_scales_with_ecu():
+    assert mk(ecu=4.0).wall_time(100.0) == pytest.approx(25.0)
+
+
+def test_slot_ecu_divides_across_slots():
+    m = mk(ecu=5.0, map_slots=4)
+    assert m.slot_ecu == pytest.approx(1.25)
+
+
+def test_slot_ecu_with_zero_slots_safe():
+    m = mk(ecu=5.0, map_slots=0)
+    assert m.slot_ecu == pytest.approx(5.0)
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [("ecu", 0.0), ("ecu", -1.0), ("cpu_cost", -1e-9), ("map_slots", -1)],
+)
+def test_invalid_parameters_rejected(field, value):
+    with pytest.raises(ValueError):
+        mk(**{field: value})

@@ -1,0 +1,76 @@
+"""Unit tests for the MS/SS/B matrix derivation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builder import ClusterBuilder
+from repro.cluster.ec2 import transfer_cost_per_mb
+from repro.cluster.network import LOCAL_READ_MB_PER_S, NetworkModel
+from repro.cluster.topology import Topology
+
+
+@pytest.fixture
+def cluster():
+    b = ClusterBuilder(topology=Topology.of(["za", "zb"]))
+    b.add_machine("a0", ecu=1.0, cpu_cost=1e-5, zone="za")
+    b.add_machine("b0", ecu=1.0, cpu_cost=1e-5, zone="zb")
+    b.add_remote_store("s3", capacity_mb=1e6, zone="zb")
+    return b.build()
+
+
+def test_local_read_free_and_fast(cluster):
+    net = cluster.network
+    # machine 0's own store is store 0
+    assert net.ms_cost[0, 0] == 0.0
+    assert net.bandwidth[0, 0] == LOCAL_READ_MB_PER_S
+
+
+def test_intra_zone_remote_read_free_but_slower(cluster):
+    net = cluster.network
+    # machine 1 (zb) reading the remote s3 store (zb): free, intra-zone bw
+    assert net.ms_cost[1, 2] == 0.0
+    assert net.bandwidth[1, 2] == pytest.approx(500.0 / 8.0)
+
+
+def test_cross_zone_read_priced(cluster):
+    net = cluster.network
+    expected = transfer_cost_per_mb(cross_zone=True)
+    assert net.ms_cost[0, 1] == pytest.approx(expected)
+    assert net.bandwidth[0, 1] == pytest.approx(250.0 / 8.0)
+
+
+def test_ss_matrix_zero_diagonal(cluster):
+    assert np.all(np.diag(cluster.network.ss_cost) == 0.0)
+
+
+def test_ss_cross_zone_priced(cluster):
+    net = cluster.network
+    assert net.ss_cost[0, 1] == pytest.approx(transfer_cost_per_mb(cross_zone=True))
+    assert net.ss_cost[1, 2] == 0.0  # both in zb
+
+
+def test_intra_zone_cost_override():
+    b = ClusterBuilder(topology=Topology.of(["z"]))
+    b.add_machine("m0", ecu=1.0, cpu_cost=1e-5, zone="z")
+    b.add_machine("m1", ecu=1.0, cpu_cost=1e-5, zone="z")
+    c = b.build(intra_zone_cost_per_mb=5e-6)
+    # remote intra-zone read now costs; local stays free
+    assert c.network.ms_cost[0, 1] == pytest.approx(5e-6)
+    assert c.network.ms_cost[0, 0] == 0.0
+
+
+def test_unknown_zone_rejected():
+    from repro.cluster.machine import Machine
+    from repro.cluster.storage import DataStore
+
+    with pytest.raises(ValueError, match="unknown zone"):
+        NetworkModel(
+            machines=[Machine(machine_id=0, name="m", ecu=1.0, cpu_cost=0.0, zone="ghost")],
+            stores=[DataStore(store_id=0, name="s", capacity_mb=1.0, zone="ghost")],
+            topology=Topology.of(["real"]),
+        )
+
+
+def test_store_bandwidth_same_store_is_local(cluster):
+    assert cluster.network.store_bandwidth(0, 0) == LOCAL_READ_MB_PER_S
+    assert cluster.network.store_bandwidth(0, 1) == pytest.approx(250.0 / 8.0)

@@ -1,0 +1,31 @@
+"""Unit tests for data stores."""
+
+import pytest
+
+from repro.cluster.storage import BLOCK_MB, DataStore
+
+
+def test_block_size_is_paper_default():
+    assert BLOCK_MB == 64.0
+
+
+def test_local_store_flags_machine():
+    s = DataStore(store_id=0, name="dn", capacity_mb=1000.0, colocated_machine=3)
+    assert s.is_local
+    assert s.colocated_machine == 3
+
+
+def test_remote_store():
+    s = DataStore(store_id=0, name="s3", capacity_mb=1e6)
+    assert not s.is_local
+
+
+def test_capacity_blocks():
+    s = DataStore(store_id=0, name="dn", capacity_mb=640.0)
+    assert s.capacity_blocks() == pytest.approx(10.0)
+    assert s.capacity_blocks(block_mb=128.0) == pytest.approx(5.0)
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        DataStore(store_id=0, name="bad", capacity_mb=-1.0)

@@ -1,0 +1,64 @@
+"""Unit tests for zones and the network topology."""
+
+import pytest
+
+from repro.cluster.topology import (
+    INTER_ZONE_MBPS,
+    INTRA_ZONE_MBPS,
+    Topology,
+    Zone,
+    mbps_to_mb_per_s,
+    paper_topology,
+)
+
+
+@pytest.fixture
+def topo():
+    return Topology.of(["a", "b", "c"])
+
+
+def test_intra_zone_bandwidth_default(topo):
+    assert topo.bandwidth_mbps("a", "a") == INTRA_ZONE_MBPS
+
+
+def test_inter_zone_bandwidth_default(topo):
+    assert topo.bandwidth_mbps("a", "b") == INTER_ZONE_MBPS
+
+
+def test_bandwidth_symmetric(topo):
+    topo.set_bandwidth("a", "b", 123.0)
+    assert topo.bandwidth_mbps("a", "b") == 123.0
+    assert topo.bandwidth_mbps("b", "a") == 123.0
+
+
+def test_rtt_cross_zone_3x(topo):
+    assert topo.rtt_ms("a", "b") == pytest.approx(3.0 * topo.rtt_ms("a", "a"))
+
+
+def test_rtt_override(topo):
+    topo.set_rtt("a", "c", 9.9)
+    assert topo.rtt_ms("c", "a") == 9.9
+
+
+def test_unknown_zone_raises(topo):
+    with pytest.raises(KeyError, match="unknown zone"):
+        topo.bandwidth_mbps("a", "nope")
+
+
+def test_duplicate_zone_rejected(topo):
+    with pytest.raises(ValueError):
+        topo.add_zone(Zone("a"))
+
+
+def test_cross_zone_predicate(topo):
+    assert topo.cross_zone("a", "b")
+    assert not topo.cross_zone("a", "a")
+
+
+def test_mbps_conversion():
+    assert mbps_to_mb_per_s(500.0) == pytest.approx(62.5)
+
+
+def test_paper_topology_has_three_us_east_zones():
+    t = paper_topology()
+    assert t.zone_names() == ["us-east-a", "us-east-b", "us-east-c"]

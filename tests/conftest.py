@@ -1,0 +1,55 @@
+"""Shared test fixtures: small clusters and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.builder import ClusterBuilder, build_paper_testbed
+from repro.cluster.topology import Topology
+from repro.core.model import SchedulingInput
+from repro.workload.job import DataObject, Job, Workload
+
+
+@pytest.fixture
+def tiny_cluster():
+    """2 machines / 2 stores / 1 zone; machine 1 is 4x cheaper and faster."""
+    b = ClusterBuilder(topology=Topology.of(["z"]), default_uptime=10_000.0)
+    b.add_machine("exp", ecu=1.0, cpu_cost=4.0e-5, zone="z")
+    b.add_machine("cheap", ecu=4.0, cpu_cost=1.0e-5, zone="z")
+    return b.build()
+
+
+@pytest.fixture
+def two_zone_cluster():
+    """4 machines over 2 zones; zone-b is cheap; cross-zone transfer costs."""
+    b = ClusterBuilder(topology=Topology.of(["za", "zb"]), default_uptime=10_000.0)
+    b.add_machine("a0", ecu=2.0, cpu_cost=5.0e-5, zone="za")
+    b.add_machine("a1", ecu=2.0, cpu_cost=5.0e-5, zone="za")
+    b.add_machine("b0", ecu=5.0, cpu_cost=1.0e-5, zone="zb")
+    b.add_machine("b1", ecu=5.0, cpu_cost=1.0e-5, zone="zb")
+    return b.build()
+
+
+@pytest.fixture
+def small_workload():
+    """Two data jobs + one input-less job, 1 GB total."""
+    data = [
+        DataObject(data_id=0, name="d0", size_mb=640.0, origin_store=0),
+        DataObject(data_id=1, name="d1", size_mb=384.0, origin_store=1),
+    ]
+    jobs = [
+        Job(job_id=0, name="scan", tcp=20.0 / 64.0, data_ids=[0], num_tasks=10),
+        Job(job_id=1, name="count", tcp=90.0 / 64.0, data_ids=[1], num_tasks=6),
+        Job(job_id=2, name="pi", tcp=0.0, num_tasks=4, cpu_seconds_noinput=400.0),
+    ]
+    return Workload(jobs=jobs, data=data)
+
+
+@pytest.fixture
+def small_input(two_zone_cluster, small_workload):
+    return SchedulingInput.from_parts(two_zone_cluster, small_workload)
+
+
+@pytest.fixture
+def paper_cluster():
+    return build_paper_testbed(12, c1_medium_fraction=0.5, seed=1)

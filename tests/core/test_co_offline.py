@@ -1,0 +1,85 @@
+"""Unit tests for the Figure 3 offline co-scheduling model."""
+
+import numpy as np
+import pytest
+
+from repro.core.co_offline import solve_co_offline
+from repro.core.simple_task import solve_simple_task
+from repro.core.solution import validate_solution
+from repro.lp import SimplexBackend
+
+
+def test_solution_feasible(small_input):
+    sol = solve_co_offline(small_input)
+    assert validate_solution(small_input, sol).ok
+
+
+def test_objective_matches_cost_breakdown(small_input):
+    sol = solve_co_offline(small_input)
+    assert sol.cost_breakdown(small_input).total == pytest.approx(sol.objective, rel=1e-6)
+
+
+def test_never_worse_than_fixed_placement(small_input):
+    """Freeing the placement can only help (fixed placement is feasible)."""
+    fixed = solve_simple_task(small_input)
+    co = solve_co_offline(small_input)
+    assert co.objective <= fixed.objective + 1e-9
+
+
+def test_all_data_placed(small_input):
+    sol = solve_co_offline(small_input)
+    assert np.all(sol.xd.sum(axis=1) >= 1.0 - 1e-6)
+
+
+def test_store_capacity_respected(two_zone_cluster, small_workload):
+    from repro.core.model import SchedulingInput
+
+    inp = SchedulingInput.from_parts(two_zone_cluster, small_workload)
+    tight = np.full(inp.num_stores, 400.0)  # each object barely fits somewhere
+    sol = solve_co_offline(inp, store_capacity=tight)
+    load = sol.store_data_load(inp)
+    assert np.all(load <= tight * (1 + 1e-6))
+
+
+def test_infeasible_when_storage_too_small(small_input):
+    with pytest.raises(RuntimeError, match="not solvable"):
+        solve_co_offline(small_input, store_capacity=np.full(4, 10.0))
+
+
+def test_coupling_constraint_reads_match_placement(small_input):
+    sol = solve_co_offline(small_input)
+    for k in small_input.jobs_with_input():
+        i = small_input.job_data[k]
+        reads = sol.xt_data[k].sum(axis=0)
+        assert np.all(reads <= sol.xd[i] + 1e-6)
+
+
+def test_moves_data_to_cheap_zone_for_shared_input(two_zone_cluster):
+    """Two jobs share one object in the pricey zone: the LP moves it once."""
+    from repro.core.model import SchedulingInput
+    from repro.workload.job import DataObject, Job, Workload
+
+    data = [DataObject(data_id=0, name="shared", size_mb=1024.0, origin_store=0)]
+    jobs = [
+        Job(job_id=0, name="a", tcp=1.0, data_ids=[0], num_tasks=8),
+        Job(job_id=1, name="b", tcp=1.0, data_ids=[0], num_tasks=8),
+    ]
+    inp = SchedulingInput.from_parts(two_zone_cluster, Workload(jobs=jobs, data=data))
+    sol = solve_co_offline(inp, placement_tiebreak=1e-6)
+    # the cheap zone holds stores 2 and 3
+    placed_cheap = sol.xd[0, 2] + sol.xd[0, 3]
+    assert placed_cheap == pytest.approx(1.0, abs=1e-6)
+    # and the runtime reads are then free (intra-zone)
+    assert sol.cost_breakdown(inp).runtime_transfer == pytest.approx(0.0, abs=1e-9)
+
+
+def test_placement_tiebreak_minimises_copies(small_input):
+    sol = solve_co_offline(small_input, placement_tiebreak=1e-6)
+    # with the tiebreak each object is placed exactly once
+    assert sol.xd.sum() == pytest.approx(small_input.num_data, abs=1e-4)
+
+
+def test_backends_agree(small_input):
+    a = solve_co_offline(small_input)
+    b = solve_co_offline(small_input, backend=SimplexBackend())
+    assert b.objective == pytest.approx(a.objective, rel=1e-6)

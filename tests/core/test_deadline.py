@@ -1,0 +1,70 @@
+"""Tests for the deadline-constrained cost frontier."""
+
+import numpy as np
+import pytest
+
+from repro.core.deadline import (
+    cost_deadline_frontier,
+    min_cost_for_deadline,
+    min_deadline,
+)
+from repro.core.model import SchedulingInput
+from repro.core.solution import validate_solution
+
+
+def test_min_deadline_bound(small_input):
+    d = min_deadline(small_input)
+    assert d == pytest.approx(small_input.cpu.sum() / small_input.tp.sum())
+
+
+def test_infeasible_below_bound(small_input):
+    point = min_cost_for_deadline(small_input, min_deadline(small_input) * 0.5)
+    assert not point.feasible
+    assert point.cost is None
+
+
+def test_feasible_solution_meets_deadline(small_input):
+    d = min_deadline(small_input) * 3.0
+    point = min_cost_for_deadline(small_input, d)
+    assert point.feasible
+    rep = validate_solution(small_input, point.solution, horizon=d)
+    assert rep.ok, rep.violations
+
+
+def test_cost_monotone_in_deadline(small_input):
+    frontier = cost_deadline_frontier(small_input, num_points=6)
+    costs = [p.cost for p in frontier.feasible_points()]
+    assert len(costs) >= 3
+    assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+
+
+def test_cheapest_is_last(small_input):
+    frontier = cost_deadline_frontier(small_input, num_points=6)
+    cheapest = frontier.cheapest()
+    feas = frontier.feasible_points()
+    assert cheapest.cost == pytest.approx(feas[-1].cost)
+
+
+def test_pick_respects_budget(small_input):
+    frontier = cost_deadline_frontier(small_input, num_points=6)
+    feas = frontier.feasible_points()
+    budget = feas[1].deadline_s
+    picked = frontier.pick(budget)
+    assert picked is not None
+    assert picked.deadline_s <= budget
+    # nothing feasible within an impossible budget
+    assert frontier.pick(min_deadline(small_input) * 0.1) is None
+
+
+def test_deadline_validation(small_input):
+    with pytest.raises(ValueError):
+        min_cost_for_deadline(small_input, 0.0)
+
+
+def test_tight_deadline_costs_more(small_input):
+    """Meeting a near-minimal deadline forces expensive machines in."""
+    base = min_deadline(small_input)
+    tight = min_cost_for_deadline(small_input, base * 1.2)
+    loose = min_cost_for_deadline(small_input, base * 20.0)
+    assert tight.feasible and loose.feasible
+    assert tight.cost >= loose.cost - 1e-12

@@ -1,0 +1,80 @@
+"""Unit tests for fractional-to-integral rounding."""
+
+import numpy as np
+import pytest
+
+from repro.core.co_offline import solve_co_offline
+from repro.core.rounding import IntegralSchedule, largest_remainder_round, round_schedule
+
+
+class TestLargestRemainder:
+    def test_exact_total(self):
+        out = largest_remainder_round(np.array([0.5, 0.3, 0.2]), 10)
+        assert out.sum() == 10
+        assert out.tolist() == [5, 3, 2]
+
+    def test_remainders_assigned_to_largest(self):
+        out = largest_remainder_round(np.array([0.4, 0.35, 0.25]), 10)
+        assert out.sum() == 10
+        assert out[0] >= out[1] >= out[2]
+
+    def test_zero_weights_default_first(self):
+        out = largest_remainder_round(np.zeros(3), 5)
+        assert out.tolist() == [5, 0, 0]
+
+    def test_zero_total(self):
+        assert largest_remainder_round(np.array([1.0, 2.0]), 0).sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            largest_remainder_round(np.array([1.0]), -1)
+        with pytest.raises(ValueError):
+            largest_remainder_round(np.array([-0.1]), 1)
+        with pytest.raises(ValueError):
+            largest_remainder_round(np.ones((2, 2)), 1)
+
+    def test_always_sums_to_total(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            w = rng.uniform(0, 1, rng.integers(1, 10))
+            n = int(rng.integers(0, 100))
+            assert largest_remainder_round(w, n).sum() == n
+
+
+class TestRoundSchedule:
+    def test_task_counts_match_workload(self, small_input):
+        sol = solve_co_offline(small_input)
+        integral = round_schedule(small_input, sol)
+        expected = sum(j.num_tasks for j in small_input.workload.jobs)
+        assert integral.total_tasks() == expected
+
+    def test_integral_cost_bounds_lp(self, small_input):
+        sol = solve_co_offline(small_input)
+        integral = round_schedule(small_input, sol)
+        # the LP optimum is a lower bound on any integral schedule
+        assert integral.integral_cost >= integral.lp_cost - 1e-9
+        assert integral.integrality_gap >= -1e-9
+        assert integral.relative_gap < 0.5  # rounding should stay close
+
+    def test_min_fraction_drops_slivers(self, small_input):
+        sol = solve_co_offline(small_input)
+        integral = round_schedule(small_input, sol, min_fraction=0.2)
+        for k, counts in enumerate(integral.task_counts):
+            n = small_input.workload.jobs[k].num_tasks
+            for count in counts.values():
+                # any surviving assignment is at least 20% of the job
+                assert count / n >= 0.2 - 1e-9 or len(counts) == 1
+
+    def test_rounded_solution_usable(self, small_input):
+        sol = solve_co_offline(small_input)
+        integral = round_schedule(small_input, sol)
+        rounded = integral.solution
+        # coverage preserved after rounding
+        assert np.all(rounded.job_coverage() >= 1.0 - 1e-6)
+
+    def test_input_less_jobs_rounded_too(self, small_input):
+        sol = solve_co_offline(small_input)
+        integral = round_schedule(small_input, sol)
+        pi_counts = integral.task_counts[2]  # job 2 is the Pi job
+        assert sum(pi_counts.values()) == 4
+        assert all(store == -1 for (_, store) in pi_counts)

@@ -1,0 +1,87 @@
+"""Unit tests for the Figure 2 offline simple task scheduling model."""
+
+import numpy as np
+import pytest
+
+from repro.core.simple_task import identity_placement, solve_simple_task
+from repro.core.solution import validate_solution
+from repro.lp import SimplexBackend
+
+
+def test_identity_placement(small_input):
+    p = identity_placement(small_input)
+    assert p.shape == (2, 4)
+    assert p[0, 0] == 1.0 and p[1, 1] == 1.0
+    assert p.sum() == 2.0
+
+
+def test_solution_is_feasible(small_input):
+    sol = solve_simple_task(small_input)
+    assert validate_solution(small_input, sol).ok
+
+
+def test_objective_matches_independent_cost(small_input):
+    sol = solve_simple_task(small_input)
+    bd = sol.cost_breakdown(small_input)
+    assert bd.total == pytest.approx(sol.objective, rel=1e-6)
+    assert bd.placement_transfer == 0.0  # no data moves in this model
+
+
+def test_all_jobs_fully_scheduled(small_input):
+    sol = solve_simple_task(small_input)
+    assert np.all(sol.job_coverage() >= 1.0 - 1e-6)
+
+
+def test_prefers_cheap_machines_when_free(small_input):
+    sol = solve_simple_task(small_input)
+    load = sol.machine_cpu_load(small_input)
+    prices = small_input.cluster.cpu_cost_vector()
+    # cheap zone-b machines (5x cheaper) should carry nearly all the work;
+    # expensive machines stay idle (capacity is ample, reads affordable)
+    cheap_total = load[prices <= prices.min() + 1e-12].sum()
+    assert cheap_total / load.sum() > 0.9
+
+
+def test_respects_capacity(two_zone_cluster, small_workload):
+    from repro.core.model import SchedulingInput
+
+    # shrink the horizon so one machine cannot take everything
+    inp = SchedulingInput.from_parts(two_zone_cluster, small_workload)
+    sol = solve_simple_task(inp, horizon=300.0)
+    load = sol.machine_cpu_load(inp)
+    cap = inp.machine_capacity(300.0)
+    assert np.all(load <= cap * (1 + 1e-6))
+
+
+def test_infeasible_when_capacity_too_small(small_input):
+    with pytest.raises(RuntimeError, match="not solvable"):
+        solve_simple_task(small_input, horizon=1.0)
+
+
+def test_custom_placement_changes_reads(small_input):
+    # place all data on store 3 (cheap zone): reads come from store 3
+    placement = np.zeros((2, 4))
+    placement[:, 3] = 1.0
+    sol = solve_simple_task(small_input, placement=placement)
+    reads = sol.transfer_mb(small_input)
+    assert reads[:, 3].sum() == pytest.approx(small_input.size_mb.sum())
+    assert reads[:, :3].sum() == pytest.approx(0.0, abs=1e-6)
+
+
+def test_simplex_backend_agrees(small_input):
+    a = solve_simple_task(small_input)
+    b = solve_simple_task(small_input, backend=SimplexBackend())
+    assert b.objective == pytest.approx(a.objective, rel=1e-6)
+
+
+def test_cheaper_than_any_single_machine_schedule(small_input):
+    """LP optimum lower-bounds naive all-on-one-machine schedules."""
+    inp = small_input
+    sol = solve_simple_task(inp)
+    for l in range(inp.num_machines):
+        naive = float(inp.jm[:, l].sum())
+        # add the forced reads from each job's origin store
+        for k in inp.jobs_with_input():
+            i = inp.job_data[k]
+            naive += inp.size_mb[k] * inp.ms_cost[l, inp.origin[i]]
+        assert sol.objective <= naive + 1e-9

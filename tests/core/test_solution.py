@@ -1,0 +1,137 @@
+"""Unit tests for CoScheduleSolution and validate_solution."""
+
+import numpy as np
+import pytest
+
+from repro.core.co_offline import solve_co_offline
+from repro.core.solution import CoScheduleSolution, validate_solution
+
+
+@pytest.fixture
+def sol(small_input):
+    return solve_co_offline(small_input)
+
+
+def test_job_coverage_ones(small_input, sol):
+    assert np.allclose(sol.job_coverage(), 1.0, atol=1e-6)
+
+
+def test_machine_load_conserves_cpu(small_input, sol):
+    assert sol.machine_cpu_load(small_input).sum() == pytest.approx(
+        small_input.cpu.sum(), rel=1e-6
+    )
+
+
+def test_transfer_mb_conserves_reads(small_input, sol):
+    total_read = sol.transfer_mb(small_input).sum()
+    assert total_read == pytest.approx(small_input.size_mb.sum(), rel=1e-6)
+
+
+def test_store_data_load_totals(small_input, sol):
+    load = sol.store_data_load(small_input)
+    # every object placed at least once (>= 1 coverage)
+    assert load.sum() >= small_input.data_size_mb.sum() - 1e-6
+
+
+def test_data_locality_metric(small_input, sol):
+    loc = sol.data_locality(small_input)
+    assert 0.0 <= loc <= 1.0
+
+
+def test_data_locality_defaults_one_without_reads(small_input):
+    empty = CoScheduleSolution(
+        xt_data=np.zeros((3, 4, 4)),
+        xt_free=np.zeros((3, 4)),
+        xd=np.zeros((2, 4)),
+        fake=np.zeros(3),
+        objective=0.0,
+    )
+    assert empty.data_locality(small_input) == 1.0
+
+
+def test_machines_used(small_input, sol):
+    used = sol.machines_used()
+    load = sol.machine_cpu_load(small_input)
+    assert set(used) == set(np.where(load > 1e-9)[0])
+
+
+class TestValidator:
+    def test_detects_uncovered_job(self, small_input, sol):
+        bad = CoScheduleSolution(
+            xt_data=sol.xt_data * 0.5,
+            xt_free=sol.xt_free * 0.5,
+            xd=sol.xd,
+            fake=sol.fake,
+            objective=0.0,
+        )
+        rep = validate_solution(small_input, bad)
+        assert not rep.ok
+        assert any("covered only" in v for v in rep.violations)
+
+    def test_detects_unplaced_data(self, small_input, sol):
+        bad = CoScheduleSolution(
+            xt_data=sol.xt_data,
+            xt_free=sol.xt_free,
+            xd=sol.xd * 0.2,
+            fake=sol.fake,
+            objective=0.0,
+        )
+        rep = validate_solution(small_input, bad)
+        assert any("placed only" in v for v in rep.violations)
+
+    def test_detects_machine_overload(self, small_input, sol):
+        rep = validate_solution(small_input, sol, horizon=0.001)
+        assert any("cpu-s > cap" in v for v in rep.violations)
+
+    def test_detects_coupling_violation(self, small_input, sol):
+        bad_xd = sol.xd.copy()
+        bad_xd[:] = 0.0
+        bad_xd[:, 0] = 1.0  # data claimed to be only on store 0
+        moved = CoScheduleSolution(
+            xt_data=sol.xt_data,
+            xt_free=sol.xt_free,
+            xd=bad_xd,
+            fake=sol.fake,
+            objective=0.0,
+        )
+        rep = validate_solution(small_input, moved)
+        # unless all reads already come from store 0, coupling must trip
+        reads_elsewhere = sol.xt_data[:, :, 1:].sum()
+        if reads_elsewhere > 1e-6:
+            assert any("placed there" in v for v in rep.violations)
+
+    def test_detects_out_of_range_fractions(self, small_input, sol):
+        bad = CoScheduleSolution(
+            xt_data=sol.xt_data.copy(),
+            xt_free=sol.xt_free,
+            xd=sol.xd,
+            fake=sol.fake - 0.5,  # negative fake
+            objective=0.0,
+        )
+        rep = validate_solution(small_input, bad)
+        assert any("outside [0, 1]" in v for v in rep.violations)
+
+
+def test_cost_breakdown_components_nonnegative(small_input, sol):
+    bd = sol.cost_breakdown(small_input)
+    assert bd.placement_transfer >= 0
+    assert bd.execution > 0
+    assert bd.runtime_transfer >= 0
+    assert bd.total == pytest.approx(
+        bd.placement_transfer + bd.execution + bd.runtime_transfer + bd.fake
+    )
+
+
+def test_placement_to_origin_is_free(small_input):
+    """Leaving data at its origin store incurs no placement cost."""
+    identity = np.zeros((2, 4))
+    identity[0, small_input.origin[0]] = 1.0
+    identity[1, small_input.origin[1]] = 1.0
+    sol = CoScheduleSolution(
+        xt_data=np.zeros((3, 4, 4)),
+        xt_free=np.zeros((3, 4)),
+        xd=identity,
+        fake=np.zeros(3),
+        objective=0.0,
+    )
+    assert sol.cost_breakdown(small_input).placement_transfer == 0.0

@@ -1,0 +1,62 @@
+"""Unit tests for the cost ledger."""
+
+import pytest
+
+from repro.cost.accounting import CPU, PLACEMENT_TRANSFER, RUNTIME_TRANSFER, CostLedger, CostRecord
+
+
+@pytest.fixture
+def ledger():
+    l = CostLedger()
+    l.charge_cpu(1.0, job_id=0, machine_id=0)
+    l.charge_cpu(2.0, job_id=1, machine_id=0)
+    l.charge_runtime_transfer(0.5, job_id=0, machine_id=1, store_id=2)
+    l.charge_placement_transfer(0.25, store_id=2)
+    return l
+
+
+def test_total(ledger):
+    assert ledger.total == pytest.approx(3.75)
+
+
+def test_totals_by_category(ledger):
+    cats = ledger.total_by_category()
+    assert cats[CPU] == pytest.approx(3.0)
+    assert cats[RUNTIME_TRANSFER] == pytest.approx(0.5)
+    assert cats[PLACEMENT_TRANSFER] == pytest.approx(0.25)
+
+
+def test_conservation_across_slices(ledger):
+    """Category totals and per-machine/job slices each sum to the whole."""
+    assert sum(ledger.total_by_category().values()) == pytest.approx(ledger.total)
+    by_job = ledger.by_job()
+    # placement transfer carries no job: job slices cover all but 0.25
+    assert sum(by_job.values()) == pytest.approx(ledger.total - 0.25)
+
+
+def test_per_job_attribution(ledger):
+    assert ledger.total_for_job(0) == pytest.approx(1.5)
+    assert ledger.total_for_job(1) == pytest.approx(2.0)
+    assert ledger.total_for_job(99) == 0.0
+
+
+def test_per_machine_attribution(ledger):
+    assert ledger.total_for_machine(0) == pytest.approx(3.0)
+    assert ledger.by_machine() == {0: pytest.approx(3.0), 1: pytest.approx(0.5)}
+
+
+def test_merge_folds_records(ledger):
+    other = CostLedger()
+    other.charge_cpu(10.0, job_id=7)
+    ledger.merge(other)
+    assert ledger.total == pytest.approx(13.75)
+    assert ledger.total_for_job(7) == pytest.approx(10.0)
+
+
+def test_negative_charge_rejected():
+    with pytest.raises(ValueError):
+        CostRecord(category=CPU, amount=-1.0)
+
+
+def test_len_counts_records(ledger):
+    assert len(ledger) == 4

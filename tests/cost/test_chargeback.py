@@ -1,0 +1,90 @@
+"""Tests for multi-tenant chargeback allocation."""
+
+import pytest
+
+from repro.cost.accounting import CostLedger
+from repro.cost.chargeback import chargeback
+from repro.workload.job import Job, Workload
+
+
+@pytest.fixture
+def workload():
+    jobs = [
+        Job(job_id=0, name="a0", tcp=0.0, cpu_seconds_noinput=1.0, pool="alpha"),
+        Job(job_id=1, name="a1", tcp=0.0, cpu_seconds_noinput=1.0, pool="alpha"),
+        Job(job_id=2, name="b0", tcp=0.0, cpu_seconds_noinput=1.0, pool="beta"),
+    ]
+    return Workload(jobs=jobs, data=[])
+
+
+@pytest.fixture
+def ledger():
+    l = CostLedger()
+    l.charge_cpu(3.0, job_id=0)
+    l.charge_cpu(1.0, job_id=1)
+    l.charge_runtime_transfer(2.0, job_id=2)
+    l.charge_placement_transfer(1.2, store_id=0)  # shared: no job id
+    return l
+
+
+def test_direct_attribution(ledger, workload):
+    rep = chargeback(ledger, workload)
+    assert rep.bill_for("alpha").direct == pytest.approx(4.0)
+    assert rep.bill_for("beta").direct == pytest.approx(2.0)
+
+
+def test_shared_allocated_by_spend(ledger, workload):
+    rep = chargeback(ledger, workload)
+    assert rep.bill_for("alpha").shared == pytest.approx(1.2 * 4.0 / 6.0)
+    assert rep.bill_for("beta").shared == pytest.approx(1.2 * 2.0 / 6.0)
+    assert rep.unallocated == 0.0
+
+
+def test_conservation(ledger, workload):
+    rep = chargeback(ledger, workload)
+    assert rep.total == pytest.approx(ledger.total)
+
+
+def test_custom_weights(ledger, workload):
+    rep = chargeback(ledger, workload, weights={"alpha": 1.0, "beta": 3.0})
+    assert rep.bill_for("beta").shared == pytest.approx(1.2 * 0.75)
+
+
+def test_negative_weights_rejected(ledger, workload):
+    with pytest.raises(ValueError):
+        chargeback(ledger, workload, weights={"alpha": -1.0})
+
+
+def test_no_basis_leaves_unallocated(workload):
+    l = CostLedger()
+    l.charge_placement_transfer(5.0)
+    rep = chargeback(l, workload)
+    assert rep.unallocated == pytest.approx(5.0)
+    assert rep.total == pytest.approx(5.0)
+
+
+def test_rows_sorted(ledger, workload):
+    rep = chargeback(ledger, workload)
+    pools = [r[0] for r in rep.rows()]
+    assert pools == ["alpha", "beta"]
+
+
+def test_end_to_end_from_simulation(two_zone_cluster):
+    from repro.hadoop.sim import HadoopSimulator, SimConfig
+    from repro.schedulers import LipsScheduler
+    from repro.workload.job import DataObject
+
+    data = [DataObject(data_id=0, name="d", size_mb=640.0, origin_store=0)]
+    jobs = [
+        Job(job_id=0, name="scan", tcp=1.0, data_ids=[0], num_tasks=10, pool="etl"),
+        Job(job_id=1, name="pi", tcp=0.0, num_tasks=2, cpu_seconds_noinput=100.0, pool="adhoc"),
+    ]
+    w = Workload(jobs=jobs, data=data)
+    sim = HadoopSimulator(
+        two_zone_cluster, w, LipsScheduler(epoch_length=600.0),
+        SimConfig(placement_seed=2, speculative=False),
+    )
+    metrics = sim.run().metrics
+    rep = chargeback(metrics.ledger, w)
+    assert rep.total == pytest.approx(metrics.total_cost)
+    assert rep.bill_for("etl").total > rep.bill_for("adhoc").total

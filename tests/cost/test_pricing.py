@@ -1,0 +1,52 @@
+"""Unit tests for pricing primitives and the Figure 1 break-even rule."""
+
+import pytest
+
+from repro.cost.pricing import cpu_cost, move_data_break_even, transfer_cost
+
+
+class TestBasicPricing:
+    def test_cpu_cost(self):
+        assert cpu_cost(100.0, 2e-5) == pytest.approx(2e-3)
+
+    def test_transfer_cost(self):
+        assert transfer_cost(64.0, 1e-5) == pytest.approx(6.4e-4)
+
+    @pytest.mark.parametrize("fn", [cpu_cost, transfer_cost])
+    def test_negative_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            fn(1.0, -1.0)
+
+
+class TestBreakEven:
+    def test_paper_inequality_exact(self):
+        # move iff c*a > c*b + d
+        be = move_data_break_even(tcp=1.0, src_cpu_price=3.0, dst_cpu_price=1.0, transfer_price_per_mb=1.0)
+        assert be.should_move  # 3 > 1 + 1
+        be2 = move_data_break_even(1.0, 2.0, 1.0, 1.0)
+        assert not be2.should_move  # 2 > 2 is false (strict)
+
+    def test_saving_per_mb(self):
+        be = move_data_break_even(2.0, 3.0, 1.0, 1.0)
+        assert be.saving_per_mb == pytest.approx(2.0 * 3.0 - (2.0 * 1.0 + 1.0))
+
+    def test_relative_saving_bounded_by_one(self):
+        be = move_data_break_even(10.0, 5.0, 0.0, 0.0)
+        assert be.relative_saving == pytest.approx(1.0)
+
+    def test_zero_tcp_never_moves(self):
+        be = move_data_break_even(0.0, 100.0, 0.0, 1.0)
+        assert not be.should_move
+        assert be.relative_saving == 0.0
+
+    def test_io_bound_needs_higher_ratio_than_cpu_bound(self):
+        d, b = 0.5, 1.0
+        grep = move_data_break_even(0.3, 2.0 * b, b, d)
+        wordcount = move_data_break_even(1.4, 2.0 * b, b, d)
+        assert wordcount.saving_per_mb > grep.saving_per_mb
+
+    def test_negative_tcp_rejected(self):
+        with pytest.raises(ValueError):
+            move_data_break_even(-1.0, 1.0, 1.0, 1.0)

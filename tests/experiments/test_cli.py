@@ -1,0 +1,62 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+def test_parser_requires_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_tables_command(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Table IV" in out
+
+
+def test_fig1_command(capsys):
+    assert main(["fig1"]) == 0
+    assert "Figure 1" in capsys.readouterr().out
+
+
+def test_multiple_commands(capsys):
+    assert main(["tables", "fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Figure 1" in out
+
+
+def test_duplicates_run_once(capsys):
+    assert main(["fig1", "fig1"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("Figure 1 —") == 1
+
+
+def test_unknown_command(capsys):
+    assert main(["nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_all_expands_to_every_command():
+    # 'all' must reference only registered commands (no stale names)
+    assert set(COMMANDS) == {
+        "tables", "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "fig11", "fairness", "frontier", "interference", "check",
+    }
+
+
+def test_frontier_command(capsys):
+    assert main(["frontier"]) == 0
+    out = capsys.readouterr().out
+    assert "frontier" in out
+    assert "deadline" in out
+
+
+def test_csv_export_flag(tmp_path, capsys):
+    assert main(["fig5", "--csv", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert (tmp_path / "fig5.csv").exists()
+    header = (tmp_path / "fig5.csv").read_text().splitlines()[0]
+    assert header == "tasks,stores,machines,lips_cost,default_cost,reduction"

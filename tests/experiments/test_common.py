@@ -1,0 +1,54 @@
+"""Unit tests for the shared experiment plumbing."""
+
+import pytest
+
+from repro.cluster.builder import build_paper_testbed
+from repro.experiments.common import (
+    DEFAULT,
+    DELAY,
+    LIPS,
+    ComparisonResult,
+    compare_schedulers,
+    scheduler_lineup,
+)
+from repro.workload.job import DataObject, Job, Workload
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    cluster = build_paper_testbed(6, c1_medium_fraction=0.5, seed=2)
+    data = [DataObject(data_id=0, name="d", size_mb=640.0, origin_store=0)]
+    jobs = [
+        Job(job_id=0, name="scan", tcp=0.5, data_ids=[0], num_tasks=10),
+        Job(job_id=1, name="pi", tcp=0.0, num_tasks=2, cpu_seconds_noinput=200.0),
+    ]
+    w = Workload(jobs=jobs, data=data)
+    return compare_schedulers(cluster, w, epoch_length=900.0)
+
+
+def test_lineup_keys():
+    lineup = scheduler_lineup(600.0)
+    assert set(lineup) == {DEFAULT, DELAY, LIPS}
+    # LiPS never speculates; the baselines do (Hadoop default)
+    assert lineup[LIPS][1] is False
+    assert lineup[DEFAULT][1] is True
+
+
+def test_all_schedulers_ran(comparison):
+    assert set(comparison.metrics) == {DEFAULT, DELAY, LIPS}
+    for m in comparison.metrics.values():
+        assert m.tasks_run == 12
+
+
+def test_saving_and_slowdown_consistent(comparison):
+    s = comparison.saving_vs(DELAY, LIPS)
+    assert s == pytest.approx(1.0 - comparison.cost(LIPS) / comparison.cost(DELAY))
+    sd = comparison.slowdown_vs(DELAY, LIPS)
+    assert sd == pytest.approx(comparison.makespan(LIPS) / comparison.makespan(DELAY) - 1.0)
+
+
+def test_zero_baseline_degenerate():
+    c = ComparisonResult(metrics={})
+    c.metrics = {"a": type("M", (), {"total_cost": 0.0, "makespan": 0.0})(), "b": type("M", (), {"total_cost": 1.0, "makespan": 1.0})()}
+    assert c.saving_vs("a", "b") == 0.0
+    assert c.slowdown_vs("a", "b") == 0.0

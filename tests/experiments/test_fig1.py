@@ -1,0 +1,45 @@
+"""Unit tests for the Figure 1 break-even experiment."""
+
+import pytest
+
+from repro.experiments.fig1_breakeven import DEFAULT_RATIOS, run
+
+
+def test_curves_cover_all_apps():
+    res = run()
+    assert set(res.savings) == {"grep", "stress1", "stress2", "wordcount", "pi"}
+    assert all(len(c) == len(DEFAULT_RATIOS) for c in res.savings.values())
+
+
+def test_break_even_ordering_matches_cpu_intensity():
+    res = run()
+    be = res.break_even_ratio
+    assert be["pi"] < be["wordcount"] < be["stress2"] < be["stress1"] < be["grep"]
+
+
+def test_savings_monotone_in_ratio():
+    res = run()
+    for curve in res.savings.values():
+        assert all(a <= b + 1e-12 for a, b in zip(curve, curve[1:]))
+
+
+def test_moving_at_ratio_one_never_positive_for_data_apps():
+    res = run(ratios=(1.0,))
+    for app in ("grep", "stress1", "stress2", "wordcount"):
+        assert res.savings[app][0] <= 0.0
+    assert res.savings["pi"][0] == pytest.approx(0.0)
+
+
+def test_break_even_formula():
+    """Break-even ratio satisfies c*a == c*b + d exactly."""
+    from repro.experiments.fig1_breakeven import DST_PRICE, TRANSFER_PER_MB
+    from repro.workload.apps import APP_PROFILES
+
+    res = run()
+    for app, prof in APP_PROFILES.items():
+        if prof.is_input_less:
+            continue
+        r = res.break_even_ratio[app]
+        lhs = prof.tcp * r * DST_PRICE
+        rhs = prof.tcp * DST_PRICE + TRANSFER_PER_MB
+        assert lhs == pytest.approx(rhs, rel=1e-9)

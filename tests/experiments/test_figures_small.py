@@ -1,0 +1,97 @@
+"""Small-scale unit tests of the figure experiment modules.
+
+The benchmarks run these at reporting scale; here each module's ``run`` and
+row-formatting functions are exercised on tiny inputs so refactors break
+fast, not after a minute of simulation.
+"""
+
+import pytest
+
+from repro.experiments.common import DEFAULT, DELAY, LIPS
+from repro.workload.apps import make_job, table4_jobs
+from repro.workload.job import DataObject, Job, Workload
+
+
+@pytest.fixture(scope="module")
+def tiny_table4():
+    """A shrunken Table IV: same app mix, 1/16 of the tasks."""
+    data = [
+        DataObject(data_id=0, name="wc", size_mb=640.0, origin_store=0),
+        DataObject(data_id=1, name="grep", size_mb=1280.0, origin_store=1),
+        DataObject(data_id=2, name="stress", size_mb=640.0, origin_store=2),
+    ]
+    jobs = [
+        make_job("pi", 0, num_tasks=1),
+        make_job("wordcount", 1, data_ids=[0], num_tasks=10),
+        make_job("grep", 2, data_ids=[1], num_tasks=20),
+        make_job("stress2", 3, data_ids=[2], num_tasks=10),
+    ]
+    return Workload(jobs=jobs, data=data)
+
+
+class TestFig6Module:
+    def test_run_and_rows(self, tiny_table4):
+        from repro.experiments.fig6_cost_reduction import fig6_rows, fig7_rows, run
+
+        res = run(mixes=(0.0, 0.5), total_nodes=6, epoch_length=900.0, workload=tiny_table4)
+        assert len(res.comparisons) == 2
+        assert len(res.savings()) == 2
+        rows6 = fig6_rows(res)
+        rows7 = fig7_rows(res)
+        assert len(rows6) == len(rows7) == 2
+        assert rows6[0][0] == "0% c1.medium"
+        # every comparison ran all three schedulers
+        for comp in res.comparisons:
+            assert set(comp.metrics) == {DEFAULT, DELAY, LIPS}
+
+    def test_savings_and_slowdowns_align(self, tiny_table4):
+        from repro.experiments.fig6_cost_reduction import run
+
+        res = run(mixes=(0.5,), total_nodes=6, epoch_length=900.0, workload=tiny_table4)
+        comp = res.comparisons[0]
+        assert res.savings()[0] == pytest.approx(comp.saving_vs(DELAY))
+        assert res.slowdowns()[0] == pytest.approx(comp.slowdown_vs(DELAY))
+
+
+class TestFig8Module:
+    def test_run_shapes(self, tiny_table4):
+        from repro.experiments.fig8_epoch_tradeoff import run
+
+        res = run(epochs=(300.0, 1200.0), total_nodes=6, workload=tiny_table4)
+        assert len(res.costs) == len(res.exec_times) == 2
+        assert all(c > 0 for c in res.costs)
+
+
+class TestFig11Module:
+    def test_run_and_metrics(self, tiny_table4):
+        from repro.experiments.fig11_cpu_breakdown import run
+
+        res = run(epochs=(300.0, 600.0), total_nodes=6, workload=tiny_table4)
+        for e in (300.0, 600.0):
+            vec = res.cpu_per_node[e]
+            assert vec.shape == (6,)
+            assert vec.sum() == pytest.approx(
+                tiny_table4.total_cpu_seconds(), rel=1e-6
+            )
+        assert 0 < res.concentration(300.0) <= 1.0
+        assert 1 <= res.active_nodes(600.0) <= 6
+
+
+class TestFig9Module:
+    def test_reduced_run_rows(self):
+        from repro.experiments.fig9_100node_cost import fig9_rows, fig10_rows, run
+
+        res = run(num_nodes=9, num_jobs=12, duration_s=1200.0, epoch_length=300.0)
+        r9, r10 = fig9_rows(res), fig10_rows(res)
+        assert len(r9) == len(r10) == 1
+        assert "9 nodes / 12 jobs" in r9[0][0]
+
+    def test_weak_scaling_shrinks_classes(self):
+        from repro.experiments.fig9_100node_cost import run
+
+        res = run(num_nodes=9, num_jobs=12, duration_s=1200.0, epoch_length=300.0)
+        # at 9/100 scale the long class tops out well below 1500 maps
+        biggest = max(
+            m.tasks_run for m in res.comparison.metrics.values()
+        )
+        assert biggest < 2000

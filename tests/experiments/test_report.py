@@ -1,0 +1,32 @@
+"""Unit tests for ASCII report rendering."""
+
+from repro.experiments.report import format_series, format_table, percent
+
+
+def test_table_alignment():
+    text = format_table(["a", "bee"], [("x", 1), ("longer", 2.5)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bee" in lines[1]
+    # separator row present
+    assert set(lines[2]) <= {"-", "+"}
+    # all data rows have the same width
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_table_float_formatting():
+    text = format_table(["v"], [(0.123456,), (1234.5,), (0.0,)])
+    assert "0.1235" in text
+    assert "1.23e+03" in text or "1235" in text or "1.23" in text
+
+
+def test_series_formatting():
+    text = format_series("name", ["a", "b"], [1.0, 2.0])
+    lines = text.splitlines()
+    assert lines[0] == "name"
+    assert "1.0000" in lines[1]
+
+
+def test_percent():
+    assert percent(0.5) == "50.0%"
+    assert percent(0.123) == "12.3%"

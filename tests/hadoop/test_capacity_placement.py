@@ -1,0 +1,79 @@
+"""Tests for the Purlieus-style capacity-aware placement policy."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builder import ClusterBuilder
+from repro.cluster.topology import Topology
+from repro.hadoop.hdfs import HDFS, CapacityAwarePlacement
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.schedulers import FifoScheduler
+from repro.workload.job import DataObject, Job, Workload
+
+
+@pytest.fixture
+def hetero_cluster():
+    """One 5-ECU machine and two 1-ECU machines (plus a remote store)."""
+    b = ClusterBuilder(topology=Topology.of(["z"]), store_capacity_mb=1e6)
+    b.add_machine("big", ecu=5.0, cpu_cost=1e-5, zone="z", map_slots=10)
+    b.add_machine("small-0", ecu=1.0, cpu_cost=1e-5, zone="z")
+    b.add_machine("small-1", ecu=1.0, cpu_cost=1e-5, zone="z")
+    b.add_remote_store("s3", capacity_mb=1e6, zone="z")
+    return b.build()
+
+
+def big_data(size_mb=64.0 * 200):
+    return [DataObject(data_id=0, name="d", size_mb=size_mb, origin_store=0)]
+
+
+def test_blocks_follow_ecu_share(hetero_cluster):
+    hdfs = HDFS(hetero_cluster, replication=1, policy=CapacityAwarePlacement(), seed=0)
+    hdfs.populate(big_data())
+    counts = np.zeros(hetero_cluster.num_stores)
+    for b in hdfs.blocks_of(0):
+        counts[b.replicas[0]] += 1
+    # remote store never receives data
+    assert counts[3] == 0
+    # the 5-ECU machine gets roughly 5/7 of the blocks
+    share = counts[0] / counts.sum()
+    assert 0.6 <= share <= 0.85, share
+
+
+def test_replicas_distinct(hetero_cluster):
+    hdfs = HDFS(hetero_cluster, replication=2, policy=CapacityAwarePlacement(), seed=1)
+    hdfs.populate(big_data(64.0 * 10))
+    for b in hdfs.blocks_of(0):
+        assert len(set(b.replicas)) == len(b.replicas) == 2
+
+
+def test_fallback_when_local_full():
+    b = ClusterBuilder(topology=Topology.of(["z"]))
+    b.add_machine("m0", ecu=1.0, cpu_cost=1e-5, zone="z", store_capacity_mb=64.0)
+    b.add_remote_store("s3", capacity_mb=1e6, zone="z")
+    cluster = b.build()
+    hdfs = HDFS(cluster, replication=1, policy=CapacityAwarePlacement(), seed=0)
+    hdfs.populate([DataObject(data_id=0, name="d", size_mb=192.0, origin_store=0)])
+    stores = [blk.replicas[0] for blk in hdfs.blocks_of(0)]
+    # the co-located store holds one block; the rest spilled to the remote
+    assert stores.count(0) == 1
+    assert stores.count(1) == 2
+
+
+def test_capacity_placement_speeds_up_locality_scheduler(hetero_cluster):
+    """Data near compute: the big machine's slots stay fed with local work."""
+    jobs = [Job(job_id=0, name="scan", tcp=2.0, data_ids=[0], num_tasks=200)]
+    w = Workload(jobs=jobs, data=big_data())
+    results = {}
+    for mode in ("random", "capacity"):
+        sim = HadoopSimulator(
+            hetero_cluster, w, FifoScheduler(),
+            SimConfig(placement_seed=5, populate=mode, replication=1),
+        )
+        results[mode] = sim.run().metrics
+    assert results["capacity"].makespan <= results["random"].makespan * 1.02
+    assert results["capacity"].data_locality >= results["random"].data_locality - 0.02
+
+
+def test_populate_option_validated(hetero_cluster):
+    with pytest.raises(ValueError, match="populate"):
+        SimConfig(populate="everywhere")

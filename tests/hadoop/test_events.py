@@ -1,0 +1,127 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+
+from repro.hadoop.events import EventQueue
+
+
+def test_events_fire_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.schedule(5.0, lambda: fired.append("b"))
+    q.schedule(1.0, lambda: fired.append("a"))
+    q.schedule(9.0, lambda: fired.append("c"))
+    q.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_fifo_by_seq():
+    q = EventQueue()
+    fired = []
+    for i in range(5):
+        q.schedule(1.0, lambda i=i: fired.append(i))
+    q.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_priority_orders_same_time():
+    q = EventQueue()
+    fired = []
+    q.schedule(1.0, lambda: fired.append("low"), priority=5)
+    q.schedule(1.0, lambda: fired.append("high"), priority=-1)
+    q.run()
+    assert fired == ["high", "low"]
+
+
+def test_clock_advances():
+    q = EventQueue()
+    seen = []
+    q.schedule(3.0, lambda: seen.append(q.now))
+    q.run()
+    assert seen == [3.0]
+    assert q.now == 3.0
+
+
+def test_schedule_in_relative():
+    q = EventQueue()
+    out = []
+    q.schedule(2.0, lambda: q.schedule_in(1.5, lambda: out.append(q.now)))
+    q.run()
+    assert out == [3.5]
+
+
+def test_scheduling_in_past_rejected():
+    q = EventQueue()
+    q.schedule(5.0, lambda: None)
+    q.step()
+    with pytest.raises(ValueError, match="before now"):
+        q.schedule(1.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.schedule_in(-1.0, lambda: None)
+
+
+def test_cancellation():
+    q = EventQueue()
+    fired = []
+    h = q.schedule(1.0, lambda: fired.append("x"))
+    h.cancel()
+    q.run()
+    assert fired == []
+    assert h.cancelled
+
+
+def test_events_scheduled_during_run():
+    q = EventQueue()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            q.schedule_in(1.0, lambda: chain(n + 1))
+
+    q.schedule(0.0, lambda: chain(0))
+    q.run()
+    assert fired == [0, 1, 2, 3]
+    assert q.now == 3.0
+
+
+def test_run_until_stops_clock():
+    q = EventQueue()
+    fired = []
+    q.schedule(1.0, lambda: fired.append(1))
+    q.schedule(10.0, lambda: fired.append(10))
+    q.run(until=5.0)
+    assert fired == [1]
+    assert q.now == 5.0
+
+
+def test_max_events_guard():
+    q = EventQueue()
+
+    def forever():
+        q.schedule_in(1.0, forever)
+
+    q.schedule(0.0, forever)
+    with pytest.raises(RuntimeError, match="max_events"):
+        q.run(max_events=100)
+
+
+def test_peek_skips_cancelled():
+    q = EventQueue()
+    h = q.schedule(1.0, lambda: None)
+    q.schedule(2.0, lambda: None)
+    h.cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_len_counts_live_events():
+    q = EventQueue()
+    h = q.schedule(1.0, lambda: None)
+    q.schedule(2.0, lambda: None)
+    assert len(q) == 2
+    h.cancel()
+    assert len(q) == 1

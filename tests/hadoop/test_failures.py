@@ -1,0 +1,145 @@
+"""Tests for machine-failure injection and recovery."""
+
+import pytest
+
+from repro.cluster.builder import ClusterBuilder
+from repro.cluster.topology import Topology
+from repro.hadoop.failures import FailureEvent, FailurePlan, random_failure_plan
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.schedulers import FifoScheduler, LipsScheduler
+from repro.workload.job import DataObject, Job, Workload
+
+
+@pytest.fixture
+def cluster():
+    b = ClusterBuilder(topology=Topology.of(["z"]), store_capacity_mb=1e6)
+    for i in range(3):
+        b.add_machine(f"m{i}", ecu=2.0, cpu_cost=1e-5, zone="z", map_slots=2)
+    return b.build()
+
+
+def workload(tasks=12, cpu=600.0):
+    jobs = [Job(job_id=0, name="pi", tcp=0.0, num_tasks=tasks, cpu_seconds_noinput=cpu)]
+    return Workload(jobs=jobs, data=[])
+
+
+def data_workload():
+    data = [DataObject(data_id=0, name="d", size_mb=640.0, origin_store=0)]
+    jobs = [Job(job_id=0, name="scan", tcp=1.0, data_ids=[0], num_tasks=10)]
+    return Workload(jobs=jobs, data=data)
+
+
+class TestPlan:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FailureEvent(machine_id=0, fail_time=-1.0)
+        with pytest.raises(ValueError):
+            FailureEvent(machine_id=0, fail_time=10.0, recover_time=5.0)
+
+    def test_plan_validates_machine_ids(self):
+        plan = FailurePlan()
+        plan.add(99, 10.0)
+        with pytest.raises(ValueError, match="unknown machine"):
+            plan.validate(3)
+
+    def test_overlapping_outages_rejected(self):
+        plan = FailurePlan()
+        plan.add(0, 10.0, 100.0)
+        plan.add(0, 50.0, 150.0)
+        with pytest.raises(ValueError, match="overlapping"):
+            plan.validate(3)
+
+    def test_sequential_outages_allowed(self):
+        plan = FailurePlan()
+        plan.add(0, 10.0, 20.0)
+        plan.add(0, 30.0, 40.0)
+        plan.validate(3)
+
+    def test_random_plan_within_horizon(self):
+        plan = random_failure_plan(10, horizon_s=1000.0, mean_time_to_failure_s=300.0, seed=1)
+        for e in plan.events:
+            assert 0 <= e.fail_time < 1000.0
+            assert e.recover_time is not None
+
+    def test_random_plan_caps_concurrency(self):
+        plan = random_failure_plan(
+            10, 1000.0, mean_time_to_failure_s=50.0, mean_repair_s=500.0,
+            seed=2, max_concurrent_fraction=0.3,
+        )
+        # at any failure instant no more than 3 machines down
+        for e in plan.events:
+            down = sum(
+                1
+                for o in plan.events
+                if o.fail_time <= e.fail_time and (o.recover_time or 1e18) > e.fail_time
+            )
+            assert down <= 3
+
+
+class TestFailureHandling:
+    def test_work_migrates_to_survivors(self, cluster):
+        plan = FailurePlan()
+        plan.add(0, fail_time=10.0)  # permanent loss of m0
+        sim = HadoopSimulator(cluster, workload(), FifoScheduler(), SimConfig(), failures=plan)
+        res = sim.run()
+        assert res.metrics.machine_failures == 1
+        assert sim.jobtracker.all_complete()
+        # the dead machine did no work after t=10 (50s tasks, killed ones rerun)
+        assert res.metrics.tasks_run == 12
+
+    def test_failed_attempts_requeued_and_rerun(self, cluster):
+        plan = FailurePlan()
+        plan.add(0, fail_time=10.0)
+        sim = HadoopSimulator(cluster, workload(), FifoScheduler(), SimConfig(), failures=plan)
+        res = sim.run()
+        # m0 had 2 slots busy at t=10: both re-queued
+        assert res.metrics.failed_attempts == 2
+        assert res.metrics.killed_attempts >= 2
+
+    def test_partial_burn_billed(self, cluster):
+        plan = FailurePlan()
+        plan.add(0, fail_time=10.0)
+        sim = HadoopSimulator(cluster, workload(), FifoScheduler(), SimConfig(), failures=plan)
+        res = sim.run()
+        wasted = [r for r in res.metrics.ledger.records if r.detail == "machine-failure"]
+        assert wasted and all(r.amount > 0 for r in wasted)
+
+    def test_recovery_restores_capacity(self, cluster):
+        plan = FailurePlan()
+        plan.add(0, fail_time=10.0, recover_time=60.0)
+        sim = HadoopSimulator(cluster, workload(tasks=24, cpu=1200.0), FifoScheduler(), SimConfig(), failures=plan)
+        res = sim.run()
+        assert sim.trackers[0].alive
+        # the recovered machine ran work again after rejoining
+        assert res.metrics.machine_cpu_seconds.get(0, 0.0) > 0
+
+    def test_reads_fall_back_to_live_replicas(self, cluster):
+        plan = FailurePlan()
+        plan.add(0, fail_time=1.0)  # store 0's host dies almost immediately
+        sim = HadoopSimulator(
+            cluster, data_workload(), FifoScheduler(),
+            SimConfig(replication=2, placement_seed=3), failures=plan,
+        )
+        res = sim.run()
+        assert sim.jobtracker.all_complete()
+
+    def test_makespan_grows_under_failure(self, cluster):
+        base = HadoopSimulator(cluster, workload(), FifoScheduler(), SimConfig()).run()
+        plan = FailurePlan()
+        plan.add(0, fail_time=10.0)
+        failed = HadoopSimulator(
+            cluster, workload(), FifoScheduler(), SimConfig(), failures=plan
+        ).run()
+        assert failed.metrics.makespan >= base.metrics.makespan
+
+    def test_lips_replans_after_failure(self, cluster):
+        plan = FailurePlan()
+        plan.add(1, fail_time=30.0, recover_time=2000.0)
+        sim = HadoopSimulator(
+            cluster, data_workload(), LipsScheduler(epoch_length=120.0),
+            SimConfig(replication=2, placement_seed=3, speculative=False),
+            failures=plan,
+        )
+        res = sim.run()
+        assert sim.jobtracker.all_complete()
+        assert res.metrics.tasks_run == 10

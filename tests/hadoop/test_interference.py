@@ -1,0 +1,72 @@
+"""Tests for the co-location interference model."""
+
+import pytest
+
+from repro.cluster.builder import ClusterBuilder
+from repro.cluster.topology import Topology
+from repro.hadoop.interference import NO_INTERFERENCE, InterferenceModel
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.schedulers import FifoScheduler
+from repro.workload.job import DataObject, Job, Workload
+
+
+@pytest.fixture
+def cluster():
+    b = ClusterBuilder(topology=Topology.of(["z"]), store_capacity_mb=1e6)
+    b.add_machine("m0", ecu=4.0, cpu_cost=1e-5, zone="z", map_slots=4)
+    return b.build()
+
+
+@pytest.fixture
+def workload():
+    jobs = [Job(job_id=0, name="pi", tcp=0.0, num_tasks=8, cpu_seconds_noinput=800.0)]
+    return Workload(jobs=jobs, data=[])
+
+
+class TestModel:
+    def test_slowdown_formula(self):
+        m = InterferenceModel(cpu_penalty=0.1, io_penalty=0.2)
+        assert m.slowdown(0, 0) == 1.0
+        assert m.slowdown(3, 1) == pytest.approx(1.0 + 0.3 + 0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterferenceModel(cpu_penalty=-0.1)
+        with pytest.raises(ValueError):
+            InterferenceModel().slowdown(-1, 0)
+
+    def test_no_interference_constant(self):
+        assert NO_INTERFERENCE.slowdown(10, 10) == 1.0
+
+
+class TestSimulatorEffect:
+    def _run(self, cluster, workload, model):
+        sim = HadoopSimulator(
+            cluster, workload, FifoScheduler(), SimConfig(interference=model)
+        )
+        return sim.run().metrics
+
+    def test_makespan_grows_with_interference(self, cluster, workload):
+        base = self._run(cluster, workload, None)
+        slow = self._run(cluster, workload, InterferenceModel(cpu_penalty=0.2))
+        assert slow.makespan > base.makespan
+
+    def test_cost_unchanged_by_interference(self, cluster, workload):
+        """Per-CPU-second pricing: interference stretches time, not dollars."""
+        base = self._run(cluster, workload, None)
+        slow = self._run(cluster, workload, InterferenceModel(cpu_penalty=0.2))
+        assert slow.total_cost == pytest.approx(base.total_cost, rel=1e-9)
+
+    def test_zero_penalty_matches_disabled(self, cluster, workload):
+        base = self._run(cluster, workload, None)
+        zero = self._run(cluster, workload, NO_INTERFERENCE)
+        assert zero.makespan == pytest.approx(base.makespan)
+
+    def test_single_slot_unaffected(self, workload):
+        """One slot per node: no co-runners, no interference effect."""
+        b = ClusterBuilder(topology=Topology.of(["z"]), store_capacity_mb=1e6)
+        b.add_machine("m0", ecu=1.0, cpu_cost=1e-5, zone="z", map_slots=1)
+        cluster = b.build()
+        base = self._run(cluster, workload, None)
+        slow = self._run(cluster, workload, InterferenceModel(cpu_penalty=0.5))
+        assert slow.makespan == pytest.approx(base.makespan)

@@ -1,0 +1,157 @@
+"""Unit tests for the JobTracker: expansion, attempts, speculation."""
+
+import pytest
+
+from repro.cluster.builder import ClusterBuilder
+from repro.cluster.topology import Topology
+from repro.hadoop.hdfs import HDFS
+from repro.hadoop.jobtracker import JobTracker, expand_job
+from repro.hadoop.tasktracker import TaskTracker
+from repro.workload.job import DataObject, Job, Workload
+
+
+@pytest.fixture
+def env():
+    b = ClusterBuilder(topology=Topology.of(["z"]), store_capacity_mb=1e6)
+    for i in range(2):
+        b.add_machine(f"m{i}", ecu=2.0, cpu_cost=1e-5, zone="z")
+    cluster = b.build()
+    data = [DataObject(data_id=0, name="d", size_mb=320.0, origin_store=0)]
+    jobs = [
+        Job(job_id=0, name="scan", tcp=0.5, data_ids=[0], num_tasks=5),
+        Job(job_id=1, name="pi", tcp=0.0, num_tasks=3, cpu_seconds_noinput=300.0),
+    ]
+    w = Workload(jobs=jobs, data=data)
+    hdfs = HDFS(cluster, replication=1, seed=0)
+    hdfs.populate(w.data)
+    return cluster, w, hdfs
+
+
+def test_expand_data_job_one_task_per_block(env):
+    cluster, w, hdfs = env
+    tasks = expand_job(w.jobs[0], w, hdfs)
+    assert len(tasks) == 5  # 320 MB / 64 MB
+    assert sum(t.input_mb for t in tasks) == pytest.approx(320.0)
+    assert sum(t.cpu_seconds for t in tasks) == pytest.approx(160.0)
+    for t in tasks:
+        assert t.candidate_stores  # replicas recorded
+
+
+def test_expand_input_less_job(env):
+    cluster, w, hdfs = env
+    tasks = expand_job(w.jobs[1], w, hdfs)
+    assert len(tasks) == 3
+    assert all(t.input_mb == 0 for t in tasks)
+    assert sum(t.cpu_seconds for t in tasks) == pytest.approx(300.0)
+
+
+def test_submit_and_queue(env):
+    cluster, w, hdfs = env
+    jt = JobTracker(hdfs)
+    jt.submit(w.jobs[0], w, now=1.0)
+    assert jt.has_pending_tasks()
+    with pytest.raises(ValueError, match="already submitted"):
+        jt.submit(w.jobs[0], w, now=2.0)
+
+
+def test_attempt_lifecycle(env):
+    cluster, w, hdfs = env
+    jt = JobTracker(hdfs)
+    state = jt.submit(w.jobs[1], w, now=0.0)
+    tracker = TaskTracker(cluster.machines[0])
+    task = state.pending[0]
+    state.take_pending(task)
+    a = jt.new_attempt(state, task, tracker, None, 0.0, 0.0, 10.0)
+    assert state.num_running == 1
+    siblings = jt.finish_attempt(state, a, now=10.0)
+    assert siblings == []
+    assert task.key in state.completed
+    assert not state.is_complete  # two tasks left
+
+
+def test_job_completion_sets_finish_time(env):
+    cluster, w, hdfs = env
+    jt = JobTracker(hdfs)
+    state = jt.submit(w.jobs[1], w, now=5.0)
+    tracker = TaskTracker(cluster.machines[0])
+    for task in list(state.pending):
+        state.take_pending(task)
+        a = jt.new_attempt(state, task, tracker, None, 5.0, 0.0, 1.0)
+        jt.finish_attempt(state, a, now=6.0)
+    assert state.is_complete
+    assert state.finish_time == 6.0
+    assert state.duration == pytest.approx(1.0)
+    assert jt.makespan() == 6.0
+
+
+def test_finish_returns_siblings_to_kill(env):
+    cluster, w, hdfs = env
+    jt = JobTracker(hdfs)
+    state = jt.submit(w.jobs[1], w, now=0.0)
+    tracker = TaskTracker(cluster.machines[0])
+    task = state.pending[0]
+    state.take_pending(task)
+    primary = jt.new_attempt(state, task, tracker, None, 0.0, 0.0, 100.0)
+    spec = jt.new_attempt(state, task, tracker, None, 50.0, 0.0, 100.0, speculative=True)
+    siblings = jt.finish_attempt(state, primary, now=100.0)
+    assert siblings == [spec]
+
+
+def test_speculation_candidate_picks_longest_runner(env):
+    cluster, w, hdfs = env
+    jt = JobTracker(hdfs)
+    state = jt.submit(w.jobs[1], w, now=0.0)
+    tracker = TaskTracker(cluster.machines[0])
+    # empty the pending queue (speculation only kicks when nothing pending)
+    t_fast, t_slow, t3 = state.pending[:3]
+    for t in (t_fast, t_slow, t3):
+        state.take_pending(t)
+    jt.new_attempt(state, t_fast, tracker, None, 0.0, 0.0, 50.0)
+    slow_attempt = jt.new_attempt(state, t_slow, tracker, None, 0.0, 0.0, 500.0)
+    jt.new_attempt(state, t3, tracker, None, 0.0, 0.0, 10.0)
+    cand = jt.speculation_candidate(now=100.0)
+    assert cand is not None
+    _job, task, attempt = cand
+    assert attempt is slow_attempt
+
+
+def test_speculation_respects_min_elapsed(env):
+    cluster, w, hdfs = env
+    jt = JobTracker(hdfs)
+    state = jt.submit(w.jobs[1], w, now=0.0)
+    tracker = TaskTracker(cluster.machines[0])
+    for t in list(state.pending):
+        state.take_pending(t)
+        jt.new_attempt(state, t, tracker, None, 0.0, 0.0, 500.0)
+    assert jt.speculation_candidate(now=10.0, min_elapsed=60.0) is None
+    assert jt.speculation_candidate(now=100.0, min_elapsed=60.0) is not None
+
+
+def test_speculation_skips_jobs_with_pending(env):
+    cluster, w, hdfs = env
+    jt = JobTracker(hdfs)
+    state = jt.submit(w.jobs[1], w, now=0.0)
+    tracker = TaskTracker(cluster.machines[0])
+    t = state.pending[0]
+    state.take_pending(t)
+    jt.new_attempt(state, t, tracker, None, 0.0, 0.0, 500.0)
+    # two tasks still pending: no speculation for this job
+    assert jt.speculation_candidate(now=1000.0) is None
+
+
+def test_speculation_caps_copies(env):
+    cluster, w, hdfs = env
+    jt = JobTracker(hdfs)
+    state = jt.submit(w.jobs[1], w, now=0.0)
+    tracker = TaskTracker(cluster.machines[0])
+    for t in list(state.pending):
+        state.take_pending(t)
+    t0 = state.tasks[0]
+    jt.new_attempt(state, t0, tracker, None, 0.0, 0.0, 500.0)
+    jt.new_attempt(state, t0, tracker, None, 0.0, 0.0, 500.0, speculative=True)
+    for t in state.tasks[1:]:
+        jt.new_attempt(state, t, tracker, None, 0.0, 0.0, 1.0)
+    cand = jt.speculation_candidate(now=100.0, max_copies=2)
+    # t0 already has 2 copies; others finish soon but are the only eligible
+    if cand is not None:
+        assert cand[1].key != t0.key

@@ -1,0 +1,51 @@
+"""Unit tests for run metrics."""
+
+import pytest
+
+from repro.hadoop.metrics import SimMetrics
+
+
+@pytest.fixture
+def metrics():
+    m = SimMetrics()
+    m.ledger.charge_cpu(2.0, job_id=0, machine_id=0)
+    m.ledger.charge_runtime_transfer(0.5, machine_id=0, store_id=1)
+    m.makespan = 100.0
+    m.local_read_mb = 60.0
+    m.zone_read_mb = 30.0
+    m.remote_read_mb = 10.0
+    m.machine_wall_busy = {0: 50.0, 1: 25.0}
+    m.machine_cpu_seconds = {0: 80.0, 1: 20.0}
+    m.job_durations = {0: 40.0, 1: 60.0}
+    return m
+
+
+def test_total_cost(metrics):
+    assert metrics.total_cost == pytest.approx(2.5)
+
+
+def test_locality_fraction(metrics):
+    assert metrics.data_locality == pytest.approx(0.6)
+
+
+def test_locality_defaults_one_with_no_reads():
+    assert SimMetrics().data_locality == 1.0
+
+
+def test_total_job_execution_time(metrics):
+    assert metrics.total_job_execution_time == pytest.approx(100.0)
+
+
+def test_utilization(metrics):
+    assert metrics.utilization(2) == pytest.approx(75.0 / 200.0)
+    assert SimMetrics().utilization(2) == 0.0
+
+
+def test_machine_cpu_vector(metrics):
+    v = metrics.machine_cpu_vector(3)
+    assert v.tolist() == [80.0, 20.0, 0.0]
+
+
+def test_summary_keys(metrics):
+    s = metrics.summary()
+    assert {"total_cost", "makespan", "data_locality", "tasks_run"} <= set(s)

@@ -1,0 +1,148 @@
+"""Tests for the reduce/shuffle phase of the simulator."""
+
+import pytest
+
+from repro.cluster.builder import ClusterBuilder
+from repro.cluster.topology import Topology
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.schedulers import FifoScheduler, LipsScheduler
+from repro.workload.apps import make_job
+from repro.workload.job import DataObject, Job, Workload
+
+
+@pytest.fixture
+def cluster():
+    b = ClusterBuilder(topology=Topology.of(["za", "zb"]), store_capacity_mb=1e6)
+    b.add_machine("a0", ecu=2.0, cpu_cost=5e-5, zone="za", reduce_slots=1)
+    b.add_machine("a1", ecu=2.0, cpu_cost=5e-5, zone="za", reduce_slots=1)
+    b.add_machine("b0", ecu=5.0, cpu_cost=1e-5, zone="zb", reduce_slots=1)
+    return b.build()
+
+
+def wc_workload(num_reduces=2):
+    data = [DataObject(data_id=0, name="docs", size_mb=640.0, origin_store=0)]
+    jobs = [make_job("wordcount", 0, data_ids=[0], num_tasks=10, num_reduces=num_reduces)]
+    return Workload(jobs=jobs, data=data)
+
+
+def run(cluster, w, scheduler=None, **cfg):
+    cfg.setdefault("placement_seed", 0)
+    cfg.setdefault("speculative", False)
+    sim = HadoopSimulator(cluster, w, scheduler or FifoScheduler(), SimConfig(**cfg))
+    return sim, sim.run()
+
+
+class TestReduceLifecycle:
+    def test_reduces_run_after_maps(self, cluster):
+        sim, res = run(cluster, wc_workload())
+        assert res.metrics.tasks_run == 10
+        assert res.metrics.reduces_run == 2
+        assert sim.jobtracker.jobs[0].is_complete
+
+    def test_job_not_complete_until_reduces_done(self, cluster):
+        sim, res = run(cluster, wc_workload())
+        job = sim.jobtracker.jobs[0]
+        # finish_time must be after the last reduce, which started after maps
+        last_map_cpu = max(t.cpu_seconds for t in job.tasks)
+        assert job.finish_time > last_map_cpu
+
+    def test_shuffle_volume_matches_ratio(self, cluster):
+        sim, res = run(cluster, wc_workload())
+        expected = 640.0 * 0.3  # wordcount shuffle_ratio
+        assert res.metrics.shuffle_mb == pytest.approx(expected, rel=1e-6)
+
+    def test_reduce_input_split_evenly(self, cluster):
+        sim, res = run(cluster, wc_workload(num_reduces=4))
+        job = sim.jobtracker.jobs[0]
+        per = 640.0 * 0.3 / 4
+        for t in job.reduce_tasks:
+            assert t.input_mb == pytest.approx(per, rel=1e-6)
+            assert t.is_reduce
+
+    def test_map_only_jobs_unaffected(self, cluster):
+        w = wc_workload(num_reduces=0)
+        # make_job with num_reduces=0 clears shuffle parameters
+        assert w.jobs[0].shuffle_ratio == 0.0
+        sim, res = run(cluster, w)
+        assert res.metrics.reduces_run == 0
+        assert sim.jobtracker.jobs[0].is_complete
+
+
+class TestShuffleCost:
+    def test_cross_zone_shuffle_priced(self, cluster):
+        sim, res = run(cluster, wc_workload())
+        # maps spread over both zones (random placement): some shuffle
+        # segments cross zones and are charged
+        shuffle_charges = [
+            r for r in res.metrics.ledger.records if r.detail == "shuffle"
+        ]
+        total_map_output = 640.0 * 0.3
+        charged = sum(r.amount for r in shuffle_charges)
+        # bounded by all output crossing zones at the cross-zone price
+        assert 0.0 <= charged <= total_map_output * 9.765625e-6 * 1.001
+
+    def test_intra_zone_cluster_shuffles_free(self):
+        b = ClusterBuilder(topology=Topology.of(["z"]), store_capacity_mb=1e6)
+        for i in range(3):
+            b.add_machine(f"m{i}", ecu=2.0, cpu_cost=1e-5, zone="z", reduce_slots=1)
+        cluster = b.build()
+        sim, res = run(cluster, wc_workload())
+        charged = sum(r.amount for r in res.metrics.ledger.records if r.detail == "shuffle")
+        assert charged == 0.0
+
+
+class TestLipsReducePlacement:
+    def test_lips_places_reduce_on_cheap_machine(self, cluster):
+        sim, res = run(cluster, wc_workload(), scheduler=LipsScheduler(epoch_length=600.0))
+        job = sim.jobtracker.jobs[0]
+        assert job.is_complete
+        # with all map output in zone-b (LiPS ran maps on cheap b0), the
+        # cheap machine also wins the reduces
+        reduce_hosts = set()
+        for r in res.metrics.ledger.records:
+            if r.category == "cpu":
+                continue
+        # cheaper overall than FIFO for the same workload
+        _, fifo = run(cluster, wc_workload())
+        assert res.metrics.total_cost <= fifo.metrics.total_cost * 1.01
+
+    def test_lips_reduce_cost_helper(self, cluster):
+        sched = LipsScheduler(epoch_length=600.0)
+        sim = HadoopSimulator(cluster, wc_workload(), sched, SimConfig(speculative=False))
+        sched.bind(sim)
+        from repro.hadoop.tasktracker import SimTask
+
+        task = SimTask(
+            job_id=0, task_index=10, input_mb=10.0, cpu_seconds=5.0,
+            is_reduce=True, shuffle_sources={0: 10.0},
+        )
+        # machine 0 hosts the data: no shuffle transfer, pricey cpu
+        c0 = sched._reduce_cost(task, 0)
+        # machine 2 (cheap, cross-zone): transfer + cheap cpu
+        c2 = sched._reduce_cost(task, 2)
+        assert c0 == pytest.approx(5.0 * 5e-5)
+        assert c2 == pytest.approx(10.0 * 9.765625e-6 + 5.0 * 1e-5)
+
+
+class TestValidation:
+    def test_negative_reduce_params_rejected(self):
+        with pytest.raises(ValueError):
+            Job(job_id=0, name="bad", tcp=1.0, data_ids=[0], num_reduces=-1)
+        with pytest.raises(ValueError):
+            Job(job_id=0, name="bad", tcp=1.0, data_ids=[0], shuffle_ratio=-0.1)
+
+    def test_pi_cannot_have_reduces(self):
+        with pytest.raises(ValueError, match="no shuffle"):
+            make_job("pi", 0, num_tasks=2, num_reduces=1)
+
+    def test_create_reduces_requires_maps_done(self, cluster):
+        from repro.hadoop.hdfs import HDFS
+        from repro.hadoop.jobtracker import JobTracker
+
+        w = wc_workload()
+        hdfs = HDFS(cluster, replication=1, seed=0)
+        hdfs.populate(w.data)
+        jt = JobTracker(hdfs)
+        state = jt.submit(w.jobs[0], w, now=0.0)
+        with pytest.raises(RuntimeError, match="maps not complete"):
+            jt.create_reduces(state)

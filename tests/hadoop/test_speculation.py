@@ -1,0 +1,77 @@
+"""End-to-end tests of speculative execution in the simulator."""
+
+import pytest
+
+from repro.cluster.builder import ClusterBuilder
+from repro.cluster.topology import Topology
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.schedulers import FifoScheduler
+from repro.workload.job import Job, Workload
+
+
+@pytest.fixture
+def straggler_cluster():
+    """One fast node and one crawler: the classic speculation scenario."""
+    b = ClusterBuilder(topology=Topology.of(["z"]), store_capacity_mb=1e6)
+    b.add_machine("fast", ecu=8.0, cpu_cost=1e-5, zone="z", map_slots=4)
+    b.add_machine("slow", ecu=0.5, cpu_cost=1e-5, zone="z", map_slots=1)
+    return b.build()
+
+
+@pytest.fixture
+def workload():
+    jobs = [Job(job_id=0, name="pi", tcp=0.0, num_tasks=5, cpu_seconds_noinput=1000.0)]
+    return Workload(jobs=jobs, data=[])
+
+
+def run(cluster, w, speculative, min_elapsed=10.0):
+    sim = HadoopSimulator(
+        cluster, w, FifoScheduler(),
+        SimConfig(speculative=speculative, speculation_min_elapsed=min_elapsed),
+    )
+    return sim, sim.run().metrics
+
+
+class TestSpeculation:
+    def test_duplicates_straggler_and_wins(self, straggler_cluster, workload):
+        """The slow node's 400s task gets duplicated on the fast node."""
+        sim, m = run(straggler_cluster, workload, speculative=True)
+        assert m.speculative_attempts >= 1
+        assert m.killed_attempts >= 1
+        # the duplicate shortens the run vs no speculation
+        _, base = run(straggler_cluster, workload, speculative=False)
+        assert m.makespan < base.makespan
+
+    def test_disabled_launches_nothing(self, straggler_cluster, workload):
+        _, m = run(straggler_cluster, workload, speculative=False)
+        assert m.speculative_attempts == 0
+        assert m.killed_attempts == 0
+
+    def test_killed_copies_cost_dollars(self, straggler_cluster, workload):
+        """The paper: keeping speculation on 'will also increase their
+        dollar cost' — the killed copy's burned cycles are billed."""
+        _, spec = run(straggler_cluster, workload, speculative=True)
+        _, base = run(straggler_cluster, workload, speculative=False)
+        assert spec.total_cost > base.total_cost
+        wasted = [r for r in spec.ledger.records if r.detail == "killed-speculative"]
+        assert wasted and all(r.amount >= 0 for r in wasted)
+
+    def test_min_elapsed_gates_duplication(self, straggler_cluster, workload):
+        """A huge min-elapsed threshold means no candidate ever qualifies."""
+        _, m = run(straggler_cluster, workload, speculative=True, min_elapsed=1e9)
+        assert m.speculative_attempts == 0
+
+    def test_task_completes_exactly_once(self, straggler_cluster, workload):
+        sim, m = run(straggler_cluster, workload, speculative=True)
+        # 5 logical tasks despite duplicates
+        assert m.tasks_run == 5
+        job = sim.jobtracker.jobs[0]
+        assert len(job.completed) == 5
+
+    def test_cpu_accounting_includes_partial_burn(self, straggler_cluster, workload):
+        """Executed CPU-seconds exceed the demand by the killed copies' burn."""
+        _, m = run(straggler_cluster, workload, speculative=True)
+        executed_cost = m.ledger.category_total("cpu")
+        # cost with no waste would be exactly demand * unit price
+        clean = workload.total_cpu_seconds() * 1e-5
+        assert executed_cost > clean

@@ -1,0 +1,89 @@
+"""Unit tests for TaskTracker slot bookkeeping."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.hadoop.tasktracker import SimTask, TaskAttempt, TaskTracker
+
+
+def machine(slots=2):
+    return Machine(machine_id=0, name="m", ecu=4.0, cpu_cost=1e-5, map_slots=slots)
+
+
+def task(cpu=10.0, mb=64.0):
+    return SimTask(job_id=0, task_index=0, input_mb=mb, cpu_seconds=cpu)
+
+
+def attempt(aid=0, read=1.0, compute=2.0):
+    return TaskAttempt(
+        attempt_id=aid,
+        task=task(),
+        machine_id=0,
+        source_store=0,
+        start_time=0.0,
+        read_seconds=read,
+        compute_seconds=compute,
+    )
+
+
+def test_free_slots_track_launches():
+    t = TaskTracker(machine(slots=2))
+    assert t.free_slots == 2
+    t.launch(attempt(0))
+    assert t.free_slots == 1
+    t.launch(attempt(1))
+    assert not t.has_free_slot
+
+
+def test_overcommit_rejected():
+    t = TaskTracker(machine(slots=1))
+    t.launch(attempt(0))
+    with pytest.raises(RuntimeError, match="no free slot"):
+        t.launch(attempt(1))
+
+
+def test_complete_frees_slot_and_accumulates():
+    t = TaskTracker(machine())
+    a = attempt(0)
+    t.launch(a)
+    t.complete(a)
+    assert t.free_slots == 2
+    assert t.cpu_busy_seconds == pytest.approx(10.0)
+    assert t.wall_busy_seconds == pytest.approx(3.0)
+
+
+def test_killed_attempt_not_counted_busy():
+    t = TaskTracker(machine())
+    a = attempt(0)
+    t.launch(a)
+    t.kill(a)
+    t.complete(a)
+    assert t.cpu_busy_seconds == 0.0
+
+
+def test_attempt_duration_and_finish():
+    a = attempt(read=1.5, compute=4.5)
+    assert a.duration == pytest.approx(6.0)
+    assert a.finish_time == pytest.approx(6.0)
+
+
+def test_kill_cancels_finish_event():
+    class FakeEvent:
+        cancelled = False
+
+        def cancel(self):
+            self.cancelled = True
+
+    t = TaskTracker(machine())
+    a = attempt(0)
+    a.finish_event = FakeEvent()
+    t.launch(a)
+    t.kill(a)
+    assert a.killed
+    assert a.finish_event.cancelled
+    assert t.free_slots == 2
+
+
+def test_sim_task_key():
+    s = SimTask(job_id=3, task_index=7, input_mb=0.0, cpu_seconds=1.0)
+    assert s.key == (3, 7)

@@ -1,0 +1,67 @@
+"""Unit tests for the network transfer timing model."""
+
+import pytest
+
+from repro.cluster.builder import ClusterBuilder
+from repro.cluster.topology import Topology
+from repro.hadoop.transfer import NetworkSimulator
+
+
+@pytest.fixture
+def net():
+    b = ClusterBuilder(topology=Topology.of(["za", "zb"]))
+    b.add_machine("a0", ecu=1.0, cpu_cost=1e-5, zone="za")
+    b.add_machine("b0", ecu=1.0, cpu_cost=1e-5, zone="zb")
+    return NetworkSimulator(b.build())
+
+
+def test_local_read_uses_disk_rate(net):
+    # machine 0 reading its own store 0: 400 MB/s, no latency adder
+    assert net.read_time(0, 0, 400.0) == pytest.approx(1.0)
+
+
+def test_intra_zone_remote_has_latency(net):
+    t = net.read_time(1, 1, 62.5)  # wait: store 1 belongs to machine 1 — local
+    assert t == pytest.approx(62.5 / 400.0)
+
+
+def test_cross_zone_read_slower(net):
+    t = net.read_time(0, 1, 31.25)  # 250 Mbps = 31.25 MB/s
+    assert t == pytest.approx(net.per_flow_latency_s + 1.0)
+
+
+def test_zero_bytes_zero_time(net):
+    assert net.read_time(0, 1, 0.0) == 0.0
+
+
+def test_negative_bytes_rejected(net):
+    with pytest.raises(ValueError):
+        net.read_time(0, 1, -1.0)
+
+
+def test_contention_divides_bandwidth(net):
+    base = net.read_time(0, 1, 31.25)
+    net.flow_started(0)
+    contended = net.read_time(0, 1, 31.25)
+    # one active flow + the new one => half bandwidth
+    assert contended == pytest.approx(net.per_flow_latency_s + 2.0)
+    assert contended > base
+
+
+def test_flow_counting(net):
+    net.flow_started(0)
+    net.flow_started(0)
+    assert net.active_flows(0) == 2
+    net.flow_finished(0)
+    assert net.active_flows(0) == 1
+    net.flow_finished(0)
+    assert net.active_flows(0) == 0
+    net.flow_finished(0)  # extra finish is safe
+    assert net.active_flows(0) == 0
+
+
+def test_store_move_time(net):
+    # cross-zone store-to-store at 31.25 MB/s
+    assert net.store_move_time(0, 1, 62.5) == pytest.approx(2.0)
+    assert net.store_move_time(0, 0, 62.5) == pytest.approx(62.5 / 400.0)
+    assert net.store_move_time(0, 1, 0.0) == 0.0

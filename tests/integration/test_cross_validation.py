@@ -1,0 +1,75 @@
+"""Cross-validation: independent implementations must agree.
+
+* The simulator's LiPS dollar bill must be close to the analytic epoch
+  controller's on the same cluster/workload (different execution paths,
+  same model).
+* LP objective == independent cost evaluation (already covered per-model;
+  here at testbed scale).
+* The simulator's cost ledger equals a from-first-principles recomputation
+  out of its own attempt records.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builder import build_paper_testbed
+from repro.core import SchedulingInput, solve_co_offline
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.schedulers import FifoScheduler, LipsScheduler
+from repro.workload.apps import table4_jobs
+
+
+def test_lp_objective_vs_breakdown_at_scale(paper_cluster):
+    w = table4_jobs(origin_stores=list(range(paper_cluster.num_machines)))
+    inp = SchedulingInput.from_parts(paper_cluster, w)
+    sol = solve_co_offline(inp)
+    bd = sol.cost_breakdown(inp)
+    assert bd.total == pytest.approx(sol.objective, rel=1e-6)
+
+
+def test_simulator_cpu_bill_recomputable():
+    cluster = build_paper_testbed(10, c1_medium_fraction=0.5, seed=4)
+    w = table4_jobs()
+    sim = HadoopSimulator(cluster, w, FifoScheduler(), SimConfig(placement_seed=1))
+    res = sim.run()
+    # recompute the CPU bill from per-machine CPU seconds
+    recomputed = sum(
+        cpu * cluster.machines[m].cpu_cost
+        for m, cpu in res.metrics.machine_cpu_seconds.items()
+    )
+    assert res.metrics.ledger.category_total("cpu") == pytest.approx(recomputed, rel=1e-9)
+
+
+def test_simulator_lips_close_to_offline_lp_bound():
+    """The offline LP optimum lower-bounds what the simulator can bill.
+
+    LiPS in the simulator faces epochs, rounding, block granularity and a
+    zone-aggregated LP, so it cannot beat the offline continuous optimum
+    computed with full knowledge.
+    """
+    cluster = build_paper_testbed(10, c1_medium_fraction=0.5, seed=4, uptime=1e6)
+    w = table4_jobs(origin_stores=list(range(10)))
+    inp = SchedulingInput.from_parts(cluster, w)
+    bound = solve_co_offline(inp).cost_breakdown(inp).real_total
+
+    sim = HadoopSimulator(
+        cluster, w, LipsScheduler(epoch_length=3600.0),
+        SimConfig(placement_seed=1, speculative=False),
+    )
+    res = sim.run()
+    assert res.metrics.total_cost >= bound * (1 - 1e-6)
+    # ...but within a reasonable factor of it (the LP guides the simulator)
+    assert res.metrics.total_cost <= bound * 2.5
+
+
+def test_read_mb_conserved_across_schedulers():
+    cluster = build_paper_testbed(10, c1_medium_fraction=0.5, seed=4)
+    w = table4_jobs()
+    totals = []
+    for sched in (FifoScheduler(), LipsScheduler(epoch_length=1800.0)):
+        sim = HadoopSimulator(cluster, w, sched, SimConfig(placement_seed=1, speculative=False))
+        res = sim.run()
+        totals.append(res.metrics.total_read_mb)
+    # both schedulers read the full input exactly once (no speculation)
+    assert totals[0] == pytest.approx(w.total_input_mb(), rel=1e-9)
+    assert totals[1] == pytest.approx(w.total_input_mb(), rel=1e-9)

@@ -1,0 +1,79 @@
+"""End-to-end integration: full pipeline on the paper's setups (scaled)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builder import build_paper_testbed
+from repro.core import SchedulingInput, solve_co_offline, round_schedule, validate_solution
+from repro.experiments.common import DEFAULT, DELAY, LIPS, compare_schedulers
+from repro.workload.apps import table4_jobs
+from repro.workload.swim import SwimConfig, synthesize_facebook_day
+
+
+@pytest.fixture(scope="module")
+def table4_comparison():
+    cluster = build_paper_testbed(12, c1_medium_fraction=0.5, seed=1)
+    return compare_schedulers(cluster, table4_jobs(), epoch_length=1800.0)
+
+
+def test_lips_is_cheapest(table4_comparison):
+    c = table4_comparison
+    assert c.cost(LIPS) < c.cost(DEFAULT)
+    assert c.cost(LIPS) < c.cost(DELAY)
+
+
+def test_lips_is_slowest(table4_comparison):
+    c = table4_comparison
+    assert c.makespan(LIPS) >= c.makespan(DELAY)
+
+
+def test_baselines_near_parity(table4_comparison):
+    c = table4_comparison
+    rel = abs(c.cost(DEFAULT) - c.cost(DELAY)) / c.cost(DEFAULT)
+    assert rel < 0.25
+
+
+def test_every_run_executed_all_tasks(table4_comparison):
+    for m in table4_comparison.metrics.values():
+        assert m.tasks_run == 1608
+
+
+def test_analytic_pipeline_agrees_with_paper_structure():
+    """LP -> rounding -> validation chain on the Table IV workload."""
+    cluster = build_paper_testbed(12, c1_medium_fraction=0.5, seed=1, uptime=50_000.0)
+    w = table4_jobs(origin_stores=list(range(12)))
+    inp = SchedulingInput.from_parts(cluster, w)
+    sol = solve_co_offline(inp)
+    assert validate_solution(inp, sol).ok
+    integral = round_schedule(inp, sol)
+    assert integral.total_tasks() == 1608
+    assert integral.relative_gap < 0.05
+
+
+def test_swim_online_comparison_small():
+    cluster = build_paper_testbed(
+        12, c1_medium_fraction=1 / 3, m1_small_fraction=1 / 3, seed=0
+    )
+    w = synthesize_facebook_day(
+        SwimConfig(
+            num_jobs=30,
+            duration_s=3600.0,
+            classes=(
+                ("interactive", 0.62, (1, 5)),
+                ("medium", 0.28, (5, 20)),
+                ("long", 0.10, (20, 60)),
+            ),
+            num_origin_stores=12,
+            seed=2,
+        )
+    )
+    comp = compare_schedulers(cluster, w, epoch_length=600.0)
+    assert comp.cost(LIPS) <= comp.cost(DEFAULT) * 1.02
+    for m in comp.metrics.values():
+        assert m.tasks_run == sum(j.num_tasks for j in w.jobs)
+
+
+def test_cost_attribution_covers_totals(table4_comparison):
+    """Per-category ledger slices sum to the reported total for every run."""
+    for m in table4_comparison.metrics.values():
+        assert sum(m.ledger.total_by_category().values()) == pytest.approx(m.total_cost)

@@ -1,0 +1,131 @@
+"""Property-based tests of the Hadoop simulator (hypothesis).
+
+Invariants over random clusters/workloads/schedulers:
+
+* every task runs exactly once (without speculation);
+* CPU-seconds are conserved: executed == demanded;
+* the dollar bill is exactly recomputable from the run's own records;
+* makespan is at least the critical lower bound (total work / total speed);
+* read volume equals the workload's input exactly once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.builder import ClusterBuilder
+from repro.cluster.topology import Topology
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.schedulers import DelayScheduler, FifoScheduler, GreedyCostScheduler
+from repro.workload.job import DataObject, Job, Workload
+
+SCHEDULERS = [FifoScheduler, DelayScheduler, GreedyCostScheduler]
+
+
+@st.composite
+def sim_case(draw):
+    n_machines = draw(st.integers(min_value=1, max_value=4))
+    zones = ["z0", "z1"]
+    b = ClusterBuilder(topology=Topology.of(zones), store_capacity_mb=1e6)
+    for i in range(n_machines):
+        b.add_machine(
+            f"m{i}",
+            ecu=draw(st.sampled_from([1.0, 2.0, 5.0])),
+            cpu_cost=draw(st.floats(min_value=1e-6, max_value=1e-4)),
+            zone=zones[i % 2],
+            map_slots=draw(st.integers(min_value=1, max_value=3)),
+        )
+    cluster = b.build()
+
+    n_jobs = draw(st.integers(min_value=1, max_value=3))
+    data, jobs = [], []
+    for k in range(n_jobs):
+        if draw(st.booleans()):
+            d = DataObject(
+                data_id=len(data),
+                name=f"d{len(data)}",
+                size_mb=draw(st.floats(min_value=64.0, max_value=512.0)),
+                origin_store=0,
+            )
+            data.append(d)
+            jobs.append(
+                Job(
+                    job_id=k,
+                    name=f"j{k}",
+                    tcp=draw(st.floats(min_value=0.05, max_value=1.5)),
+                    data_ids=[d.data_id],
+                    num_tasks=max(1, d.num_blocks),
+                    arrival_time=draw(st.floats(min_value=0.0, max_value=120.0)),
+                )
+            )
+        else:
+            jobs.append(
+                Job(
+                    job_id=k,
+                    name=f"j{k}",
+                    tcp=0.0,
+                    num_tasks=draw(st.integers(min_value=1, max_value=6)),
+                    cpu_seconds_noinput=draw(st.floats(min_value=1.0, max_value=500.0)),
+                    arrival_time=draw(st.floats(min_value=0.0, max_value=120.0)),
+                )
+            )
+    scheduler_cls = draw(st.sampled_from(SCHEDULERS))
+    seed = draw(st.integers(min_value=0, max_value=100))
+    return cluster, Workload(jobs=jobs, data=data), scheduler_cls, seed
+
+
+@given(sim_case())
+@settings(max_examples=25, deadline=None)
+def test_every_task_runs_exactly_once(case):
+    cluster, w, scheduler_cls, seed = case
+    sim = HadoopSimulator(cluster, w, scheduler_cls(), SimConfig(placement_seed=seed))
+    res = sim.run()
+    expected = sum(len(s.tasks) for s in sim.jobtracker.jobs.values())
+    assert res.metrics.tasks_run == expected
+
+
+@given(sim_case())
+@settings(max_examples=25, deadline=None)
+def test_cpu_conservation(case):
+    cluster, w, scheduler_cls, seed = case
+    sim = HadoopSimulator(cluster, w, scheduler_cls(), SimConfig(placement_seed=seed))
+    res = sim.run()
+    executed = sum(res.metrics.machine_cpu_seconds.values())
+    assert executed == pytest.approx(w.total_cpu_seconds(), rel=1e-9)
+
+
+@given(sim_case())
+@settings(max_examples=25, deadline=None)
+def test_bill_recomputable(case):
+    cluster, w, scheduler_cls, seed = case
+    sim = HadoopSimulator(cluster, w, scheduler_cls(), SimConfig(placement_seed=seed))
+    res = sim.run()
+    by_cat = res.metrics.ledger.total_by_category()
+    assert sum(by_cat.values()) == pytest.approx(res.metrics.total_cost, rel=1e-12)
+    cpu = sum(
+        c * cluster.machines[m].cpu_cost
+        for m, c in res.metrics.machine_cpu_seconds.items()
+    )
+    assert by_cat.get("cpu", 0.0) == pytest.approx(cpu, rel=1e-9)
+
+
+@given(sim_case())
+@settings(max_examples=25, deadline=None)
+def test_makespan_lower_bound(case):
+    cluster, w, scheduler_cls, seed = case
+    sim = HadoopSimulator(cluster, w, scheduler_cls(), SimConfig(placement_seed=seed))
+    res = sim.run()
+    total_speed = sum(m.ecu for m in cluster.machines)
+    first_arrival = min(j.arrival_time for j in w.jobs)
+    bound = first_arrival + w.total_cpu_seconds() / total_speed
+    # the bound ignores reads/slots, so it must sit below the real makespan
+    assert res.metrics.makespan >= bound * (1 - 1e-9) or res.metrics.makespan >= bound - 1e-6
+
+
+@given(sim_case())
+@settings(max_examples=25, deadline=None)
+def test_reads_match_input(case):
+    cluster, w, scheduler_cls, seed = case
+    sim = HadoopSimulator(cluster, w, scheduler_cls(), SimConfig(placement_seed=seed))
+    res = sim.run()
+    assert res.metrics.total_read_mb == pytest.approx(w.total_input_mb(), rel=1e-9)

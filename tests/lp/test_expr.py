@@ -1,0 +1,106 @@
+"""Unit tests for the linear-expression algebra."""
+
+import pytest
+
+from repro.lp.expr import LinExpr, Variable
+
+
+def v(i, name=None, lower=0.0, upper=float("inf")):
+    return Variable(index=i, name=name or f"x{i}", lower=lower, upper=upper)
+
+
+class TestVariable:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Variable(index=0, name="bad", lower=2.0, upper=1.0)
+
+    def test_add_two_variables(self):
+        e = v(0) + v(1)
+        assert e.coeffs == {0: 1.0, 1: 1.0}
+        assert e.constant == 0.0
+
+    def test_scalar_multiply(self):
+        e = 3 * v(0)
+        assert e.coeffs == {0: 3.0}
+
+    def test_right_multiply(self):
+        e = v(0) * 2.5
+        assert e.coeffs == {0: 2.5}
+
+    def test_negate(self):
+        e = -v(1)
+        assert e.coeffs == {1: -1.0}
+
+    def test_subtract_variable(self):
+        e = v(0) - v(1)
+        assert e.coeffs == {0: 1.0, 1: -1.0}
+
+    def test_rsub_constant(self):
+        e = 5 - v(0)
+        assert e.coeffs == {0: -1.0}
+        assert e.constant == 5.0
+
+    def test_add_constant(self):
+        e = v(0) + 7
+        assert e.constant == 7.0
+
+
+class TestLinExpr:
+    def test_zero(self):
+        z = LinExpr.zero()
+        assert z.coeffs == {}
+        assert z.constant == 0.0
+
+    def test_from_terms_accumulates_duplicates(self):
+        e = LinExpr.from_terms([(v(0), 1.0), (v(0), 2.0), (v(1), -1.0)], constant=4.0)
+        assert e.coeffs == {0: 3.0, 1: -1.0}
+        assert e.constant == 4.0
+
+    def test_add_merges_coefficients(self):
+        a = LinExpr({0: 1.0, 1: 2.0}, 1.0)
+        b = LinExpr({1: 3.0, 2: -1.0}, 2.0)
+        c = a + b
+        assert c.coeffs == {0: 1.0, 1: 5.0, 2: -1.0}
+        assert c.constant == 3.0
+
+    def test_add_does_not_mutate_operands(self):
+        a = LinExpr({0: 1.0}, 0.0)
+        b = LinExpr({0: 2.0}, 0.0)
+        _ = a + b
+        assert a.coeffs == {0: 1.0}
+        assert b.coeffs == {0: 2.0}
+
+    def test_scale(self):
+        e = LinExpr({0: 2.0}, 3.0) * -2.0
+        assert e.coeffs == {0: -4.0}
+        assert e.constant == -6.0
+
+    def test_scale_by_non_number_rejected(self):
+        with pytest.raises(TypeError):
+            LinExpr({0: 1.0}) * "2"
+
+    def test_coerce_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            LinExpr({0: 1.0}) + "x"
+
+    def test_value_evaluation(self):
+        e = 2 * v(0) + 3 * v(1) + 1.0
+        assert e.value({0: 1.0, 1: 2.0}) == pytest.approx(9.0)
+
+    def test_nonzero_terms_drops_exact_zeros(self):
+        e = LinExpr({0: 0.0, 1: 1.0})
+        assert e.nonzero_terms() == {1: 1.0}
+
+    def test_add_term_chains(self):
+        e = LinExpr.zero().add_term(v(0), 1.0).add_term(v(0), 2.0)
+        assert e.coeffs == {0: 3.0}
+
+    def test_sum_builtin(self):
+        e = sum(v(i) for i in range(3)) + 0.0
+        assert e.coeffs == {0: 1.0, 1: 1.0, 2: 1.0}
+
+    def test_copy_is_independent(self):
+        a = LinExpr({0: 1.0}, 1.0)
+        b = a.copy()
+        b.add_term(v(0), 1.0)
+        assert a.coeffs == {0: 1.0}

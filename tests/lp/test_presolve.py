@@ -1,0 +1,139 @@
+"""Tests for LP presolve reductions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lp.presolve import PresolveStatus, presolve
+from repro.lp.problem import LinearProgram, Sense
+from repro.lp.scipy_backend import HighsBackend
+
+
+def test_fixed_variables_substituted():
+    lp = LinearProgram()
+    x = lp.new_var("x", lower=2.0, upper=2.0)  # fixed
+    y = lp.new_var("y", upper=5.0)
+    lp.add_constraint(x + y, Sense.LE, 6.0)
+    lp.set_objective(3.0 * x + y)
+    res = presolve(lp.assemble())
+    assert res.is_feasible
+    assert res.fixed_variables == 1
+    assert res.reduced.num_variables == 1
+    # constant folded: 3 * 2 = 6
+    assert res.reduced.objective_constant == pytest.approx(6.0)
+    # rhs adjusted: y <= 4
+    assert res.reduced.b_ub[0] == pytest.approx(4.0)
+
+
+def test_restore_maps_back():
+    lp = LinearProgram()
+    lp.new_var("x", lower=2.0, upper=2.0)
+    lp.new_var("y", upper=5.0)
+    res = presolve(lp.assemble())
+    full = res.restore(np.array([1.5]))
+    assert full.tolist() == [2.0, 1.5]
+
+
+def test_redundant_rows_dropped():
+    lp = LinearProgram()
+    x = lp.new_var("x", upper=1.0)
+    lp.add_constraint(x + 0.0, Sense.LE, 100.0)  # never binding given bounds
+    lp.set_objective(x)
+    res = presolve(lp.assemble())
+    assert res.dropped_rows == 1
+    assert res.reduced.a_ub.shape[0] == 0
+
+
+def test_trivially_infeasible_detected():
+    lp = LinearProgram()
+    x = lp.new_var("x", lower=1.0, upper=2.0)
+    lp.add_constraint(x + 0.0, Sense.LE, 0.5)  # min lhs = 1 > 0.5
+    lp.set_objective(x)
+    res = presolve(lp.assemble())
+    assert res.status is PresolveStatus.INFEASIBLE
+
+
+def test_empty_eq_row_with_nonzero_rhs_infeasible():
+    lp = LinearProgram()
+    x = lp.new_var("x", lower=3.0, upper=3.0)
+    lp.add_constraint(x + 0.0, Sense.EQ, 5.0)  # becomes 0 == 2 after fixing
+    lp.set_objective(x)
+    res = presolve(lp.assemble())
+    assert res.status is PresolveStatus.INFEASIBLE
+
+
+def test_empty_eq_row_with_zero_rhs_dropped():
+    lp = LinearProgram()
+    x = lp.new_var("x", lower=3.0, upper=3.0)
+    lp.add_constraint(x + 0.0, Sense.EQ, 3.0)
+    lp.set_objective(x)
+    res = presolve(lp.assemble())
+    assert res.is_feasible
+    assert res.reduced.a_eq.shape[0] == 0
+
+
+finite = st.floats(min_value=-3.0, max_value=3.0)
+
+
+@st.composite
+def small_lp(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    lp = LinearProgram("pre")
+    vs = []
+    for i in range(n):
+        if draw(st.booleans()):
+            val = draw(st.floats(min_value=0.0, max_value=2.0))
+            vs.append(lp.new_var(f"v{i}", lower=val, upper=val))
+        else:
+            vs.append(lp.new_var(f"v{i}", upper=draw(st.floats(min_value=0.5, max_value=4.0))))
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        coeffs = [draw(finite) for _ in range(n)]
+        expr = sum(c * v for c, v in zip(coeffs, vs)) + 0.0
+        lp.add_constraint(expr, Sense.LE, draw(st.floats(min_value=-1.0, max_value=8.0)))
+    lp.set_objective(sum(draw(finite) * v for v in vs) + 0.0)
+    return lp
+
+
+def test_simplex_with_presolve_option(small_input):
+    """The simplex backend's presolve path solves scheduling models too."""
+    from repro.core.co_offline import solve_co_offline
+    from repro.lp.simplex import SimplexBackend
+
+    plain = solve_co_offline(small_input, backend=SimplexBackend())
+    pre = solve_co_offline(small_input, backend=SimplexBackend(presolve=True))
+    assert pre.objective == pytest.approx(plain.objective, rel=1e-6)
+
+
+def test_simplex_presolve_detects_infeasible():
+    from repro.lp.simplex import SimplexBackend
+    from repro.lp.result import LPStatus
+
+    lp = LinearProgram()
+    x = lp.new_var("x", lower=1.0, upper=2.0)
+    lp.add_constraint(x + 0.0, Sense.LE, 0.5)
+    lp.set_objective(x)
+    res = SimplexBackend(presolve=True).solve(lp)
+    assert res.status is LPStatus.INFEASIBLE
+    assert "presolve" in res.message
+
+
+@given(small_lp())
+@settings(max_examples=50, deadline=None)
+def test_presolve_preserves_optimum(lp):
+    backend = HighsBackend()
+    direct = backend.solve(lp)
+    res = presolve(lp.assemble())
+    if res.status is PresolveStatus.INFEASIBLE:
+        assert not direct.is_optimal
+        return
+    reduced_res = backend.solve_assembled(res.reduced)
+    assert reduced_res.status == direct.status
+    if direct.is_optimal:
+        assert reduced_res.objective == pytest.approx(direct.objective, abs=1e-7)
+        # restored solution is feasible for the original model
+        from repro.lp.validation import check_solution
+        from repro.lp.result import LPResult, LPStatus
+
+        full_x = res.restore(reduced_res.x)
+        restored = LPResult(status=LPStatus.OPTIMAL, objective=reduced_res.objective, x=full_x)
+        assert check_solution(lp, restored, tol=1e-6).feasible

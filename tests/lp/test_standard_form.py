@@ -1,0 +1,96 @@
+"""Unit tests for equality-standard-form conversion."""
+
+import numpy as np
+import pytest
+
+from repro.lp.problem import LinearProgram, Sense
+from repro.lp.standard_form import to_standard_form
+
+
+def test_lower_bound_shift_recovered():
+    lp = LinearProgram()
+    lp.new_var("x", lower=2.0, upper=5.0)
+    lp.set_objective(lp.variable_by_name("x") * 1.0)
+    std = to_standard_form(lp.assemble())
+    # shifted objective constant accounts for c*l
+    assert std.objective_constant == pytest.approx(2.0)
+    x = std.recover(np.zeros(std.c.shape[0]))
+    assert x[0] == pytest.approx(2.0)  # y=0 maps back to the lower bound
+
+
+def test_free_variable_split_columns():
+    lp = LinearProgram()
+    lp.new_var("x", lower=-float("inf"))
+    std = to_standard_form(lp.assemble())
+    kind, cols = std.recovery[0]
+    assert kind == "split"
+    y = np.zeros(std.c.shape[0])
+    y[cols[0]], y[cols[1]] = 3.0, 1.0
+    assert std.recover(y)[0] == pytest.approx(2.0)
+
+
+def test_upper_bound_becomes_row_with_slack():
+    lp = LinearProgram()
+    lp.new_var("x", upper=4.0)
+    std = to_standard_form(lp.assemble())
+    # one row (the bound), one structural + one slack column
+    assert std.a.shape == (1, 2)
+    assert std.b[0] == pytest.approx(4.0)
+
+
+def test_le_rows_get_slacks():
+    lp = LinearProgram()
+    x = lp.new_var("x")  # no finite upper: only the constraint row
+    lp.add_constraint(2 * x, Sense.LE, 6.0)
+    std = to_standard_form(lp.assemble())
+    assert std.a.shape == (1, 2)
+    # row equilibration divides by max |structural coeff| (= 2)
+    assert std.row_scale[0] == pytest.approx(2.0)
+    assert std.a[0, 0] == pytest.approx(1.0)
+    assert std.a[0, 1] == pytest.approx(0.5)  # slack coefficient, scaled
+
+
+def test_negative_rhs_rows_normalised():
+    lp = LinearProgram()
+    x = lp.new_var("x")
+    lp.add_constraint(-1.0 * x, Sense.EQ, -3.0)
+    std = to_standard_form(lp.assemble())
+    assert np.all(std.b >= 0)
+    # row was negated: coefficient flips sign
+    assert std.a[0, 0] == pytest.approx(1.0)
+    assert std.b[0] == pytest.approx(3.0)
+
+
+def test_rhs_shifted_by_lower_bounds():
+    lp = LinearProgram()
+    x = lp.new_var("x", lower=1.0)
+    lp.add_constraint(2 * x, Sense.LE, 8.0)
+    std = to_standard_form(lp.assemble())
+    # 2(y+1) <= 8  =>  2y <= 6, equilibrated by 2 => y <= 3
+    assert std.b[0] * std.row_scale[0] == pytest.approx(6.0)
+
+
+def test_row_equilibration_catches_tiny_rows():
+    """Regression: a tiny-coefficient infeasible row must not pass phase 1."""
+    from repro.lp.result import LPStatus
+    from repro.lp.simplex import SimplexBackend
+
+    eps = 5.960464477539063e-08
+    lp = LinearProgram()
+    v0 = lp.new_var("v0", upper=1.0)
+    v1 = lp.new_var("v1", upper=1.0)
+    lp.add_constraint(v1 + 0.0, Sense.LE, 0.0)
+    lp.add_constraint(-eps * v1, Sense.LE, -eps)  # i.e. v1 >= 1: infeasible
+    lp.set_objective(0.0 * v0)
+    res = SimplexBackend().solve(lp)
+    assert res.status is LPStatus.INFEASIBLE
+
+
+def test_objective_expansion_on_split_var():
+    lp = LinearProgram()
+    x = lp.new_var("x", lower=-float("inf"))
+    lp.set_objective(3.0 * x)
+    std = to_standard_form(lp.assemble())
+    kind, (cp, cn) = std.recovery[0]
+    assert std.c[cp] == pytest.approx(3.0)
+    assert std.c[cn] == pytest.approx(-3.0)

@@ -1,0 +1,75 @@
+"""Unit tests for solution validation and cross-backend gap checks."""
+
+import numpy as np
+import pytest
+
+from repro.lp.problem import LinearProgram, Sense
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.validation import check_solution, duality_gap, objective_value
+
+
+def _model():
+    lp = LinearProgram()
+    x = lp.new_var("x", upper=2.0)
+    y = lp.new_var("y")
+    lp.add_constraint(x + y, Sense.GE, 1.0, name="cover")
+    lp.add_constraint(x - y, Sense.EQ, 0.0, name="balance")
+    lp.set_objective(x + y)
+    return lp
+
+
+def _result(x):
+    return LPResult(status=LPStatus.OPTIMAL, objective=float(sum(x)), x=np.asarray(x, float))
+
+
+def test_feasible_solution_passes():
+    lp = _model()
+    rep = check_solution(lp, _result([0.5, 0.5]))
+    assert rep.feasible
+    assert rep.max_violation == 0.0
+
+
+def test_ge_violation_reported():
+    lp = _model()
+    rep = check_solution(lp, _result([0.2, 0.2]))
+    assert not rep.feasible
+    assert any("cover" in v for v in rep.violations)
+
+
+def test_eq_violation_reported():
+    lp = _model()
+    rep = check_solution(lp, _result([0.8, 0.2]))
+    assert not rep.feasible
+    assert any("balance" in v for v in rep.violations)
+
+
+def test_bound_violation_reported():
+    lp = _model()
+    rep = check_solution(lp, _result([3.0, 3.0]))
+    assert any("upper bound" in v for v in rep.violations)
+
+
+def test_missing_vector_fails():
+    lp = _model()
+    res = LPResult(status=LPStatus.INFEASIBLE, objective=float("nan"), x=None)
+    rep = check_solution(lp, res)
+    assert not rep.feasible
+
+
+def test_duality_gap_zero_for_same_optimum():
+    a = _result([0.5, 0.5])
+    b = _result([0.5, 0.5])
+    lp = _model()
+    assert duality_gap(lp, a, b) == pytest.approx(0.0)
+
+
+def test_duality_gap_requires_optimal():
+    lp = _model()
+    bad = LPResult(status=LPStatus.ERROR, objective=float("nan"), x=None)
+    with pytest.raises(ValueError):
+        duality_gap(lp, bad, _result([0.5, 0.5]))
+
+
+def test_objective_value_matches_model():
+    lp = _model()
+    assert objective_value(lp, np.array([1.0, 1.0])) == pytest.approx(2.0)

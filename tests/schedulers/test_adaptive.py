@@ -1,0 +1,74 @@
+"""Tests for the adaptive-epoch LiPS variant."""
+
+import pytest
+
+from repro.cluster.builder import build_paper_testbed
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.schedulers import AdaptiveLipsScheduler, LipsScheduler
+from repro.workload.apps import table4_jobs
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return build_paper_testbed(12, c1_medium_fraction=0.5, seed=1)
+
+
+def run(cluster, sched):
+    sim = HadoopSimulator(
+        cluster, table4_jobs(), sched, SimConfig(placement_seed=7, speculative=False)
+    )
+    return sim.run().metrics
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveLipsScheduler(target_makespan=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveLipsScheduler(target_makespan=100.0, min_epoch=10.0, max_epoch=5.0)
+        with pytest.raises(ValueError):
+            AdaptiveLipsScheduler(target_makespan=100.0, adjust_factor=1.0)
+
+
+class TestAdaptation:
+    def test_completes_workload(self, cluster):
+        sched = AdaptiveLipsScheduler(target_makespan=2500.0)
+        m = run(cluster, sched)
+        assert m.tasks_run == 1608
+        assert len(sched.epoch_history) >= 1
+
+    def test_tight_budget_shrinks_epochs(self, cluster):
+        tight = AdaptiveLipsScheduler(target_makespan=900.0, initial_epoch=1800.0)
+        run(cluster, tight)
+        loose = AdaptiveLipsScheduler(target_makespan=30_000.0, initial_epoch=1800.0)
+        run(cluster, loose)
+        # under a tight budget the controller turns the epoch down
+        min_tight = min(e for _, e, _ in tight.epoch_history)
+        assert min_tight < 1800.0
+        # under a loose budget it turns it up
+        max_loose = max(e for _, e, _ in loose.epoch_history)
+        assert max_loose > 1800.0
+
+    def test_tight_budget_faster_than_loose(self, cluster):
+        tight = run(cluster, AdaptiveLipsScheduler(target_makespan=900.0, initial_epoch=1800.0))
+        loose = run(cluster, AdaptiveLipsScheduler(target_makespan=30_000.0, initial_epoch=1800.0))
+        assert tight.makespan <= loose.makespan
+        # ...and the loose run pays less (the paper's tradeoff, self-tuned)
+        assert loose.total_cost <= tight.total_cost * 1.001
+
+    def test_epochs_respect_clamp(self, cluster):
+        sched = AdaptiveLipsScheduler(
+            target_makespan=600.0, min_epoch=300.0, max_epoch=2400.0, initial_epoch=600.0
+        )
+        run(cluster, sched)
+        for _, e, _ in sched.epoch_history:
+            assert 300.0 <= e <= 2400.0
+
+    def test_matches_fixed_when_budget_met_exactly(self, cluster):
+        """With a generous budget behaviour approaches long fixed epochs."""
+        adaptive = run(
+            cluster,
+            AdaptiveLipsScheduler(target_makespan=50_000.0, initial_epoch=3600.0, max_epoch=3600.0),
+        )
+        fixed = run(cluster, LipsScheduler(epoch_length=3600.0))
+        assert adaptive.total_cost == pytest.approx(fixed.total_cost, rel=0.05)

@@ -1,0 +1,86 @@
+"""Tests for the CapacityScheduler."""
+
+import pytest
+
+from repro.cluster.builder import ClusterBuilder
+from repro.cluster.topology import Topology
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.schedulers import CapacityScheduler, FifoScheduler
+from repro.workload.job import Job, Workload
+
+
+@pytest.fixture
+def cluster():
+    b = ClusterBuilder(topology=Topology.of(["z"]), store_capacity_mb=1e6)
+    for i in range(2):
+        b.add_machine(f"m{i}", ecu=2.0, cpu_cost=1e-5, zone="z", map_slots=2)
+    return b.build()
+
+
+def queue_jobs(spec):
+    """spec: list of (queue, tasks) — 40 cpu-s per task."""
+    jobs = []
+    for i, (queue, tasks) in enumerate(spec):
+        jobs.append(
+            Job(
+                job_id=i,
+                name=f"{queue}-{i}",
+                tcp=0.0,
+                num_tasks=tasks,
+                cpu_seconds_noinput=40.0 * tasks,
+                pool=queue,
+            )
+        )
+    return Workload(jobs=jobs, data=[])
+
+
+def run(cluster, w, sched):
+    sim = HadoopSimulator(cluster, w, sched, SimConfig())
+    return sim, sim.run().metrics
+
+
+class TestValidation:
+    def test_capacities_positive(self):
+        with pytest.raises(ValueError):
+            CapacityScheduler({"q": 0.0})
+
+    def test_capacities_sum(self):
+        with pytest.raises(ValueError):
+            CapacityScheduler({"a": 0.7, "b": 0.7})
+
+
+class TestSharing:
+    def test_guaranteed_queue_not_starved(self, cluster):
+        """A small guaranteed queue overtakes a FIFO backlog."""
+        w = queue_jobs([("bulk", 16), ("prod", 4)])
+        sched = CapacityScheduler({"prod": 0.5, "bulk": 0.5})
+        sim, m = run(cluster, w, sched)
+        fifo_sim, fifo_m = run(cluster, w, FifoScheduler())
+        assert m.job_durations[1] < fifo_m.job_durations[1]
+
+    def test_elastic_lends_idle_capacity(self, cluster):
+        """With one active queue, elasticity lets it use the whole cluster."""
+        w = queue_jobs([("bulk", 8)])
+        _, elastic = run(cluster, w, CapacityScheduler({"bulk": 0.25}))
+        _, fifo = run(cluster, w, FifoScheduler())
+        assert elastic.makespan == pytest.approx(fifo.makespan, rel=0.05)
+
+    def test_hard_cap_limits_queue(self, cluster):
+        """Non-elastic guarantees cap concurrency and stretch the makespan."""
+        w = queue_jobs([("bulk", 8)])
+        _, capped = run(cluster, w, CapacityScheduler({"bulk": 0.25}, elastic=False))
+        _, elastic = run(cluster, w, CapacityScheduler({"bulk": 0.25}))
+        assert capped.makespan > elastic.makespan
+
+    def test_unlisted_queues_share_leftover(self, cluster):
+        w = queue_jobs([("listed", 8), ("other", 8)])
+        sched = CapacityScheduler({"listed": 0.5})
+        sim, m = run(cluster, w, sched)
+        # both complete; neither starves
+        assert m.tasks_run == 16
+        assert set(m.job_durations) == {0, 1}
+
+    def test_all_tasks_complete(self, cluster):
+        w = queue_jobs([("a", 6), ("b", 6), ("c", 6)])
+        _, m = run(cluster, w, CapacityScheduler({"a": 0.3, "b": 0.3, "c": 0.4}))
+        assert m.tasks_run == 18

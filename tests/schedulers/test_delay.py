@@ -1,0 +1,76 @@
+"""Unit tests for delay scheduling."""
+
+import pytest
+
+from repro.cluster.builder import ClusterBuilder
+from repro.cluster.topology import Topology
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.schedulers import DelayScheduler, FifoScheduler
+from repro.workload.job import DataObject, Job, Workload
+
+
+@pytest.fixture
+def cluster():
+    b = ClusterBuilder(topology=Topology.of(["za", "zb"]), store_capacity_mb=1e6)
+    for i in range(3):
+        b.add_machine(f"a{i}", ecu=2.0, cpu_cost=1e-5, zone="za")
+    for i in range(3):
+        b.add_machine(f"b{i}", ecu=2.0, cpu_cost=1e-5, zone="zb")
+    return b.build()
+
+
+@pytest.fixture
+def workload():
+    data = [DataObject(data_id=0, name="d", size_mb=1280.0, origin_store=0)]
+    jobs = [Job(job_id=0, name="scan", tcp=0.8, data_ids=[0], num_tasks=20)]
+    return Workload(jobs=jobs, data=data)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        DelayScheduler(node_delay_s=-1.0)
+    with pytest.raises(ValueError):
+        DelayScheduler(node_delay_s=10.0, zone_delay_s=5.0)
+
+
+def test_delay_improves_locality_over_fifo(cluster, workload):
+    results = {}
+    for name, sched in (("fifo", FifoScheduler()), ("delay", DelayScheduler())):
+        sim = HadoopSimulator(cluster, workload, sched, SimConfig(placement_seed=5, replication=1))
+        results[name] = sim.run().metrics
+    assert results["delay"].data_locality >= results["fifo"].data_locality
+
+
+def test_waiting_clock_escalates_levels(cluster, workload):
+    sched = DelayScheduler(node_delay_s=6.0, zone_delay_s=12.0)
+    sim = HadoopSimulator(cluster, workload, sched, SimConfig(placement_seed=5))
+    sched.bind(sim)
+    sim._populate()
+    job = sim.jobtracker.submit(workload.jobs[0], workload, now=0.0)
+    from repro.schedulers.fifo import ANY, NODE, ZONE
+
+    assert sched._allowed_level(job, now=0.0) == NODE  # no wait started
+    job.wait_started = 0.0
+    assert sched._allowed_level(job, now=3.0) == NODE
+    assert sched._allowed_level(job, now=7.0) == ZONE
+    assert sched._allowed_level(job, now=13.0) == ANY
+
+
+def test_run_completes_despite_delays(cluster, workload):
+    sim = HadoopSimulator(
+        cluster, workload, DelayScheduler(), SimConfig(placement_seed=5, replication=1)
+    )
+    res = sim.run()
+    assert res.metrics.tasks_run == 20
+
+
+def test_zero_delay_equals_fifo_behaviour(cluster, workload):
+    """With no delays the scheduler never skips: same outcome as FIFO."""
+    a = HadoopSimulator(
+        cluster, workload, DelayScheduler(node_delay_s=0.0, zone_delay_s=0.0),
+        SimConfig(placement_seed=5),
+    ).run()
+    b = HadoopSimulator(
+        cluster, workload, FifoScheduler(), SimConfig(placement_seed=5)
+    ).run()
+    assert a.metrics.total_cost == pytest.approx(b.metrics.total_cost, rel=0.05)

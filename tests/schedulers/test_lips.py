@@ -1,0 +1,133 @@
+"""Unit tests for the LiPS simulator scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builder import build_paper_testbed
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.schedulers import FifoScheduler, LipsScheduler
+from repro.schedulers.lips import build_zone_aggregate
+from repro.workload.apps import table4_jobs
+from repro.workload.job import DataObject, Job, Workload
+
+
+@pytest.fixture
+def cluster():
+    return build_paper_testbed(9, c1_medium_fraction=1.0 / 3.0, seed=3)
+
+
+@pytest.fixture
+def workload():
+    data = [
+        DataObject(data_id=0, name="d0", size_mb=640.0, origin_store=0),
+        DataObject(data_id=1, name="d1", size_mb=320.0, origin_store=1),
+    ]
+    jobs = [
+        Job(job_id=0, name="scan", tcp=0.5, data_ids=[0], num_tasks=10),
+        Job(job_id=1, name="count", tcp=1.4, data_ids=[1], num_tasks=5),
+        Job(job_id=2, name="pi", tcp=0.0, num_tasks=2, cpu_seconds_noinput=200.0),
+    ]
+    return Workload(jobs=jobs, data=data)
+
+
+class TestZoneAggregate:
+    def test_one_store_per_zone(self, cluster):
+        agg = build_zone_aggregate(cluster)
+        assert agg.num_stores == 3
+        assert agg.num_machines == cluster.num_machines
+
+    def test_capacity_sums(self, cluster):
+        agg = build_zone_aggregate(cluster)
+        assert agg.store_capacity_vector().sum() == pytest.approx(
+            cluster.store_capacity_vector().sum()
+        )
+
+    def test_machines_preserved(self, cluster):
+        agg = build_zone_aggregate(cluster)
+        for a, b in zip(agg.machines, cluster.machines):
+            assert a.ecu == b.ecu and a.cpu_cost == b.cpu_cost and a.zone == b.zone
+
+    def test_intra_zone_store_free(self, cluster):
+        agg = build_zone_aggregate(cluster)
+        for l, m in enumerate(agg.machines):
+            for s in agg.stores:
+                expected = 0.0 if s.zone == m.zone else agg.network.ms_cost.max()
+                assert agg.network.ms_cost[l, s.store_id] == pytest.approx(expected)
+
+
+class TestLipsRuns:
+    def test_completes_all_tasks(self, cluster, workload):
+        sim = HadoopSimulator(
+            cluster, workload, LipsScheduler(epoch_length=600.0),
+            SimConfig(placement_seed=2, speculative=False),
+        )
+        res = sim.run()
+        assert res.metrics.tasks_run == 17
+
+    def test_validates_epoch_parameter(self):
+        with pytest.raises(ValueError):
+            LipsScheduler(epoch_length=0.0)
+
+    def test_lp_solves_counted(self, cluster, workload):
+        sim = HadoopSimulator(
+            cluster, workload, LipsScheduler(epoch_length=600.0),
+            SimConfig(placement_seed=2, speculative=False),
+        )
+        res = sim.run()
+        assert res.metrics.lp_solves >= 1
+        assert res.metrics.lp_solve_seconds > 0
+
+    def test_not_more_expensive_than_fifo(self, cluster):
+        w = table4_jobs()
+        lips = HadoopSimulator(
+            cluster, w, LipsScheduler(epoch_length=1800.0),
+            SimConfig(placement_seed=2, speculative=False),
+        ).run()
+        fifo = HadoopSimulator(
+            cluster, w, FifoScheduler(), SimConfig(placement_seed=2, speculative=False)
+        ).run()
+        assert lips.metrics.total_cost <= fifo.metrics.total_cost * 1.02
+
+    def test_moves_data_and_charges_placement(self, cluster):
+        w = table4_jobs()
+        sim = HadoopSimulator(
+            cluster, w, LipsScheduler(epoch_length=1800.0),
+            SimConfig(placement_seed=2, speculative=False),
+        )
+        res = sim.run()
+        assert res.metrics.moved_mb > 0
+        # intra-zone moves are free; cost only for cross-zone relocations
+        assert res.metrics.ledger.category_total("placement-transfer") >= 0.0
+
+    def test_plans_pin_tasks_to_stores(self, cluster, workload):
+        sched = LipsScheduler(epoch_length=600.0)
+        sim = HadoopSimulator(
+            cluster, workload, sched, SimConfig(placement_seed=2, speculative=False)
+        )
+        res = sim.run()
+        # after the run every data task was read from its pinned store: the
+        # locality metric reflects LP-planned reads (full locality expected
+        # because realisation prefers the machine's own DataNode)
+        assert res.metrics.data_locality >= 0.8
+
+    def test_longer_epoch_not_more_expensive(self, cluster):
+        w = table4_jobs()
+        costs = {}
+        for e in (450.0, 3600.0):
+            res = HadoopSimulator(
+                cluster, w, LipsScheduler(epoch_length=e),
+                SimConfig(placement_seed=2, speculative=False),
+            ).run()
+            costs[e] = res.metrics.total_cost
+        assert costs[3600.0] <= costs[450.0] * 1.05
+
+    def test_deterministic(self, cluster, workload):
+        def one():
+            return HadoopSimulator(
+                cluster, workload, LipsScheduler(epoch_length=600.0),
+                SimConfig(placement_seed=2, speculative=False),
+            ).run()
+
+        a, b = one(), one()
+        assert a.metrics.total_cost == b.metrics.total_cost
+        assert a.metrics.makespan == b.metrics.makespan

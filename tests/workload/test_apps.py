@@ -1,0 +1,80 @@
+"""Unit tests for the Table I app profiles and Table IV workload."""
+
+import pytest
+
+from repro.cluster.storage import BLOCK_MB
+from repro.workload.apps import (
+    APP_PROFILES,
+    PI_TASK_CPU_SECONDS,
+    app_profile,
+    make_job,
+    table1_rows,
+    table4_jobs,
+)
+
+
+class TestProfiles:
+    def test_table1_values(self):
+        assert APP_PROFILES["grep"].cpu_per_block == 20.0
+        assert APP_PROFILES["stress1"].cpu_per_block == 37.0
+        assert APP_PROFILES["stress2"].cpu_per_block == 75.0
+        assert APP_PROFILES["wordcount"].cpu_per_block == 90.0
+        assert APP_PROFILES["pi"].is_input_less
+
+    def test_tcp_per_mb_conversion(self):
+        assert APP_PROFILES["grep"].tcp == pytest.approx(20.0 / BLOCK_MB)
+        assert APP_PROFILES["pi"].tcp == 0.0
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError, match="grep"):
+            app_profile("sort")
+
+    def test_table1_rows_mark_pi_infinite(self):
+        rows = {r[0]: r for r in table1_rows()}
+        assert rows["pi"][2] == "inf"
+
+
+class TestMakeJob:
+    def test_pi_rejects_data(self):
+        with pytest.raises(ValueError, match="no input"):
+            make_job("pi", 0, data_ids=[0])
+
+    def test_pi_cpu_scales_with_tasks(self):
+        j = make_job("pi", 0, num_tasks=4)
+        assert j.cpu_seconds_noinput == pytest.approx(4 * PI_TASK_CPU_SECONDS)
+
+    def test_data_app_requires_data(self):
+        with pytest.raises(ValueError, match="requires input"):
+            make_job("grep", 0)
+
+    def test_job_carries_profile(self):
+        j = make_job("wordcount", 1, data_ids=[0], num_tasks=16)
+        assert j.app == "wordcount"
+        assert j.tcp == pytest.approx(90.0 / BLOCK_MB)
+
+
+class TestTable4:
+    def test_shape(self):
+        w = table4_jobs()
+        assert w.num_jobs == 9
+        assert w.num_data == 7  # two Pi jobs carry no data
+        assert w.total_tasks() == 1608
+        assert w.total_input_mb() == pytest.approx(100 * 1024.0)
+
+    def test_tasks_equal_blocks(self):
+        w = table4_jobs()
+        for job in w.jobs:
+            if job.has_input:
+                blocks = sum(w.data[d].num_blocks for d in job.data_ids)
+                assert job.num_tasks == blocks
+
+    def test_origin_round_robin(self):
+        w = table4_jobs(origin_stores=[3, 5])
+        origins = [d.origin_store for d in w.data]
+        assert origins == [3, 5, 3, 5, 3, 5, 3]
+
+    def test_total_cpu_demand_matches_hand_computation(self):
+        w = table4_jobs()
+        # grep 3*320*20 + wc 2*160*90 + stress2 2*160*75 + pi 2*4*300
+        expected = 3 * 320 * 20 + 2 * 160 * 90 + 2 * 160 * 75 + 2 * 4 * PI_TASK_CPU_SECONDS
+        assert w.total_cpu_seconds() == pytest.approx(expected)

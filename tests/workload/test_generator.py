@@ -1,0 +1,83 @@
+"""Unit tests for the Figure 5 random workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.ec2 import MILLICENT
+from repro.cluster.storage import BLOCK_MB
+from repro.workload.generator import (
+    FIG5_CPU_COST_MILLICENT,
+    FIG5_INPUT_MB,
+    FIG5_JOB_CPU_SECONDS,
+    FIG5_TRANSFER_MILLICENT_PER_BLOCK,
+    random_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def rw():
+    return random_workload(200, 10, 8, seed=42)
+
+
+def test_dimensions(rw):
+    assert rw.cluster.num_machines == 8
+    assert rw.cluster.num_stores == 10
+    assert rw.workload.num_jobs == 10  # 200 tasks / 20 per job
+
+
+def test_costs_within_caption_ranges(rw):
+    lo, hi = FIG5_CPU_COST_MILLICENT
+    costs = rw.cluster.cpu_cost_vector() / MILLICENT
+    assert np.all(costs >= lo) and np.all(costs <= hi)
+
+
+def test_input_sizes_within_range(rw):
+    lo, hi = FIG5_INPUT_MB
+    for d in rw.workload.data:
+        assert BLOCK_MB <= d.size_mb <= max(hi, BLOCK_MB)
+
+
+def test_job_cpu_within_range(rw):
+    lo, hi = FIG5_JOB_CPU_SECONDS
+    for j in rw.workload.jobs:
+        cpu = j.total_cpu_seconds(rw.workload.data)
+        assert lo <= cpu <= hi + 1e-9
+
+
+def test_transfer_matrices_shape_and_range(rw):
+    assert rw.ms_cost.shape == (8, 10)
+    assert rw.ss_cost.shape == (10, 10)
+    per_mb_hi = FIG5_TRANSFER_MILLICENT_PER_BLOCK[1] * MILLICENT / BLOCK_MB
+    assert rw.ms_cost.max() <= per_mb_hi
+    assert np.all(np.diag(rw.ss_cost) == 0.0)
+
+
+def test_colocated_reads_free(rw):
+    for s in rw.cluster.stores:
+        if s.colocated_machine is not None:
+            assert rw.ms_cost[s.colocated_machine, s.store_id] == 0.0
+
+
+def test_more_stores_than_machines_adds_remote():
+    rw2 = random_workload(100, 12, 4, seed=0)
+    assert rw2.cluster.num_stores == 12
+    remote = [s for s in rw2.cluster.stores if not s.is_local]
+    assert len(remote) == 8
+
+
+def test_deterministic_under_seed():
+    a = random_workload(100, 5, 5, seed=9)
+    b = random_workload(100, 5, 5, seed=9)
+    assert np.allclose(a.ms_cost, b.ms_cost)
+    assert [d.size_mb for d in a.workload.data] == [d.size_mb for d in b.workload.data]
+
+
+def test_seed_changes_draw():
+    a = random_workload(100, 5, 5, seed=1)
+    b = random_workload(100, 5, 5, seed=2)
+    assert not np.allclose(a.ms_cost, b.ms_cost)
+
+
+def test_invalid_dimensions_rejected():
+    with pytest.raises(ValueError):
+        random_workload(0, 5, 5)

@@ -1,0 +1,118 @@
+"""Unit tests for jobs, tasks and data objects."""
+
+import pytest
+
+from repro.workload.job import DataObject, Job, Task, Workload
+
+
+@pytest.fixture
+def data():
+    return [
+        DataObject(data_id=0, name="d0", size_mb=640.0, origin_store=0),
+        DataObject(data_id=1, name="d1", size_mb=100.0, origin_store=1),
+    ]
+
+
+class TestDataObject:
+    def test_num_blocks_ceils(self):
+        d = DataObject(data_id=0, name="d", size_mb=100.0, origin_store=0)
+        assert d.num_blocks == 2  # 100/64 -> 2 blocks
+
+    def test_zero_size_zero_blocks(self):
+        d = DataObject(data_id=0, name="d", size_mb=0.0, origin_store=0)
+        assert d.num_blocks == 0
+
+    def test_custom_block_size(self):
+        d = DataObject(data_id=0, name="d", size_mb=100.0, origin_store=0, block_mb=50.0)
+        assert d.num_blocks == 2
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            DataObject(data_id=0, name="d", size_mb=-1.0, origin_store=0)
+        with pytest.raises(ValueError):
+            DataObject(data_id=0, name="d", size_mb=1.0, origin_store=0, block_mb=0.0)
+
+
+class TestJob:
+    def test_total_cpu_seconds(self, data):
+        j = Job(job_id=0, name="j", tcp=0.5, data_ids=[0])
+        assert j.total_cpu_seconds(data) == pytest.approx(320.0)
+
+    def test_noinput_cpu_added(self, data):
+        j = Job(job_id=0, name="j", tcp=0.5, data_ids=[0], cpu_seconds_noinput=10.0)
+        assert j.total_cpu_seconds(data) == pytest.approx(330.0)
+
+    def test_input_less_job(self):
+        j = Job(job_id=0, name="pi", tcp=0.0, num_tasks=4, cpu_seconds_noinput=400.0)
+        assert not j.has_input
+        assert j.total_cpu_seconds([]) == pytest.approx(400.0)
+
+    def test_cpu_seconds_for_object(self, data):
+        j = Job(job_id=0, name="j", tcp=2.0, data_ids=[1])
+        assert j.cpu_seconds_for(data[1]) == pytest.approx(200.0)
+        with pytest.raises(ValueError):
+            j.cpu_seconds_for(data[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Job(job_id=0, name="j", tcp=-1.0)
+        with pytest.raises(ValueError):
+            Job(job_id=0, name="j", tcp=0.0, num_tasks=0)
+
+
+class TestSplitIntoTasks:
+    def test_input_less_split_even(self):
+        j = Job(job_id=0, name="pi", tcp=0.0, num_tasks=4, cpu_seconds_noinput=400.0)
+        tasks = j.split_into_tasks([])
+        assert len(tasks) == 4
+        assert all(t.cpu_seconds == pytest.approx(100.0) for t in tasks)
+        assert all(t.data_id is None for t in tasks)
+
+    def test_data_job_split_conserves_totals(self, data):
+        j = Job(job_id=0, name="j", tcp=1.0, data_ids=[0], num_tasks=10)
+        tasks = j.split_into_tasks(data)
+        assert len(tasks) == 10
+        assert sum(t.input_mb for t in tasks) == pytest.approx(640.0)
+        assert sum(t.cpu_seconds for t in tasks) == pytest.approx(640.0)
+
+    def test_task_ids_dense(self, data):
+        j = Job(job_id=3, name="j", tcp=1.0, data_ids=[0], num_tasks=5)
+        tasks = j.split_into_tasks(data)
+        assert [t.task_id for t in tasks] == list(range(5))
+        assert all(t.job_id == 3 for t in tasks)
+
+
+class TestWorkload:
+    def test_totals(self, data):
+        jobs = [
+            Job(job_id=0, name="a", tcp=1.0, data_ids=[0], num_tasks=2),
+            Job(job_id=1, name="b", tcp=2.0, data_ids=[1], num_tasks=2),
+        ]
+        w = Workload(jobs=jobs, data=data)
+        assert w.total_input_mb() == pytest.approx(740.0)
+        assert w.total_cpu_seconds() == pytest.approx(640.0 + 200.0)
+        assert w.total_tasks() == 4
+
+    def test_dense_index_enforced(self, data):
+        bad = [Job(job_id=5, name="a", tcp=1.0, data_ids=[0])]
+        with pytest.raises(ValueError, match="densely indexed"):
+            Workload(jobs=bad, data=data)
+
+    def test_unknown_data_reference_rejected(self, data):
+        jobs = [Job(job_id=0, name="a", tcp=1.0, data_ids=[9])]
+        with pytest.raises(ValueError, match="unknown data"):
+            Workload(jobs=jobs, data=data)
+
+    def test_jobs_by_arrival_sorted(self, data):
+        jobs = [
+            Job(job_id=0, name="late", tcp=1.0, data_ids=[0], arrival_time=10.0),
+            Job(job_id=1, name="early", tcp=1.0, data_ids=[1], arrival_time=1.0),
+        ]
+        w = Workload(jobs=jobs, data=data)
+        assert [j.name for j in w.jobs_by_arrival()] == ["early", "late"]
+
+
+class TestTask:
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            Task(task_id=0, job_id=0, data_id=None, input_mb=-1.0, cpu_seconds=0.0)

@@ -1,0 +1,49 @@
+"""Unit tests for the JD access matrix."""
+
+import numpy as np
+import pytest
+
+from repro.workload.job import DataObject, Job
+from repro.workload.matrix import access_matrix, accessed_pairs, validate_access_matrix
+
+
+@pytest.fixture
+def setup():
+    data = [
+        DataObject(data_id=0, name="d0", size_mb=64.0, origin_store=0),
+        DataObject(data_id=1, name="d1", size_mb=64.0, origin_store=0),
+    ]
+    jobs = [
+        Job(job_id=0, name="a", tcp=1.0, data_ids=[0]),
+        Job(job_id=1, name="b", tcp=1.0, data_ids=[0, 1]),
+        Job(job_id=2, name="pi", tcp=0.0, cpu_seconds_noinput=1.0),
+    ]
+    return jobs, data
+
+
+def test_binary_entries(setup):
+    jobs, data = setup
+    jd = access_matrix(jobs, data)
+    assert jd.shape == (3, 2)
+    assert jd[0].tolist() == [1.0, 0.0]
+    assert jd[1].tolist() == [1.0, 1.0]
+    assert jd[2].tolist() == [0.0, 0.0]
+
+
+def test_accessed_pairs(setup):
+    jobs, data = setup
+    pairs = accessed_pairs(access_matrix(jobs, data))
+    assert set(pairs) == {(0, 0), (1, 0), (1, 1)}
+
+
+def test_validate_accepts_fractional():
+    validate_access_matrix(np.array([[0.5, 1.0], [0.0, 0.0]]))
+
+
+def test_validate_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        validate_access_matrix(np.array([[1.5]]))
+    with pytest.raises(ValueError):
+        validate_access_matrix(np.array([[-0.1]]))
+    with pytest.raises(ValueError):
+        validate_access_matrix(np.array([[np.nan]]))

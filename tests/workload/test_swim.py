@@ -1,0 +1,72 @@
+"""Unit tests for the synthetic SWIM/Facebook day trace."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.storage import BLOCK_MB
+from repro.workload.swim import SwimConfig, class_histogram, synthesize_facebook_day
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthesize_facebook_day(SwimConfig(num_jobs=300, seed=4))
+
+
+def test_job_count(trace):
+    assert trace.num_jobs == 300
+
+
+def test_interactive_jobs_dominate_counts(trace):
+    hist = class_histogram(trace)
+    assert hist["interactive"] > hist["medium"] > hist["long"]
+
+
+def test_long_jobs_dominate_bytes(trace):
+    mb_by_class = {}
+    for j in trace.jobs:
+        mb_by_class.setdefault(j.pool, 0.0)
+        mb_by_class[j.pool] += j.total_input_mb(trace.data)
+    assert mb_by_class["long"] > mb_by_class["interactive"]
+
+
+def test_arrivals_sorted_within_day(trace):
+    times = [j.arrival_time for j in trace.jobs]
+    assert times == sorted(times)
+    assert 0.0 <= times[0] and times[-1] < 24 * 3600.0
+
+
+def test_one_block_per_map(trace):
+    for j in trace.jobs:
+        if j.has_input:
+            d = trace.data[j.data_ids[0]]
+            assert d.size_mb == pytest.approx(j.num_tasks * BLOCK_MB)
+
+
+def test_origin_stores_round_robin():
+    w = synthesize_facebook_day(SwimConfig(num_jobs=50, num_origin_stores=4, seed=1))
+    origins = {d.origin_store for d in w.data}
+    assert origins <= {0, 1, 2, 3}
+    assert len(origins) == 4
+
+
+def test_deterministic_under_seed():
+    a = synthesize_facebook_day(SwimConfig(num_jobs=40, seed=7))
+    b = synthesize_facebook_day(SwimConfig(num_jobs=40, seed=7))
+    assert [j.num_tasks for j in a.jobs] == [j.num_tasks for j in b.jobs]
+    assert [j.arrival_time for j in a.jobs] == [j.arrival_time for j in b.jobs]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SwimConfig(num_jobs=0)
+    with pytest.raises(ValueError):
+        SwimConfig(classes=(("only", 0.5, (1, 2)),))
+    with pytest.raises(ValueError):
+        SwimConfig(app_mix=(("grep", 0.4),))
+
+
+def test_heavy_tail_shape(trace):
+    sizes = np.array(sorted(j.num_tasks for j in trace.jobs))
+    # median tiny, max huge — the FB-2010 signature
+    assert np.median(sizes) <= 20
+    assert sizes.max() >= 150
