@@ -7,14 +7,19 @@ Usage::
     python -m repro fig5 --full       # paper-scale simulated savings
     python -m repro fig6 fig7         # 20-node cost / exec-time sweep
     python -m repro all               # everything (reduced sizes)
+    python -m repro fig8 --trace t.jsonl   # + structured JSONL trace
+    python -m repro report t.jsonl    # per-epoch / per-solve tables
 
 ``--full`` switches to the paper's full experiment sizes (equivalent to
-``REPRO_FULL=1`` for the benchmark suite).
+``REPRO_FULL=1`` for the benchmark suite).  ``--trace``/``--metrics``
+stream observability data from every simulation the experiments run (see
+:mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -22,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 def _run_tables(full: bool, csv_dir=None) -> None:
     from repro.experiments import tables
 
-    tables.main([])
+    tables.main([], full=full, csv_dir=csv_dir)
 
 
 def _run_fig1(full: bool, csv_dir=None) -> None:
@@ -177,13 +182,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv",
         metavar="DIR",
         default=None,
-        help="also write result CSVs to DIR (supported: fig5, fig9/fig10, frontier)",
+        help="also write result CSVs to DIR (supported: tables, fig5, fig9/fig10, frontier)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a structured JSONL trace of every simulation to PATH "
+        "(inspect with 'python -m repro report PATH')",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a JSON metrics-registry dump of every simulation to PATH",
     )
     return parser
 
 
+def build_report_parser() -> argparse.ArgumentParser:
+    """Parser for the ``python -m repro report`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Render per-epoch/per-machine/per-solve tables from a "
+        "JSONL trace written with --trace.",
+    )
+    parser.add_argument("path", metavar="TRACE", help="JSONL trace file")
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=40,
+        metavar="N",
+        help="max rows in the LP solve table (default 40)",
+    )
+    parser.add_argument(
+        "--chrome",
+        metavar="OUT",
+        default=None,
+        help="also convert the trace to Chrome trace-event JSON at OUT "
+        "(load in chrome://tracing or https://ui.perfetto.dev)",
+    )
+    return parser
+
+
+def _run_report(argv: Sequence[str]) -> int:
+    import json
+
+    from repro.obs.export import load_jsonl, write_chrome_trace
+    from repro.obs.report import render
+
+    args = build_report_parser().parse_args(argv)
+    try:
+        print(render(args.path, limit=args.limit))
+        if args.chrome:
+            write_chrome_trace(load_jsonl(args.path), args.chrome)
+            print(f"wrote {args.chrome}")
+    except OSError as exc:
+        print(f"cannot read trace {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"not a JSONL trace: {args.path!r} ({exc})", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # 'report' is a subcommand over trace files, not an experiment — it has
+    # its own flags, so it is dispatched before the experiment parser.
+    if argv and argv[0] == "report":
+        return _run_report(list(argv[1:]))
     args = build_parser().parse_args(argv)
     wanted: List[str] = []
     for name in args.experiments:
@@ -194,17 +264,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             print(
                 f"unknown experiment {name!r}; choose from: "
-                f"{', '.join(COMMANDS)}, all",
+                f"{', '.join(COMMANDS)}, all, report",
                 file=sys.stderr,
             )
             return 2
-    seen = set()
-    for name in wanted:
-        if name in seen:
-            continue
-        seen.add(name)
-        COMMANDS[name](args.full, args.csv)
-        print()
+    with contextlib.ExitStack() as stack:
+        if args.trace:
+            from repro.obs.trace import Tracer, use_tracer
+
+            try:
+                tracer = stack.enter_context(Tracer.to_path(args.trace))
+            except OSError as exc:
+                print(f"cannot write trace {args.trace!r}: {exc}", file=sys.stderr)
+                return 2
+            stack.enter_context(use_tracer(tracer))
+        registry = None
+        if args.metrics:
+            from repro.obs.registry import MetricsRegistry, use_registry
+
+            registry = MetricsRegistry()
+            stack.enter_context(use_registry(registry))
+        seen = set()
+        for name in wanted:
+            if name in seen:
+                continue
+            seen.add(name)
+            COMMANDS[name](args.full, args.csv)
+            print()
+        if registry is not None:
+            registry.write_json(args.metrics)
+            print(f"wrote {args.metrics}")
     return 0
 
 

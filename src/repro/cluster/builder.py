@@ -9,12 +9,12 @@ can be added on top.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.cluster.ec2 import EC2_CATALOG, InstanceType, ec2_instance
+from repro.cluster.ec2 import InstanceType, ec2_instance
 from repro.cluster.machine import Machine
 from repro.cluster.network import NetworkModel
 from repro.cluster.storage import DataStore

@@ -64,6 +64,7 @@ def capacity_shadow_prices(
         store_capacity=store_capacity,
     )
     asm = assembler.build()
+    asm.name = "capacity-analysis"
     res = backend.solve_assembled(asm)
     if res.status is not LPStatus.OPTIMAL:
         raise RuntimeError(f"model not solvable: {res.status.value}")

@@ -52,6 +52,7 @@ def solve_co_offline(
         placement_tiebreak=placement_tiebreak,
     )
     asm = assembler.build()
+    asm.name = "co-offline"
     result = backend.solve_assembled(asm)
     if result.status is not LPStatus.OPTIMAL:
         raise RuntimeError(

@@ -75,6 +75,7 @@ def solve_co_online(
         min_cpu_rows=min_cpu_rows,
     )
     asm = assembler.build()
+    asm.name = "co-online"
     result = backend.solve_assembled(asm)
     if result.status is not LPStatus.OPTIMAL:
         # With the fake node the model is feasible unless *storage* is

@@ -16,7 +16,7 @@ already-moved data is not re-charged).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -26,6 +26,8 @@ from repro.core.co_online import OnlineModelConfig, solve_co_online
 from repro.core.model import SchedulingInput
 from repro.core.solution import CoScheduleSolution, CostBreakdown
 from repro.cost.accounting import CostLedger
+from repro.obs import lpprof
+from repro.obs.trace import current_tracer
 from repro.workload.job import DataObject, Job, Workload
 
 #: Fractions below this are considered fully scheduled (numerical noise).
@@ -53,6 +55,9 @@ class EpochReport:
     cost: CostBreakdown
     machine_cpu_seconds: np.ndarray
     solution: Optional[CoScheduleSolution] = None
+    #: LP backend solves this epoch and their wall time (repro.obs.lpprof)
+    lp_solves: int = 0
+    lp_wall_seconds: float = 0.0
 
 
 @dataclass
@@ -108,6 +113,7 @@ class EpochController:
         keep_solutions: bool = False,
         max_epochs: int = 100000,
         fairness: Optional[object] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         if epoch_length <= 0:
             raise ValueError("epoch_length must be positive")
@@ -119,6 +125,8 @@ class EpochController:
         self.max_epochs = max_epochs
         #: optional FairShareConfig applied to every epoch's LP
         self.fairness = fairness
+        #: trace emitter; None falls back to the ambient tracer at run time
+        self.tracer = tracer
 
     # -- helpers -------------------------------------------------------------
     def _build_epoch_input(
@@ -213,6 +221,7 @@ class EpochController:
     def run(self, workload: Workload) -> OnlineRunResult:
         """Schedule an entire workload online; returns the aggregate result."""
         e = self.epoch_length
+        tracer = self.tracer if self.tracer is not None else current_tracer()
         L = self.cluster.num_machines
         ledger = CostLedger()
         reports: List[EpochReport] = []
@@ -244,13 +253,17 @@ class EpochController:
 
             inp, original_ids = self._build_epoch_input(queue, store_used_mb, workload.data)
             remaining_cap = np.maximum(self.cluster.store_capacity_vector() - store_used_mb, 0.0)
-            sol = solve_co_online(
-                inp,
-                OnlineModelConfig(epoch_length=e, enforce_bandwidth=self.enforce_bandwidth),
-                backend=self.backend,
-                store_capacity=remaining_cap,
-                fairness=self.fairness,
-            )
+            with lpprof.profile() as prof:
+                sol = solve_co_online(
+                    inp,
+                    OnlineModelConfig(epoch_length=e, enforce_bandwidth=self.enforce_bandwidth),
+                    backend=self.backend,
+                    store_capacity=remaining_cap,
+                    fairness=self.fairness,
+                )
+            if tracer.enabled:
+                for rec in prof.records:
+                    tracer.lp_solve(rec, ts=start)
             bd = self._charge(ledger, inp, sol, original_ids)
 
             # machine CPU time this epoch (wall seconds of busy CPU)
@@ -266,10 +279,12 @@ class EpochController:
             new_queue: List[_QueueEntry] = []
             scheduled = 0
             requeued = 0
+            residual_total = 0.0
             for pos, entry in enumerate(queue):
                 fake_frac = float(sol.fake[pos])
                 done_frac = entry.fraction * (1.0 - fake_frac)
                 residual = entry.fraction * fake_frac
+                residual_total += residual if residual > MIN_RESIDUAL else 0.0
                 if residual > MIN_RESIDUAL:
                     origin = entry.origin_store
                     if inp.job_data[pos] >= 0:
@@ -297,6 +312,21 @@ class EpochController:
                     scheduled += 1
             queue = new_queue
 
+            if tracer.enabled:
+                tracer.span(
+                    "epoch",
+                    "controller-epoch",
+                    start,
+                    e,
+                    index=epoch,
+                    queued=len(original_ids),
+                    scheduled=scheduled,
+                    requeued=requeued,
+                    residual=residual_total,
+                    cost_delta=bd.real_total,
+                    lp_solves=prof.solves,
+                    lp_wall_s=prof.wall_seconds,
+                )
             reports.append(
                 EpochReport(
                     index=epoch,
@@ -307,6 +337,8 @@ class EpochController:
                     cost=bd,
                     machine_cpu_seconds=cpu_l,
                     solution=sol if self.keep_solutions else None,
+                    lp_solves=prof.solves,
+                    lp_wall_seconds=prof.wall_seconds,
                 )
             )
             epoch += 1

@@ -17,13 +17,13 @@ workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from repro.cluster.builder import Cluster
-from repro.workload.job import DataObject, Job, Workload
+from repro.workload.job import Job, Workload
 from repro.workload.matrix import access_matrix
 
 
@@ -126,7 +126,6 @@ class SchedulingInput:
                     f"job {job.name!r} accesses {len(job.data_ids)} data objects; "
                     "run split_multi_object_jobs() first"
                 )
-        K = workload.num_jobs
         L = cluster.num_machines
         S = cluster.num_stores
         D = workload.num_data

@@ -70,6 +70,7 @@ def solve_simple_task(
         horizon=horizon,
     )
     asm = assembler.build()
+    asm.name = "simple-task"
     result = backend.solve_assembled(asm)
     if result.status is not LPStatus.OPTIMAL:
         raise RuntimeError(

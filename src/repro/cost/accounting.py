@@ -9,7 +9,7 @@ cost bars of Figures 6/9 both read from a ledger.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 #: Charge categories.
 CPU = "cpu"

@@ -10,8 +10,8 @@ standard cost-accounting treatment of shared infrastructure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
 
 from repro.cost.accounting import CostLedger
 from repro.workload.job import Workload

@@ -8,9 +8,8 @@ evidence); failures don't stop the sweep.
 
 from __future__ import annotations
 
-import traceback
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List
 
 from repro.experiments.report import format_table
 

@@ -12,10 +12,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
 
 from repro.cluster.builder import build_paper_testbed
-from repro.core.deadline import CostDeadlineFrontier, cost_deadline_frontier, min_deadline
+from repro.core.deadline import CostDeadlineFrontier, cost_deadline_frontier
 from repro.core.model import SchedulingInput
 from repro.experiments.report import format_table
 from repro.workload.apps import table4_jobs

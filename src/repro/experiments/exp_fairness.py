@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
 
 from repro.cluster.builder import build_paper_testbed
 from repro.core.co_online import OnlineModelConfig, solve_co_online
@@ -27,7 +26,7 @@ from repro.core.model import SchedulingInput
 from repro.experiments.common import DEFAULT, DELAY, LIPS, compare_schedulers
 from repro.experiments.report import format_table
 from repro.workload.apps import make_job, table4_jobs
-from repro.workload.job import DataObject, Job, Workload
+from repro.workload.job import DataObject, Workload
 
 
 def _contended_workload(num_stores: int) -> Workload:

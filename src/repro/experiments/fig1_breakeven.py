@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-import numpy as np
 
 from repro.cluster.ec2 import MILLICENT, transfer_cost_per_mb
 from repro.cost.pricing import move_data_break_even

@@ -13,7 +13,7 @@ the Figure 7 module re-exports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.cluster.builder import build_paper_testbed
 from repro.experiments.common import (

@@ -7,11 +7,12 @@ the repo's constants match the paper verbatim.
 from __future__ import annotations
 
 import sys
+from pathlib import Path
 from typing import List, Sequence, Tuple
 
-from repro.cluster.ec2 import EC2_CATALOG, table3_rows
+from repro.cluster.ec2 import table3_rows
 from repro.experiments.report import format_table
-from repro.workload.apps import APP_PROFILES, table1_rows, table4_jobs
+from repro.workload.apps import table1_rows, table4_jobs
 
 
 def table1() -> str:
@@ -53,8 +54,40 @@ def table4() -> str:
     )
 
 
-def main(argv: Sequence[str] | None = None) -> None:
-    """Print the requested tables (default: all three)."""
+def _csv_data(name: str) -> Tuple[List[str], List[Sequence[object]]]:
+    """Raw (header, rows) for one table's CSV export."""
+    if name == "table1":
+        return (
+            ["app", "property", "cpu_s_per_64mb_block"],
+            [list(r) for r in table1_rows()],
+        )
+    if name == "table3":
+        return (
+            ["instance", "cpus", "ecu", "mem_gb", "storage_gb", "dollars_per_hr",
+             "millicent_per_ecu_s"],
+            [list(r) for r in table3_rows()],
+        )
+    w = table4_jobs()
+    return (
+        ["job", "app", "map_tasks", "input_gb"],
+        [
+            (job.name, job.app, job.num_tasks, job.total_input_mb(w.data) / 1024.0)
+            for job in w.jobs
+        ],
+    )
+
+
+def main(
+    argv: Sequence[str] | None = None,
+    full: bool = False,
+    csv_dir: object = None,
+) -> None:
+    """Print the requested tables (default: all three).
+
+    ``full`` is accepted for CLI uniformity but changes nothing — these are
+    the paper's constant parameter tables.  ``csv_dir`` additionally writes
+    one CSV per printed table into that directory.
+    """
     if argv is None:
         argv = sys.argv[1:]
     which = list(argv) or ["table1", "table3", "table4"]
@@ -62,6 +95,12 @@ def main(argv: Sequence[str] | None = None) -> None:
     for name in which:
         print(emitters[name]())
         print()
+    if csv_dir:
+        from repro.experiments.export import write_csv
+
+        for name in which:
+            header, rows = _csv_data(name)
+            print(f"wrote {write_csv(Path(csv_dir) / f'{name}.csv', header, rows)}")
 
 
 if __name__ == "__main__":

@@ -10,7 +10,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
+
+from repro.obs.trace import NULL_TRACER
 
 Callback = Callable[[], None]
 
@@ -48,13 +50,20 @@ class EventHandle:
 
 
 class EventQueue:
-    """A deterministic min-heap event queue with a simulation clock."""
+    """A deterministic min-heap event queue with a simulation clock.
 
-    def __init__(self) -> None:
+    ``tracer`` observes event dispatch: when it is enabled *and* opted into
+    the high-volume ``dispatch`` category, every executed callback emits a
+    trace event.  The null tracer (the default) costs one attribute read
+    per step.
+    """
+
+    def __init__(self, tracer=None) -> None:
         self._heap: List[_Entry] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def now(self) -> float:
@@ -92,6 +101,15 @@ class EventQueue:
                 continue
             self._now = entry.time
             self._processed += 1
+            tracer = self.tracer
+            if tracer.enabled and tracer.wants("dispatch"):
+                tracer.event(
+                    "dispatch",
+                    getattr(entry.callback, "__qualname__", "callback"),
+                    entry.time,
+                    priority=entry.priority,
+                    seq=entry.seq,
+                )
             entry.callback()
             return True
         return False

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.hadoop.hdfs import HDFS
 from repro.hadoop.tasktracker import SimTask, TaskAttempt, TaskTracker
+from repro.obs.trace import NULL_TRACER
 from repro.workload.job import Job, Workload
 
 
@@ -136,11 +137,13 @@ def expand_job(job: Job, workload: Workload, hdfs: HDFS) -> List[SimTask]:
 class JobTracker:
     """Job registry and attempt lifecycle."""
 
-    def __init__(self, hdfs: HDFS) -> None:
+    def __init__(self, hdfs: HDFS, tracer=None) -> None:
         self.hdfs = hdfs
         self.jobs: Dict[int, JobState] = {}
         self.queue: List[JobState] = []  # incomplete jobs, FIFO by submit
         self._attempt_ids = itertools.count()
+        #: trace emitter for job lifecycle (the simulator installs its own)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- job lifecycle ---------------------------------------------------------
     def submit(self, job: Job, workload: Workload, now: float) -> JobState:
@@ -151,6 +154,16 @@ class JobTracker:
         state = JobState(job=job, tasks=tasks, pending=list(tasks), submit_time=now)
         self.jobs[job.job_id] = state
         self.queue.append(state)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "job",
+                "submit",
+                now,
+                job=job.job_id,
+                job_name=job.name,
+                tasks=len(tasks),
+                reduces=job.num_reduces,
+            )
         return state
 
     def incomplete_jobs(self) -> List[JobState]:
@@ -240,6 +253,17 @@ class JobTracker:
                 job.completed_maps += 1
         if job.is_complete and job.finish_time is None:
             job.finish_time = now
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "job",
+                    "run",
+                    job.submit_time,
+                    now - job.submit_time,
+                    job=job.job_id,
+                    job_name=job.job.name,
+                    tasks=len(job.tasks),
+                    reduces=len(job.reduce_tasks),
+                )
         return siblings
 
     def drop_attempt(self, job: JobState, attempt: TaskAttempt) -> None:

@@ -2,43 +2,96 @@
 
 One :class:`SimMetrics` per simulation run; the experiment harness compares
 these across schedulers to regenerate the paper's figures.
+
+The scalar fields live on a per-run
+:class:`~repro.obs.registry.MetricsRegistry` (counters for the monotone
+quantities, a gauge for the makespan) rather than as ad-hoc attributes —
+``metrics.tasks_run += 1`` still works, but the same numbers are also
+available as structured, dumpable metric series, and :meth:`publish` folds
+a finished run into a process-wide registry (the CLI's ``--metrics``)
+labelled by scheduler.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.cost.accounting import CostLedger
+from repro.obs.registry import MetricsRegistry
 
 
-@dataclass
+class _CounterField:
+    """A SimMetrics attribute backed by a registry counter.
+
+    Reads return the counter total (cast for int-like counts); writes force
+    the total, so test fixtures can assign values directly.
+    """
+
+    def __init__(self, help: str = "", as_int: bool = False) -> None:
+        self.help = help
+        self.as_int = as_int
+
+    def __set_name__(self, owner, name: str) -> None:
+        self.name = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        value = obj.registry.counter(self.name, help=self.help).value()
+        return int(value) if self.as_int else value
+
+    def __set__(self, obj, value) -> None:
+        obj.registry.counter(self.name, help=self.help).set_total(value)
+
+
+class _GaugeField:
+    """A SimMetrics attribute backed by a registry gauge."""
+
+    def __init__(self, help: str = "") -> None:
+        self.help = help
+
+    def __set_name__(self, owner, name: str) -> None:
+        self.name = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj.registry.gauge(self.name, help=self.help).value()
+
+    def __set__(self, obj, value) -> None:
+        obj.registry.gauge(self.name, help=self.help).set(value)
+
+
 class SimMetrics:
     """Aggregated outcome of one simulated run."""
 
-    ledger: CostLedger = field(default_factory=CostLedger)
-    makespan: float = 0.0
-    job_durations: Dict[int, float] = field(default_factory=dict)
-    local_read_mb: float = 0.0
-    zone_read_mb: float = 0.0
-    remote_read_mb: float = 0.0
-    moved_mb: float = 0.0
-    shuffle_mb: float = 0.0
-    machine_cpu_seconds: Dict[int, float] = field(default_factory=dict)
-    machine_wall_busy: Dict[int, float] = field(default_factory=dict)
-    #: per-machine time of its last task completion — the "rental window"
-    #: an instance-hour biller would charge for
-    machine_last_finish: Dict[int, float] = field(default_factory=dict)
-    tasks_run: int = 0
-    reduces_run: int = 0
-    speculative_attempts: int = 0
-    killed_attempts: int = 0
-    machine_failures: int = 0
-    failed_attempts: int = 0
-    lp_solves: int = 0
-    lp_solve_seconds: float = 0.0
+    makespan = _GaugeField("latest job finish time, simulated seconds")
+    local_read_mb = _CounterField("map input MB read node-locally")
+    zone_read_mb = _CounterField("map input MB read intra-zone")
+    remote_read_mb = _CounterField("map input MB read cross-zone")
+    moved_mb = _CounterField("MB moved between stores by placement")
+    shuffle_mb = _CounterField("MB pulled by reduce shuffles")
+    tasks_run = _CounterField("successful map attempts", as_int=True)
+    reduces_run = _CounterField("successful reduce attempts", as_int=True)
+    speculative_attempts = _CounterField("speculative attempts launched", as_int=True)
+    killed_attempts = _CounterField("attempts killed", as_int=True)
+    machine_failures = _CounterField("machine failure events", as_int=True)
+    failed_attempts = _CounterField("attempts lost to failures", as_int=True)
+    lp_solves = _CounterField("LP backend solves during the run", as_int=True)
+    lp_solve_seconds = _CounterField("wall seconds spent in LP solves")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        #: the run's metric registry; scalar fields above live here
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.ledger = CostLedger()
+        self.job_durations: Dict[int, float] = {}
+        self.machine_cpu_seconds: Dict[int, float] = {}
+        self.machine_wall_busy: Dict[int, float] = {}
+        #: per-machine time of its last task completion — the "rental window"
+        #: an instance-hour biller would charge for
+        self.machine_last_finish: Dict[int, float] = {}
 
     # -- derived -----------------------------------------------------------
     @property
@@ -106,3 +159,36 @@ class SimMetrics:
             "moved_mb": self.moved_mb,
             "speculative_attempts": float(self.speculative_attempts),
         }
+
+    # -- registry integration ----------------------------------------------
+    _PUBLISHED_COUNTERS = (
+        "local_read_mb", "zone_read_mb", "remote_read_mb", "moved_mb",
+        "shuffle_mb", "tasks_run", "reduces_run", "speculative_attempts",
+        "killed_attempts", "machine_failures", "failed_attempts",
+        "lp_solves", "lp_solve_seconds",
+    )
+
+    def publish(self, target: MetricsRegistry, **labels: object) -> None:
+        """Fold this run into ``target``, labelling every series.
+
+        Counters accumulate (several runs under the same labels sum up);
+        gauges record the latest run.  Per-machine CPU/busy time becomes a
+        labelled series per machine, and the ledger's dollars a series per
+        charge category.
+        """
+        for name in self._PUBLISHED_COUNTERS:
+            value = getattr(self, name)
+            if value:
+                target.counter(name).inc(value, **labels)
+        target.gauge("makespan").set(self.makespan, **labels)
+        target.gauge("jobs_completed").set(len(self.job_durations), **labels)
+        for category, amount in sorted(self.ledger.total_by_category().items()):
+            target.counter("cost_dollars").inc(amount, category=category, **labels)
+        for m in sorted(self.machine_cpu_seconds):
+            target.counter("machine_cpu_seconds").inc(
+                self.machine_cpu_seconds[m], machine=m, **labels
+            )
+        for m in sorted(self.machine_wall_busy):
+            target.counter("machine_wall_busy_seconds").inc(
+                self.machine_wall_busy[m], machine=m, **labels
+            )

@@ -29,6 +29,9 @@ from repro.hadoop.jobtracker import JobState, JobTracker
 from repro.hadoop.metrics import SimMetrics
 from repro.hadoop.tasktracker import TaskAttempt, TaskTracker
 from repro.hadoop.transfer import NetworkSimulator
+from repro.obs import lpprof
+from repro.obs.registry import current_registry
+from repro.obs.trace import current_tracer
 from repro.schedulers.base import Assignment, TaskScheduler
 from repro.workload.job import Workload
 
@@ -57,6 +60,9 @@ class SimConfig:
     interference: Optional["InterferenceModel"] = None
     #: record one AttemptRecord per finished/killed attempt (job history)
     record_history: bool = False
+    #: trace emitter (repro.obs.trace).  None falls back to the ambient
+    #: tracer — the null tracer unless the CLI installed one via --trace.
+    tracer: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.heartbeat_s <= 0:
@@ -113,7 +119,10 @@ class HadoopSimulator:
         self.failures = failures
         if failures is not None:
             failures.validate(cluster.num_machines)
-        self.events = EventQueue()
+        self.tracer = (
+            self.config.tracer if self.config.tracer is not None else current_tracer()
+        )
+        self.events = EventQueue(tracer=self.tracer)
         if self.config.populate == "origin":
             policy: PlacementPolicy = _OriginPlacement(workload)
         elif self.config.populate == "capacity":
@@ -126,13 +135,16 @@ class HadoopSimulator:
             policy=policy,
             seed=self.config.placement_seed,
         )
-        self.jobtracker = JobTracker(self.hdfs)
-        self.trackers: List[TaskTracker] = [TaskTracker(m) for m in cluster.machines]
+        self.jobtracker = JobTracker(self.hdfs, tracer=self.tracer)
+        self.trackers: List[TaskTracker] = [
+            TaskTracker(m, tracer=self.tracer) for m in cluster.machines
+        ]
         self.network = NetworkSimulator(cluster)
         self.metrics = SimMetrics()
         self.history = JobHistory() if self.config.record_history else None
         self._heartbeat_scheduled = False
         self._last_progress = 0.0
+        self._epoch_index = 0
 
     @property
     def now(self) -> float:
@@ -308,6 +320,17 @@ class HadoopSimulator:
                         detail="shuffle",
                     )
             self.metrics.shuffle_mb += task.input_mb
+            if self.tracer.enabled and task.input_mb > 0:
+                self.tracer.event(
+                    "transfer",
+                    "shuffle",
+                    attempt.start_time,
+                    job=job.job_id,
+                    machine=machine.machine_id,
+                    mb=task.input_mb,
+                    tier="shuffle",
+                    sources=len(task.shuffle_sources),
+                )
         if task.input_mb > 0 and attempt.source_store is not None:
             price = self.cluster.network.ms_cost[machine.machine_id, attempt.source_store]
             if price > 0:
@@ -319,11 +342,26 @@ class HadoopSimulator:
                 )
             store = self.cluster.stores[attempt.source_store]
             if attempt.read_is_local:
+                tier = "local"
                 self.metrics.local_read_mb += task.input_mb
             elif store.zone == machine.zone:
+                tier = "zone"
                 self.metrics.zone_read_mb += task.input_mb
             else:
+                tier = "remote"
                 self.metrics.remote_read_mb += task.input_mb
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "transfer",
+                    "read",
+                    attempt.start_time,
+                    job=job.job_id,
+                    machine=machine.machine_id,
+                    store=attempt.source_store,
+                    mb=task.input_mb,
+                    tier=tier,
+                    read_s=attempt.read_seconds,
+                )
 
         if task.is_reduce:
             self.metrics.reduces_run += 1
@@ -389,6 +427,18 @@ class HadoopSimulator:
         tracker.kill(attempt)
         self.jobtracker.drop_attempt(job, attempt)
         self.metrics.killed_attempts += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "task",
+                "kill",
+                self.now,
+                job=job.job_id,
+                task=attempt.task.task_index,
+                attempt=attempt.attempt_id,
+                machine=attempt.machine_id,
+                speculative=attempt.speculative,
+                detail=detail,
+            )
         elapsed = max(0.0, self.now - attempt.start_time - attempt.read_seconds)
         burned = min(attempt.task.cpu_seconds, elapsed * tracker.machine.slot_ecu)
         if burned > 0:
@@ -457,6 +507,10 @@ class HadoopSimulator:
         tracker.alive = False
         self.metrics.machine_failures += 1
         victims = list(tracker.running.values()) + list(tracker.reduce_running.values())
+        if self.tracer.enabled:
+            self.tracer.event(
+                "machine", "fail", self.now, machine=machine_id, victims=len(victims)
+            )
         for attempt in victims:
             job = self.jobtracker.jobs[attempt.task.job_id]
             self._kill(attempt, job, detail="machine-failure")
@@ -476,6 +530,8 @@ class HadoopSimulator:
         if tracker.alive:
             return
         tracker.alive = True
+        if self.tracer.enabled:
+            self.tracer.event("machine", "recover", self.now, machine=machine_id)
         self.scheduler.on_machine_recovered(machine_id, self.now)
         self._offer_all_idle()
 
@@ -523,7 +579,36 @@ class HadoopSimulator:
                 moved * price, store_id=to_store, detail=f"block{block.block_id}"
             )
         self.metrics.moved_mb += moved
+        if self.tracer.enabled and moved > 0:
+            src_zone = self.cluster.stores[src].zone
+            dst_zone = self.cluster.stores[to_store].zone
+            self.tracer.event(
+                "transfer",
+                "move",
+                self.now,
+                block=block.block_id,
+                job=job_id,
+                src=src,
+                dest=to_store,
+                mb=moved,
+                tier="zone" if src_zone == dst_zone else "remote",
+            )
         return self.now + self.network.store_move_time(src, to_store, moved)
+
+    # -- LP solve accounting -----------------------------------------------------
+    def _on_lp_solve(self, rec) -> None:
+        """lpprof collector: every backend solve during the run lands here.
+
+        This is the *shared* LP accounting path — any scheduler (or model
+        it delegates to) that solves an LP is counted, not just LiPS.
+        """
+        self.metrics.lp_solves += 1
+        self.metrics.lp_solve_seconds += rec.wall_seconds
+        self.metrics.registry.histogram(
+            "lp_solve_duration_seconds", help="wall seconds per LP backend solve"
+        ).observe(rec.wall_seconds, model=rec.name, backend=rec.backend)
+        if self.tracer.enabled:
+            self.tracer.lp_solve(rec, ts=self.now)
 
     # -- run ----------------------------------------------------------------------
     def run(self) -> SimResult:
@@ -535,7 +620,8 @@ class HadoopSimulator:
         if self.scheduler.epoch_length:
             self._schedule_epoch(first=True)
         self._ensure_heartbeat()
-        self.events.run(max_events=self.config.max_events)
+        with lpprof.collect(self._on_lp_solve):
+            self.events.run(max_events=self.config.max_events)
         if not self.jobtracker.all_complete():
             incomplete = [j.job.name for j in self.jobtracker.queue if not j.is_complete]
             raise RuntimeError(
@@ -543,6 +629,9 @@ class HadoopSimulator:
                 f"{incomplete[:5]}"
             )
         self.metrics.makespan = self.jobtracker.makespan()
+        registry = current_registry()
+        if registry is not None:
+            self.metrics.publish(registry, scheduler=self.scheduler.name)
         return SimResult(
             metrics=self.metrics,
             scheduler_name=self.scheduler.name,
@@ -557,7 +646,36 @@ class HadoopSimulator:
         assert e is not None and e > 0
 
         def fire() -> None:
-            self.scheduler.on_epoch(self.now)
+            if not self.tracer.enabled:
+                self.scheduler.on_epoch(self.now)
+            else:
+                index = self._epoch_index
+                self._epoch_index += 1
+                start = self.now
+                queued = sum(
+                    len(j.pending) + len(j.reduce_pending)
+                    for j in self.jobtracker.queue
+                    if not j.is_complete
+                )
+                cost0 = self.metrics.total_cost
+                moved0 = self.metrics.moved_mb
+                solves0 = self.metrics.lp_solves
+                lp_wall0 = self.metrics.lp_solve_seconds
+                self.scheduler.on_epoch(self.now)
+                stats = getattr(self.scheduler, "last_plan_stats", None) or {}
+                self.tracer.span(
+                    "epoch",
+                    "scheduler-epoch",
+                    start,
+                    self.scheduler.epoch_length or e,
+                    index=index,
+                    queued=queued,
+                    cost_delta=self.metrics.total_cost - cost0,
+                    moved_mb=self.metrics.moved_mb - moved0,
+                    lp_solves=self.metrics.lp_solves - solves0,
+                    lp_wall_s=self.metrics.lp_solve_seconds - lp_wall0,
+                    **stats,
+                )
             self._offer_all_idle()
             if not self.jobtracker.all_complete() or self._arrivals_outstanding():
                 self._schedule_epoch()

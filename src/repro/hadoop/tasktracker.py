@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.cluster.machine import Machine
+from repro.obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hadoop.events import EventHandle
@@ -89,7 +90,7 @@ class TaskTracker:
 
     _ids = itertools.count()
 
-    def __init__(self, machine: Machine) -> None:
+    def __init__(self, machine: Machine, tracer=None) -> None:
         self.machine = machine
         self.map_slots = machine.map_slots
         self.reduce_slots = machine.reduce_slots
@@ -98,6 +99,8 @@ class TaskTracker:
         self.cpu_busy_seconds = 0.0  # equivalent-CPU-seconds executed
         self.wall_busy_seconds = 0.0
         self.alive = True  # failure injection flips this
+        #: trace emitter for attempt lifecycle (the simulator installs its own)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def machine_id(self) -> int:
@@ -137,10 +140,24 @@ class TaskTracker:
             if not self.has_free_reduce_slot:
                 raise RuntimeError(f"tracker {self.machine.name} has no free reduce slot")
             self.reduce_running[attempt.attempt_id] = attempt
-            return
-        if not self.has_free_slot:
-            raise RuntimeError(f"tracker {self.machine.name} has no free slot")
-        self.running[attempt.attempt_id] = attempt
+        else:
+            if not self.has_free_slot:
+                raise RuntimeError(f"tracker {self.machine.name} has no free slot")
+            self.running[attempt.attempt_id] = attempt
+        if self.tracer.enabled:
+            self.tracer.event(
+                "task",
+                "launch",
+                attempt.start_time,
+                job=attempt.task.job_id,
+                task=attempt.task.task_index,
+                attempt=attempt.attempt_id,
+                machine=self.machine_id,
+                reduce=attempt.task.is_reduce,
+                speculative=attempt.speculative,
+                read_s=attempt.read_seconds,
+                compute_s=attempt.compute_seconds,
+            )
 
     def complete(self, attempt: TaskAttempt) -> None:
         """Release the slot and accrue busy time."""
@@ -148,6 +165,22 @@ class TaskTracker:
         if not attempt.killed:
             self.cpu_busy_seconds += attempt.task.cpu_seconds
             self.wall_busy_seconds += attempt.duration
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "task",
+                    "attempt",
+                    attempt.start_time,
+                    attempt.duration,
+                    job=attempt.task.job_id,
+                    task=attempt.task.task_index,
+                    attempt=attempt.attempt_id,
+                    machine=self.machine_id,
+                    reduce=attempt.task.is_reduce,
+                    speculative=attempt.speculative,
+                    local=attempt.read_is_local,
+                    source_store=attempt.source_store,
+                    input_mb=attempt.task.input_mb,
+                )
 
     def kill(self, attempt: TaskAttempt) -> float:
         """Kill a running attempt; returns the CPU-seconds it consumed so far.

@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-import numpy as np
 
 from repro.cluster.builder import Cluster
 
@@ -67,3 +66,16 @@ class NetworkSimulator:
     def active_flows(self, machine_id: int) -> int:
         """Concurrent remote reads on one machine."""
         return self._active_flows.get(machine_id, 0)
+
+    def read_tier(self, machine_id: int, store_id: int) -> str:
+        """Locality tier of a machine←store read: local, zone or remote.
+
+        Mirrors the bucketing the simulator uses for the locality-MB
+        metrics, so trace records and SimMetrics always agree.
+        """
+        store = self.cluster.stores[store_id]
+        if store.colocated_machine == machine_id:
+            return "local"
+        if store.zone == self.cluster.machines[machine_id].zone:
+            return "zone"
+        return "remote"

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 import numpy as np
 from scipy import sparse
@@ -56,7 +56,6 @@ class PresolveResult:
 
 def presolve(asm: AssembledLP, tol: float = 1e-12) -> PresolveResult:
     """Apply the reductions; never changes the optimal objective."""
-    n = asm.num_variables
     lowers = asm.bounds[:, 0].copy()
     uppers = asm.bounds[:, 1].copy()
 

@@ -20,7 +20,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.lp.expr import LinExpr, Variable
-from repro.lp.result import LPResult, LPStatus
+from repro.lp.result import LPResult
 
 
 class Sense(enum.Enum):
@@ -202,6 +202,7 @@ class LinearProgram:
             b_eq=b_eq,
             bounds=bounds,
             objective_constant=self._objective.constant,
+            name=self.name,
         )
 
     # -- solving ----------------------------------------------------------
@@ -235,6 +236,8 @@ class AssembledLP:
     b_eq: np.ndarray
     bounds: np.ndarray  # shape (n, 2): [lower, upper]
     objective_constant: float = 0.0
+    #: model name carried into LP solve profiles (see repro.obs.lpprof)
+    name: str = "lp"
 
     @property
     def num_variables(self) -> int:

@@ -7,11 +7,14 @@ to cross-check this one in tests.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy.optimize import linprog
 
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult, LPStatus
+from repro.obs import lpprof
 
 # scipy linprog status codes → our normalised statuses
 _STATUS_MAP = {
@@ -46,7 +49,29 @@ class HighsBackend:
         return result
 
     def solve_assembled(self, asm) -> LPResult:
-        """Solve a pre-assembled sparse LP (fast path for big models)."""
+        """Solve a pre-assembled sparse LP (fast path for big models).
+
+        When an :mod:`repro.obs.lpprof` collector is installed (simulator or
+        epoch-controller runs), the solve's shape, wall time, iterations and
+        status are recorded; otherwise profiling costs nothing.
+        """
+        if not lpprof.active():
+            return self._solve_assembled(asm)
+        t0 = time.perf_counter()
+        result = self._solve_assembled(asm)
+        lpprof.observe(
+            lpprof.LPSolveRecord(
+                name=getattr(asm, "name", "lp"),
+                backend=self.name,
+                wall_seconds=time.perf_counter() - t0,
+                iterations=result.iterations,
+                status=result.status.value,
+                **lpprof.describe_assembled(asm),
+            )
+        )
+        return result
+
+    def _solve_assembled(self, asm) -> LPResult:
         if asm.num_variables == 0:
             # Degenerate empty model: feasible iff there are no constraints
             # with nonzero rhs requirements.

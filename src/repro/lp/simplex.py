@@ -21,6 +21,7 @@ Implementation notes
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,6 +29,7 @@ import numpy as np
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.standard_form import StandardFormLP, to_standard_form
+from repro.obs import lpprof
 
 
 class SimplexError(RuntimeError):
@@ -76,6 +78,9 @@ class SimplexBackend:
         #: apply repro.lp.presolve reductions first; duals are then not
         #: reported (row identities change under row elimination)
         self.presolve = presolve
+        #: (fixed_vars, dropped_rows) of the most recent presolve, for the
+        #: profiling wrapper
+        self._last_presolve = None
 
     # -- public API -----------------------------------------------------------
     def solve(self, lp: LinearProgram) -> LPResult:
@@ -86,11 +91,39 @@ class SimplexBackend:
         return result
 
     def solve_assembled(self, asm) -> LPResult:
-        """Solve a pre-assembled LP (kept dense internally — test scale only)."""
+        """Solve a pre-assembled LP (kept dense internally — test scale only).
+
+        When an :mod:`repro.obs.lpprof` collector is installed the solve is
+        profiled (shape, presolve reductions, wall time, iterations,
+        status); the presolve-then-solve path reports as a single record.
+        """
+        if not lpprof.active():
+            return self._solve_assembled(asm)
+        self._last_presolve = None
+        t0 = time.perf_counter()
+        result = self._solve_assembled(asm)
+        fixed, dropped = self._last_presolve or (0, 0)
+        lpprof.observe(
+            lpprof.LPSolveRecord(
+                name=getattr(asm, "name", "lp"),
+                backend=self.name,
+                wall_seconds=time.perf_counter() - t0,
+                iterations=result.iterations,
+                status=result.status.value,
+                presolve_fixed_vars=fixed,
+                presolve_dropped_rows=dropped,
+                presolve_applied=self.presolve,
+                **lpprof.describe_assembled(asm),
+            )
+        )
+        return result
+
+    def _solve_assembled(self, asm) -> LPResult:
         if self.presolve:
             from repro.lp.presolve import PresolveStatus, presolve
 
             pre = presolve(asm)
+            self._last_presolve = (pre.fixed_variables, pre.dropped_rows)
             if pre.status is PresolveStatus.INFEASIBLE:
                 return LPResult(
                     status=LPStatus.INFEASIBLE,
@@ -104,7 +137,7 @@ class SimplexBackend:
                 tol=self.tol,
                 bland_after=self.bland_after,
                 presolve=False,
-            ).solve_assembled(pre.reduced)
+            )._solve_assembled(pre.reduced)
             if inner.x is not None:
                 inner.x = pre.restore(inner.x)
             inner.dual_ub = None  # row identities changed under elimination

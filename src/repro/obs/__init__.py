@@ -1,0 +1,43 @@
+"""Observability: metrics registry, structured tracing, LP solve profiling.
+
+Three complementary views of a run, all zero-cost when disabled:
+
+* :mod:`repro.obs.registry` — counters/gauges/histograms with labels;
+  :class:`~repro.hadoop.metrics.SimMetrics` keeps its scalar fields on one.
+* :mod:`repro.obs.trace` — JSONL span/event records of the simulated
+  timeline (task attempts, transfers, epochs, LP solves).
+* :mod:`repro.obs.lpprof` — per-solve LP profiles (shape, presolve
+  reductions, wall time, iterations, status) on the shared backend path.
+* :mod:`repro.obs.export` / :mod:`repro.obs.report` — JSONL ⇄ Chrome
+  trace-event projection and text report rendering.
+
+CLI: ``python -m repro <experiment> --trace t.jsonl --metrics m.json`` then
+``python -m repro report t.jsonl``.
+"""
+
+from repro.obs.lpprof import LPProfile, LPSolveRecord
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    use_registry,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, current_tracer, use_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LPProfile",
+    "LPSolveRecord",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "current_registry",
+    "current_tracer",
+    "use_registry",
+    "use_tracer",
+]

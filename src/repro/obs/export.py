@@ -1,0 +1,187 @@
+"""Trace exporters: JSONL loading, Chrome trace-event format, text summary.
+
+The JSONL stream written by :class:`~repro.obs.trace.Tracer` is the
+ground-truth format.  This module loads it back and re-projects it:
+
+* :func:`to_chrome_trace` — the Chrome trace-event JSON loadable in
+  ``chrome://tracing`` / Perfetto: one timeline lane per machine (task
+  attempts), plus lanes for epochs and LP solves;
+* :func:`from_chrome_trace` — the inverse projection (used to round-trip
+  test the exporter);
+* :func:`summary` — a compact text report of a trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.obs.trace import json_default
+
+PathLike = Union[str, Path]
+
+#: Synthetic Chrome "thread" lanes for non-machine records.
+EPOCH_LANE = 1_000_000
+LP_LANE = 1_000_001
+MISC_LANE = 1_000_002
+
+#: Seconds -> microseconds (Chrome trace timestamps are in us).
+_US = 1e6
+
+
+def load_jsonl(path: PathLike) -> List[dict]:
+    """Load a JSONL trace file into a list of records."""
+    records: List[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def write_jsonl(records: Iterable[dict], path: PathLike) -> Path:
+    """Write records as JSONL; returns the path."""
+    path = Path(path)
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, separators=(",", ":"), default=json_default))
+            fh.write("\n")
+    return path
+
+
+def _lane(record: dict) -> int:
+    """Chrome tid for a record: machine lane or a synthetic lane."""
+    if record.get("cat") == "epoch":
+        return EPOCH_LANE
+    if record.get("type") == "lp_solve" or record.get("cat") == "lp":
+        return LP_LANE
+    machine = record.get("machine")
+    if machine is not None:
+        return int(machine)
+    return MISC_LANE
+
+
+_ENVELOPE = ("type", "cat", "name", "ts", "dur")
+
+
+def _args(record: dict) -> dict:
+    """Every non-envelope attribute, preserved verbatim."""
+    return {k: v for k, v in record.items() if k not in _ENVELOPE}
+
+
+def to_chrome_trace(records: Iterable[dict], pid: int = 1) -> dict:
+    """Project trace records into Chrome trace-event JSON.
+
+    Spans become complete (``ph: X``) events, instants become instant
+    (``ph: i``) events, and LP solves become complete events on their own
+    lane whose duration is the solve's *wall* time (the one real-clock
+    quantity in a trace).
+    """
+    events: List[dict] = []
+    lanes: Dict[int, str] = {}
+    for record in records:
+        lane = _lane(record)
+        if lane not in lanes:
+            if lane == EPOCH_LANE:
+                lanes[lane] = "epochs"
+            elif lane == LP_LANE:
+                lanes[lane] = "lp solves"
+            elif lane == MISC_LANE:
+                lanes[lane] = "misc"
+            else:
+                lanes[lane] = f"machine {lane}"
+        base = {
+            "name": f"{record.get('cat', '?')}:{record.get('name', '?')}",
+            "cat": record.get("cat", "?"),
+            "pid": pid,
+            "tid": lane,
+            "ts": float(record.get("ts", 0.0)) * _US,
+            "args": _args(record),
+        }
+        kind = record.get("type")
+        if kind == "span":
+            base["ph"] = "X"
+            base["dur"] = float(record.get("dur", 0.0)) * _US
+        elif kind == "lp_solve":
+            base["ph"] = "X"
+            base["dur"] = float(record.get("wall_s", 0.0)) * _US
+        else:
+            base["ph"] = "i"
+            base["s"] = "t"
+        events.append(base)
+    meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": label},
+        }
+        for tid, label in sorted(lanes.items())
+    ]
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def from_chrome_trace(chrome: dict) -> List[dict]:
+    """Inverse of :func:`to_chrome_trace` (envelope + args only).
+
+    Reconstructs ``(type, cat, name, ts[, dur])`` plus the preserved args.
+    LP solve records come back as ``lp_solve`` with their wall time in the
+    args (their Chrome duration), other spans recover ``dur``.
+    """
+    out: List[dict] = []
+    for ev in chrome.get("traceEvents", []):
+        if ev.get("ph") == "M":
+            continue
+        cat = ev.get("cat", "?")
+        name = ev["name"].split(":", 1)[1] if ":" in ev["name"] else ev["name"]
+        args = dict(ev.get("args", {}))
+        record: dict = {"cat": cat, "name": name, "ts": ev.get("ts", 0.0) / _US}
+        if ev.get("ph") == "X":
+            if cat == "lp" or "status" in args:
+                record["type"] = "lp_solve"
+            else:
+                record["type"] = "span"
+                record["dur"] = ev.get("dur", 0.0) / _US
+        else:
+            record["type"] = "event"
+        record.update(args)
+        out.append(record)
+    return out
+
+
+def write_chrome_trace(records: Iterable[dict], path: PathLike) -> Path:
+    """Write the Chrome trace-event JSON for ``records``; returns the path."""
+    path = Path(path)
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(records), fh, default=json_default)
+        fh.write("\n")
+    return path
+
+
+def summary(records: List[dict]) -> str:
+    """One-paragraph text summary of a trace (record mix + headline totals)."""
+    by_type: Dict[str, int] = {}
+    by_cat: Dict[str, int] = {}
+    for r in records:
+        by_type[r.get("type", "?")] = by_type.get(r.get("type", "?"), 0) + 1
+        by_cat[r.get("cat", "?")] = by_cat.get(r.get("cat", "?"), 0) + 1
+    solves = [r for r in records if r.get("type") == "lp_solve"]
+    lp_wall = sum(r.get("wall_s", 0.0) for r in solves)
+    attempts = [
+        r for r in records if r.get("type") == "span" and r.get("cat") == "task"
+    ]
+    end = max((r.get("ts", 0.0) + r.get("dur", 0.0) for r in records), default=0.0)
+    lines = [
+        f"{len(records)} records "
+        + "("
+        + ", ".join(f"{k}={v}" for k, v in sorted(by_type.items()))
+        + ")",
+        "categories: " + ", ".join(f"{k}={v}" for k, v in sorted(by_cat.items())),
+        f"task attempts: {len(attempts)}",
+        f"lp solves: {len(solves)} ({lp_wall * 1e3:.1f} ms wall)",
+        f"trace horizon: {end:.1f} simulated s",
+    ]
+    return "\n".join(lines)

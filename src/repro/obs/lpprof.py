@@ -1,0 +1,145 @@
+"""LP solve profiling: one record per backend solve.
+
+Both LP backends (:class:`~repro.lp.scipy_backend.HighsBackend` and
+:class:`~repro.lp.simplex.SimplexBackend`) report every ``solve_assembled``
+call here — model shape (rows/cols/nonzeros), presolve reductions, wall
+seconds, simplex iterations and terminal status.  Collection is pull-based:
+nothing is recorded unless a collector is installed with :func:`collect`,
+so standalone solves cost two ``perf_counter`` calls and one branch.
+
+The simulator and the epoch controller install collectors for the duration
+of a run; that is what makes ``SimMetrics.lp_solves`` count *every* solve on
+the shared path (scheduler epochs, offline models, cross-validation solves)
+instead of only the ones a particular scheduler remembered to time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List
+
+
+@dataclass(frozen=True)
+class LPSolveRecord:
+    """Shape, cost and outcome of one LP backend solve."""
+
+    name: str
+    backend: str
+    rows_ub: int
+    rows_eq: int
+    cols: int
+    nnz: int
+    wall_seconds: float
+    iterations: int
+    status: str
+    presolve_fixed_vars: int = 0
+    presolve_dropped_rows: int = 0
+    presolve_applied: bool = False
+
+    @property
+    def rows(self) -> int:
+        """Total constraint rows (inequality + equality)."""
+        return self.rows_ub + self.rows_eq
+
+    def to_dict(self) -> dict:
+        """Flat JSON-ready view (used by the trace emitter)."""
+        return {
+            "backend": self.backend,
+            "rows_ub": self.rows_ub,
+            "rows_eq": self.rows_eq,
+            "cols": self.cols,
+            "nnz": self.nnz,
+            "wall_s": self.wall_seconds,
+            "iterations": self.iterations,
+            "status": self.status,
+            "presolve_fixed_vars": self.presolve_fixed_vars,
+            "presolve_dropped_rows": self.presolve_dropped_rows,
+            "presolve_applied": self.presolve_applied,
+        }
+
+
+def describe_assembled(asm) -> dict:
+    """Shape fields of an :class:`~repro.lp.problem.AssembledLP`."""
+    return {
+        "rows_ub": int(asm.a_ub.shape[0]),
+        "rows_eq": int(asm.a_eq.shape[0]),
+        "cols": int(asm.num_variables),
+        "nnz": int(asm.a_ub.nnz + asm.a_eq.nnz),
+    }
+
+
+Collector = Callable[[LPSolveRecord], None]
+
+#: Installed collectors (a stack: nested scopes all observe).
+_collectors: List[Collector] = []
+
+
+def active() -> bool:
+    """True when at least one collector wants solve records."""
+    return bool(_collectors)
+
+
+def observe(record: LPSolveRecord) -> None:
+    """Deliver one solve record to every installed collector."""
+    for cb in list(_collectors):
+        cb(record)
+
+
+@contextlib.contextmanager
+def collect(callback: Collector) -> Iterator[Collector]:
+    """Install ``callback`` as a solve-record collector for the extent."""
+    _collectors.append(callback)
+    try:
+        yield callback
+    finally:
+        _collectors.remove(callback)
+
+
+@dataclass
+class LPProfile:
+    """A convenience collector accumulating records and summary stats."""
+
+    records: List[LPSolveRecord] = field(default_factory=list)
+
+    def __call__(self, record: LPSolveRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def solves(self) -> int:
+        """Number of solves observed."""
+        return len(self.records)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall seconds across observed solves."""
+        return sum(r.wall_seconds for r in self.records)
+
+    @property
+    def iterations(self) -> int:
+        """Total simplex iterations across observed solves."""
+        return sum(r.iterations for r in self.records)
+
+    def by_status(self) -> dict:
+        """Solve counts per terminal status."""
+        out: dict = {}
+        for r in self.records:
+            out[r.status] = out.get(r.status, 0) + 1
+        return out
+
+
+@contextlib.contextmanager
+def profile() -> Iterator[LPProfile]:
+    """Collect solve records into a fresh :class:`LPProfile`.
+
+    Example
+    -------
+    >>> from repro.obs import lpprof
+    >>> with lpprof.profile() as prof:
+    ...     pass  # run solves
+    >>> prof.solves
+    0
+    """
+    prof = LPProfile()
+    with collect(prof):
+        yield prof

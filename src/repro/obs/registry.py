@@ -1,0 +1,279 @@
+"""Metrics registry: named counters, gauges and histograms with labels.
+
+The registry is the structured replacement for ad-hoc metric attributes:
+:class:`~repro.hadoop.metrics.SimMetrics` keeps its scalar fields on a
+per-run registry, and long-lived processes (the CLI with ``--metrics``)
+install a *current* registry that every finished simulation publishes into.
+
+Design points
+-------------
+* **Labels** — every observation may carry a label set (``machine="3"``,
+  ``scheduler="LipsScheduler"``); each distinct label combination is an
+  independent series, Prometheus-style.
+* **Determinism** — the registry never reads clocks or randomness; dumping
+  it yields a stable, sorted structure suitable for golden tests.
+* **Cheapness** — an increment is a dict lookup and a float add; metric
+  objects are memoised by name so hot paths can hold direct references.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    """Canonical hashable form of a label mapping."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class: a named metric with per-label-set series."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+    def _series(self) -> Dict[LabelKey, object]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def dump(self) -> dict:
+        """JSON-ready description of the metric and all its series."""
+        series = [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._series().items())
+        ]
+        return {"name": self.name, "kind": self.kind, "help": self.help, "series": series}
+
+
+class Counter(Metric):
+    """A monotonically-increasing sum per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set_total(self, value: float, **labels: object) -> None:
+        """Force the labelled series to ``value`` (used by metric adapters)."""
+        self._values[_label_key(labels)] = float(value)
+
+    def value(self, **labels: object) -> float:
+        """Current total of the labelled series (0 if never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label combination."""
+        return sum(self._values.values())
+
+    def _series(self) -> Dict[LabelKey, float]:
+        return self._values
+
+
+class Gauge(Metric):
+    """A value that can move both ways per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set the labelled series to ``value``."""
+        self._values[_label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: object) -> None:
+        """Shift the labelled series by ``amount`` (either sign)."""
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current value of the labelled series (0 if never set)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def _series(self) -> Dict[LabelKey, float]:
+        return self._values
+
+
+#: Default histogram buckets — tuned for LP solve times (seconds); spans
+#: sub-millisecond presolves to multi-second paper-scale models.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0,
+)
+
+
+class _HistogramSeries:
+    """Bucket counts + sum/count/min/max for one label set."""
+
+    __slots__ = ("bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.bucket_counts = [0] * (num_buckets + 1)  # +inf overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+class Histogram(Metric):
+    """Bucketed distribution of observations per label set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(tuple(buckets)):
+            raise ValueError("histogram buckets must be sorted and unique")
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        self._series_map: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation in the labelled series."""
+        key = _label_key(labels)
+        series = self._series_map.get(key)
+        if series is None:
+            series = self._series_map[key] = _HistogramSeries(len(self.buckets))
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.bucket_counts[i] += 1
+                break
+        else:
+            series.bucket_counts[-1] += 1
+        series.count += 1
+        series.sum += value
+        series.min = min(series.min, value)
+        series.max = max(series.max, value)
+
+    def count(self, **labels: object) -> int:
+        """Observations recorded in the labelled series."""
+        series = self._series_map.get(_label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels: object) -> float:
+        """Sum of observations in the labelled series."""
+        series = self._series_map.get(_label_key(labels))
+        return series.sum if series else 0.0
+
+    def mean(self, **labels: object) -> float:
+        """Mean observation (0 when the series is empty)."""
+        series = self._series_map.get(_label_key(labels))
+        if not series or series.count == 0:
+            return 0.0
+        return series.sum / series.count
+
+    def _series(self) -> Dict[LabelKey, dict]:
+        out: Dict[LabelKey, dict] = {}
+        for key, s in self._series_map.items():
+            out[key] = {
+                "count": s.count,
+                "sum": s.sum,
+                "min": s.min if s.count else None,
+                "max": s.max if s.count else None,
+                "buckets": [
+                    {"le": b, "count": c}
+                    for b, c in zip(list(self.buckets) + ["+inf"], s.bucket_counts)
+                ],
+            }
+        return out
+
+
+class MetricsRegistry:
+    """A namespace of metrics, memoised by name.
+
+    Asking twice for the same name returns the same object; asking for an
+    existing name with a different metric kind raises — silent type drift is
+    how metrics rot.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"not {cls.kind}"
+                )
+            return existing
+        metric = cls(name, help=help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._get(Counter, name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._get(Gauge, name, help)  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get or create a histogram."""
+        return self._get(Histogram, name, help, buckets=buckets)  # type: ignore[return-value]
+
+    def metrics(self) -> List[Metric]:
+        """All metrics, sorted by name."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def dump(self) -> List[dict]:
+        """JSON-ready dump of every metric (sorted, deterministic)."""
+        return [m.dump() for m in self.metrics()]
+
+    def write_json(self, path) -> None:
+        """Write the dump to ``path`` as pretty-printed JSON."""
+        with open(path, "w") as fh:
+            json.dump(self.dump(), fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+#: Process-wide registry sims publish into when one is installed (CLI
+#: ``--metrics``).  ``None`` means "nobody is collecting" — publishing is
+#: skipped entirely.
+_current: Optional[MetricsRegistry] = None
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    """The installed collection registry, or None when none is active."""
+    return _current
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the process-wide collection target."""
+    global _current
+    prev = _current
+    _current = registry
+    try:
+        yield registry
+    finally:
+        _current = prev

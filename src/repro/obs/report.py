@@ -1,0 +1,135 @@
+"""Render a JSONL trace into per-epoch, per-machine and per-solve tables.
+
+Backs ``python -m repro report PATH``: load a trace written with
+``--trace``, aggregate it three ways, and print ASCII tables — the
+"where did the time and dollars go" view the paper's Figures 8 and 11 are
+built from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.report import format_table
+from repro.obs.export import load_jsonl, summary
+
+
+def epoch_table(records: List[dict]) -> str:
+    """Per-epoch table: queue depth, planning outcome, cost delta."""
+    spans = [r for r in records if r.get("type") == "span" and r.get("cat") == "epoch"]
+    if not spans:
+        return "no epoch spans in trace"
+    headers = [
+        "epoch", "t start", "queued", "planned", "parked", "cost delta $",
+        "moved MB", "lp solves", "lp wall ms",
+    ]
+    rows = []
+    for i, s in enumerate(spans):
+        rows.append(
+            (
+                s.get("index", i),
+                f"{s.get('ts', 0.0):.0f}",
+                s.get("queued", s.get("queue_depth", "")),
+                s.get("planned", s.get("scheduled", "")),
+                s.get("parked", s.get("requeued", "")),
+                f"{s.get('cost_delta', 0.0):.4f}",
+                f"{s.get('moved_mb', 0.0):.0f}",
+                s.get("lp_solves", ""),
+                f"{1e3 * s.get('lp_wall_s', 0.0):.1f}",
+            )
+        )
+    return format_table(headers, rows, title="Per-epoch")
+
+
+def machine_table(records: List[dict]) -> str:
+    """Per-machine table: attempts, busy seconds, MB read by tier."""
+    per: Dict[int, Dict[str, float]] = {}
+
+    def bucket(machine) -> Dict[str, float]:
+        return per.setdefault(
+            int(machine),
+            {
+                "attempts": 0, "reduces": 0, "kills": 0, "busy_s": 0.0,
+                "read_mb": 0.0, "remote_mb": 0.0,
+            },
+        )
+
+    for r in records:
+        cat, name = r.get("cat"), r.get("name")
+        if r.get("type") == "span" and cat == "task" and r.get("machine") is not None:
+            b = bucket(r["machine"])
+            b["reduces" if r.get("reduce") else "attempts"] += 1
+            b["busy_s"] += r.get("dur", 0.0)
+        elif cat == "task" and name == "kill" and r.get("machine") is not None:
+            bucket(r["machine"])["kills"] += 1
+        elif cat == "transfer" and name in ("read", "shuffle") and r.get("machine") is not None:
+            b = bucket(r["machine"])
+            b["read_mb"] += r.get("mb", 0.0)
+            if r.get("tier") not in (None, "local"):
+                b["remote_mb"] += r.get("mb", 0.0)
+    if not per:
+        return "no task records in trace"
+    headers = ["machine", "maps", "reduces", "kills", "busy s", "read MB", "non-local MB"]
+    rows = [
+        (
+            m, int(b["attempts"]), int(b["reduces"]), int(b["kills"]),
+            f"{b['busy_s']:.0f}", f"{b['read_mb']:.0f}", f"{b['remote_mb']:.0f}",
+        )
+        for m, b in sorted(per.items())
+    ]
+    return format_table(headers, rows, title="Per-machine")
+
+
+def solve_table(records: List[dict], limit: Optional[int] = 40) -> str:
+    """Per-solve table: model shape, presolve reductions, wall time, status."""
+    solves = [r for r in records if r.get("type") == "lp_solve"]
+    if not solves:
+        return "no LP solve records in trace"
+    headers = [
+        "t", "model", "backend", "rows", "cols", "nnz", "fixed", "dropped",
+        "iters", "wall ms", "status",
+    ]
+    shown = solves if limit is None or len(solves) <= limit else solves[:limit]
+    rows = []
+    for s in shown:
+        rows.append(
+            (
+                f"{s.get('ts', 0.0):.0f}",
+                s.get("name", "?"),
+                s.get("backend", "?"),
+                int(s.get("rows_ub", 0)) + int(s.get("rows_eq", 0)),
+                s.get("cols", 0),
+                s.get("nnz", 0),
+                s.get("presolve_fixed_vars", 0),
+                s.get("presolve_dropped_rows", 0),
+                s.get("iterations", 0),
+                f"{1e3 * s.get('wall_s', 0.0):.2f}",
+                s.get("status", "?"),
+            )
+        )
+    title = "Per-solve"
+    if len(shown) < len(solves):
+        title += f" (first {len(shown)} of {len(solves)})"
+    table = format_table(headers, rows, title=title)
+    wall = sum(s.get("wall_s", 0.0) for s in solves)
+    iters = sum(int(s.get("iterations", 0)) for s in solves)
+    return (
+        f"{table}\n"
+        f"total: {len(solves)} solves, {1e3 * wall:.1f} ms wall, {iters} iterations"
+    )
+
+
+def render(path, limit: Optional[int] = 40) -> str:
+    """Render a full trace report (summary + the three tables)."""
+    records = load_jsonl(path)
+    parts = [
+        f"trace: {path} ",
+        summary(records),
+        "",
+        epoch_table(records),
+        "",
+        solve_table(records, limit=limit),
+        "",
+        machine_table(records),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,191 @@
+"""Structured trace emitter: JSONL span/event records.
+
+A trace is a flat stream of JSON objects, one per line.  Three record types
+share a common envelope (``type``, ``cat``, ``name``, ``ts``):
+
+``event``
+    An instant: task launch/kill, job submit/complete, a data transfer, a
+    machine failure.  ``ts`` is simulation seconds.
+``span``
+    An interval: a task attempt (``ts`` = start, ``dur`` = read+compute
+    seconds), a scheduling epoch, an epoch-controller epoch.
+``lp_solve``
+    One LP backend solve: rows/cols/nonzeros, presolve reductions, wall
+    seconds, iterations and terminal status (see :mod:`repro.obs.lpprof`).
+
+Everything else on a record is a free-form attribute.  Timestamps are
+*simulation* seconds (LP wall time is the one real-clock quantity, and it is
+carried as an attribute, never as ``ts``), so a seeded run traces
+identically modulo wall-clock attrs.
+
+Zero cost when disabled
+-----------------------
+The disabled path is :data:`NULL_TRACER` — ``enabled`` is ``False`` and
+call sites guard on it, so an untraced simulation performs no attribute
+formatting, no dict building and no I/O.  Tracing never mutates simulator
+state; enabling it cannot perturb event ordering or any seeded result.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from typing import IO, Iterator, List, Optional, Sequence, Union
+
+#: Dispatch-level records (one per event-queue callback) are high-volume
+#: and excluded by default; pass ``categories`` including ``"dispatch"`` to
+#: a :class:`Tracer` to opt in.
+DEFAULT_EXCLUDED_CATEGORIES = frozenset({"dispatch"})
+
+
+def json_default(obj):
+    """JSON fallback for numpy scalars (ids often arrive as np.int64)."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"Object of type {type(obj).__name__} is not JSON serializable")
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Call sites guard with ``if tracer.enabled:`` so even argument
+    evaluation is skipped on the hot path.
+    """
+
+    enabled = False
+
+    def wants(self, cat: str) -> bool:
+        """Never wants anything."""
+        return False
+
+    def event(self, cat: str, name: str, ts: float, **attrs) -> None:
+        """No-op."""
+
+    def span(self, cat: str, name: str, ts: float, dur: float, **attrs) -> None:
+        """No-op."""
+
+    def lp_solve(self, record, ts: float = 0.0) -> None:
+        """No-op."""
+
+    def close(self) -> None:
+        """No-op."""
+
+
+#: Shared disabled tracer; components default to this.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects trace records in memory and/or streams them as JSONL.
+
+    Parameters
+    ----------
+    sink:
+        An open text file to stream records to, one JSON object per line.
+        ``None`` keeps records only in :attr:`records`.
+    categories:
+        When given, only these categories are recorded.  When ``None``,
+        everything except :data:`DEFAULT_EXCLUDED_CATEGORIES` is.
+    keep_records:
+        Retain records in memory even while streaming to a sink.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: Optional[IO[str]] = None,
+        categories: Optional[Sequence[str]] = None,
+        keep_records: bool = True,
+    ) -> None:
+        self._sink = sink
+        self._categories = frozenset(categories) if categories is not None else None
+        self._keep = keep_records or sink is None
+        self.records: List[dict] = []
+        self._owns_sink = False
+
+    @classmethod
+    def to_path(cls, path, categories: Optional[Sequence[str]] = None) -> "Tracer":
+        """A tracer streaming JSONL to ``path`` (records not kept in memory)."""
+        tracer = cls(sink=open(path, "w"), categories=categories, keep_records=False)
+        tracer._owns_sink = True
+        return tracer
+
+    # -- filtering ---------------------------------------------------------
+    def wants(self, cat: str) -> bool:
+        """True when records of category ``cat`` are being collected."""
+        if self._categories is not None:
+            return cat in self._categories
+        return cat not in DEFAULT_EXCLUDED_CATEGORIES
+
+    # -- emission ----------------------------------------------------------
+    def emit(self, record: dict) -> None:
+        """Record one raw trace record (already enveloped)."""
+        if self._keep:
+            self.records.append(record)
+        if self._sink is not None:
+            self._sink.write(json.dumps(record, separators=(",", ":"), default=json_default))
+            self._sink.write("\n")
+
+    def event(self, cat: str, name: str, ts: float, **attrs) -> None:
+        """Emit an instant event."""
+        if not self.wants(cat):
+            return
+        record = {"type": "event", "cat": cat, "name": name, "ts": ts}
+        record.update(attrs)
+        self.emit(record)
+
+    def span(self, cat: str, name: str, ts: float, dur: float, **attrs) -> None:
+        """Emit an interval record covering ``[ts, ts + dur)``."""
+        if not self.wants(cat):
+            return
+        record = {"type": "span", "cat": cat, "name": name, "ts": ts, "dur": dur}
+        record.update(attrs)
+        self.emit(record)
+
+    def lp_solve(self, record, ts: float = 0.0) -> None:
+        """Emit an LP solve record (an :class:`~repro.obs.lpprof.LPSolveRecord`)."""
+        if not self.wants("lp"):
+            return
+        row = {"type": "lp_solve", "cat": "lp", "name": record.name, "ts": ts}
+        row.update(record.to_dict())
+        self.emit(row)
+
+    def close(self) -> None:
+        """Flush and close an owned sink."""
+        if self._sink is not None:
+            self._sink.flush()
+            if self._owns_sink:
+                self._sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+AnyTracer = Union[Tracer, NullTracer]
+
+#: The ambient tracer components fall back to when none is passed
+#: explicitly.  Defaults to the null tracer; the CLI installs a real one
+#: for ``--trace``.
+_current: AnyTracer = NULL_TRACER
+
+
+def current_tracer() -> AnyTracer:
+    """The ambient tracer (the null tracer unless one is installed)."""
+    return _current
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: AnyTracer) -> Iterator[AnyTracer]:
+    """Install ``tracer`` as the ambient tracer for the dynamic extent."""
+    global _current
+    prev = _current
+    _current = tracer
+    try:
+        yield tracer
+    finally:
+        _current = prev

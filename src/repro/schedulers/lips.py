@@ -30,7 +30,6 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.cluster.builder import Cluster, ClusterBuilder
 from repro.cluster.topology import Topology
@@ -106,6 +105,9 @@ class LipsScheduler(TaskScheduler):
         self.enforce_bandwidth = enforce_bandwidth
         self.plans: Dict[int, Deque[_PlanEntry]] = {}
         self._planned_keys: set = set()
+        #: {"planned": n, "parked": m} for the most recent epoch — parked
+        #: tasks landed on the LP's fake node and replan next epoch
+        self.last_plan_stats: Dict[str, int] = {}
         self._zone_cluster: Optional[Cluster] = None
         self._zone_index: Dict[str, int] = {}
         self._stores_by_zone: Dict[int, List[int]] = {}
@@ -127,13 +129,13 @@ class LipsScheduler(TaskScheduler):
 
     # -- epoch planning -----------------------------------------------------
     def on_epoch(self, now: float) -> None:
+        # LP solve counting/timing happens in the shared repro.obs.lpprof
+        # path installed by HadoopSimulator.run — no per-scheduler clocks.
+        self.last_plan_stats = {}
         subjobs = self._collect_subjobs(now)
         if not subjobs:
             return
         inp, groups = self._build_lp_input(subjobs)
-        import time as _time
-
-        t0 = _time.perf_counter()
         sol = solve_co_online(
             inp,
             OnlineModelConfig(
@@ -142,8 +144,6 @@ class LipsScheduler(TaskScheduler):
             ),
             backend=self.backend,
         )
-        self.sim.metrics.lp_solves += 1
-        self.sim.metrics.lp_solve_seconds += _time.perf_counter() - t0
         integral = round_schedule(inp, sol)
         self._realise(integral.task_counts, groups)
 
@@ -244,6 +244,8 @@ class LipsScheduler(TaskScheduler):
         task_counts: List[Dict[Tuple[int, int], int]],
         groups: List[Tuple[JobState, Optional[int], List[SimTask]]],
     ) -> None:
+        planned = 0
+        parked = 0
         for idx, (job, zone, tasks) in enumerate(groups):
             remaining = list(tasks)
             for (machine_id, dst_zone), count in sorted(task_counts[idx].items()):
@@ -263,8 +265,11 @@ class LipsScheduler(TaskScheduler):
                         entry = _PlanEntry(job, task, dst_store)
                     self.plans[machine_id].append(entry)
                     self._planned_keys.add(task.key)
+                    planned += 1
             # tasks still in `remaining` were parked on the fake node:
             # they stay unplanned and re-enter next epoch's LP
+            parked += len(remaining)
+        self.last_plan_stats = {"planned": planned, "parked": parked}
 
     # -- reduce placement ----------------------------------------------------
     def select_reduce_task(self, tracker: TaskTracker, now: float) -> Optional[Assignment]:

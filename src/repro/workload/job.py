@@ -14,7 +14,7 @@ has ``cpu_seconds_total`` set directly and an empty data list.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.cluster.storage import BLOCK_MB
 

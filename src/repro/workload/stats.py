@@ -8,7 +8,7 @@ trace characteristics and experiments can report what they replayed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 import numpy as np

@@ -27,7 +27,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.cluster.storage import BLOCK_MB
-from repro.workload.apps import APP_PROFILES, app_profile
+from repro.workload.apps import app_profile
 from repro.workload.job import DataObject, Job, Workload
 
 PathLike = Union[str, Path]

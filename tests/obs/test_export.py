@@ -1,0 +1,84 @@
+"""Tests for trace exporters: JSONL round-trip, Chrome format, summary."""
+
+import json
+
+from repro.obs.export import (
+    EPOCH_LANE,
+    LP_LANE,
+    MISC_LANE,
+    from_chrome_trace,
+    load_jsonl,
+    summary,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+RECORDS = [
+    {"type": "event", "cat": "job", "name": "submit", "ts": 0.0, "job": 0},
+    {"type": "span", "cat": "task", "name": "attempt", "ts": 1.0, "dur": 2.0,
+     "machine": 3, "job": 0},
+    {"type": "span", "cat": "epoch", "name": "scheduler-epoch", "ts": 0.0,
+     "dur": 600.0, "index": 0},
+    {"type": "lp_solve", "cat": "lp", "name": "co-online", "ts": 600.0,
+     "backend": "highs", "rows_ub": 5, "rows_eq": 2, "cols": 9, "nnz": 20,
+     "wall_s": 0.01, "iterations": 7, "status": "optimal",
+     "presolve_fixed_vars": 0, "presolve_dropped_rows": 0,
+     "presolve_applied": False},
+]
+
+
+class TestJsonl:
+    def test_write_load_round_trip(self, tmp_path):
+        path = write_jsonl(RECORDS, tmp_path / "t.jsonl")
+        assert load_jsonl(path) == RECORDS
+
+
+class TestChromeTrace:
+    def test_lane_assignment(self):
+        chrome = to_chrome_trace(RECORDS)
+        events = [e for e in chrome["traceEvents"] if e["ph"] != "M"]
+        tids = [e["tid"] for e in events]
+        assert tids == [MISC_LANE, 3, EPOCH_LANE, LP_LANE]
+
+    def test_thread_names(self):
+        chrome = to_chrome_trace(RECORDS)
+        meta = {e["tid"]: e["args"]["name"]
+                for e in chrome["traceEvents"] if e["ph"] == "M"}
+        assert meta[3] == "machine 3"
+        assert meta[EPOCH_LANE] == "epochs"
+        assert meta[LP_LANE] == "lp solves"
+
+    def test_span_duration_microseconds(self):
+        chrome = to_chrome_trace(RECORDS)
+        attempt = next(
+            e for e in chrome["traceEvents"] if e["name"] == "task:attempt"
+        )
+        assert attempt["ph"] == "X"
+        assert attempt["ts"] == 1.0e6 and attempt["dur"] == 2.0e6
+
+    def test_lp_solve_duration_is_wall_time(self):
+        chrome = to_chrome_trace(RECORDS)
+        lp = next(e for e in chrome["traceEvents"] if e.get("cat") == "lp")
+        assert lp["dur"] == 0.01e6
+
+    def test_round_trip_preserves_envelope_and_args(self):
+        back = from_chrome_trace(to_chrome_trace(RECORDS))
+        assert back == RECORDS
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(RECORDS, tmp_path / "t.json")
+        loaded = json.loads(path.read_text())
+        assert "traceEvents" in loaded
+
+
+class TestSummary:
+    def test_mentions_counts(self):
+        text = summary(RECORDS)
+        assert "4 records" in text
+        assert "lp solves: 1" in text
+        assert "task attempts: 1" in text
+
+    def test_horizon_is_span_end(self):
+        text = summary(RECORDS)
+        assert "600.0 simulated s" in text

@@ -1,0 +1,132 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        c = Counter("hits")
+        assert c.value() == 0.0
+
+    def test_inc_accumulates(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_rejects_negative(self):
+        c = Counter("hits")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_labels_are_independent_series(self):
+        c = Counter("reads")
+        c.inc(10, machine=0)
+        c.inc(5, machine=1)
+        assert c.value(machine=0) == 10
+        assert c.value(machine=1) == 5
+        assert c.total() == 15
+
+    def test_label_order_irrelevant(self):
+        c = Counter("x")
+        c.inc(1, a=1, b=2)
+        assert c.value(b=2, a=1) == 1
+
+    def test_set_total_forces_value(self):
+        c = Counter("x")
+        c.inc(3)
+        c.set_total(1.0)
+        assert c.value() == 1.0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(4.0)
+        g.add(-1.5)
+        assert g.value() == 2.5
+
+
+class TestHistogram:
+    def test_observations_bucketed(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == 55.5
+        assert h.mean() == pytest.approx(18.5)
+
+    def test_overflow_bucket(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(99.0)
+        series = h.dump()["series"][0]["value"]
+        assert series["buckets"][-1] == {"le": "+inf", "count": 1}
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(2.0, 1.0))
+
+    def test_labelled_series(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.1, backend="highs")
+        h.observe(0.2, backend="simplex")
+        assert h.count(backend="highs") == 1
+        assert h.mean(backend="simplex") == pytest.approx(0.2)
+
+
+class TestRegistry:
+    def test_memoised_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_dump_is_sorted_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(1, zone="z1")
+        reg.gauge("a").set(2)
+        dump = reg.dump()
+        assert [m["name"] for m in dump] == ["a", "b"]
+        json.dumps(dump)  # must not raise
+
+    def test_write_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        path = tmp_path / "m.json"
+        reg.write_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded[0]["name"] == "hits"
+        assert loaded[0]["series"][0]["value"] == 3
+
+    def test_contains_and_len(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        assert "a" in reg and "b" not in reg
+        assert len(reg) == 1
+
+
+class TestCurrentRegistry:
+    def test_default_none(self):
+        assert current_registry() is None
+
+    def test_use_registry_installs_and_restores(self):
+        reg = MetricsRegistry()
+        with use_registry(reg) as installed:
+            assert installed is reg
+            assert current_registry() is reg
+        assert current_registry() is None

@@ -1,0 +1,194 @@
+"""Simulator-level tracing tests: determinism and a golden trace.
+
+The golden file freezes the exact JSONL a tiny 2-machine/2-job LiPS run
+emits — task-attempt spans, transfer reads, epoch spans, one LP solve.
+Wall-clock attributes (``wall_s``, ``iterations``, ``lp_wall_s``) are
+normalised to zero before comparing; everything else in a trace is a pure
+function of the seed.  Regenerate after an intentional schema change with::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/obs/test_sim_tracing.py
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.builder import ClusterBuilder
+from repro.cluster.topology import Topology
+from repro.hadoop.sim import HadoopSimulator, SimConfig
+from repro.obs.export import load_jsonl, write_jsonl
+from repro.obs.registry import MetricsRegistry, use_registry
+from repro.obs.trace import Tracer, use_tracer
+from repro.schedulers import LipsScheduler
+from repro.workload.job import DataObject, Job, Workload
+
+GOLDEN = Path(__file__).parent / "golden_trace.jsonl"
+
+
+def tiny_cluster():
+    b = ClusterBuilder(topology=Topology.of(["za", "zb"]), store_capacity_mb=1e6)
+    b.add_machine("a0", ecu=2.0, cpu_cost=5e-5, zone="za")
+    b.add_machine("b0", ecu=5.0, cpu_cost=1e-5, zone="zb")
+    return b.build()
+
+
+def tiny_workload():
+    data = [DataObject(data_id=0, name="d", size_mb=128.0, origin_store=0)]
+    jobs = [
+        Job(job_id=0, name="scan", tcp=0.5, data_ids=[0], num_tasks=2),
+        Job(job_id=1, name="pi", tcp=0.0, num_tasks=1,
+            cpu_seconds_noinput=50.0, arrival_time=10.0),
+    ]
+    return Workload(jobs=jobs, data=data)
+
+
+def run_once(tracer=None):
+    sim = HadoopSimulator(
+        tiny_cluster(),
+        tiny_workload(),
+        LipsScheduler(epoch_length=60.0),
+        SimConfig(placement_seed=2, speculative=False, tracer=tracer),
+    )
+    return sim.run()
+
+
+def normalise(records):
+    """Zero the wall-clock attributes; everything else is seed-determined."""
+    out = []
+    for r in records:
+        r = dict(r)
+        if r.get("type") == "lp_solve":
+            r["wall_s"] = 0.0
+            r["iterations"] = 0
+        if r.get("cat") == "epoch":
+            r["lp_wall_s"] = 0.0
+        out.append(r)
+    return out
+
+
+class TestTracingIsObservationOnly:
+    def test_traced_run_matches_untraced(self):
+        """Enabling tracing must not perturb any seeded simulation result."""
+        plain = run_once()
+        traced = run_once(tracer=Tracer())
+        assert traced.metrics.makespan == plain.metrics.makespan
+        assert traced.metrics.total_cost == plain.metrics.total_cost
+        assert traced.metrics.tasks_run == plain.metrics.tasks_run
+        assert traced.metrics.moved_mb == plain.metrics.moved_mb
+        assert traced.metrics.local_read_mb == plain.metrics.local_read_mb
+        assert traced.metrics.lp_solves == plain.metrics.lp_solves
+        assert traced.metrics.job_durations == plain.metrics.job_durations
+        assert (
+            traced.metrics.ledger.total_by_category()
+            == plain.metrics.ledger.total_by_category()
+        )
+
+    def test_trace_is_deterministic_modulo_wall_time(self):
+        a, b = Tracer(), Tracer()
+        run_once(tracer=a)
+        run_once(tracer=b)
+        assert normalise(a.records) == normalise(b.records)
+
+
+class TestTraceContents:
+    @pytest.fixture(scope="class")
+    def records(self):
+        tracer = Tracer()
+        run_once(tracer=tracer)
+        return tracer.records
+
+    def test_task_attempt_spans(self, records):
+        spans = [r for r in records
+                 if r["type"] == "span" and r["cat"] == "task"]
+        assert len(spans) == 3  # one per completed attempt
+        for s in spans:
+            assert s["dur"] > 0 and "machine" in s and "job" in s
+
+    def test_transfer_reads_carry_mb_and_tier(self, records):
+        reads = [r for r in records
+                 if r["cat"] == "transfer" and r["name"] == "read"]
+        assert reads and all(r["mb"] > 0 for r in reads)
+        assert all(r["tier"] in ("local", "zone", "remote") for r in reads)
+
+    def test_epoch_spans_carry_plan_stats(self, records):
+        epochs = [r for r in records if r["cat"] == "epoch"]
+        assert epochs
+        planning = [e for e in epochs if e.get("lp_solves")]
+        assert planning, "at least one epoch should have solved the LP"
+        assert planning[0]["planned"] == 3 and planning[0]["parked"] == 0
+        assert planning[0]["queued"] == 3
+
+    def test_lp_solve_record_present(self, records):
+        (solve,) = [r for r in records if r["type"] == "lp_solve"]
+        assert solve["name"] == "co-online"
+        assert solve["rows_ub"] > 0 and solve["cols"] > 0 and solve["nnz"] > 0
+        assert solve["wall_s"] > 0
+        assert solve["status"] == "optimal"
+
+    def test_job_lifecycle(self, records):
+        submits = [r for r in records
+                   if r["cat"] == "job" and r["name"] == "submit"]
+        runs = [r for r in records if r["cat"] == "job" and r["name"] == "run"]
+        assert len(submits) == 2 and len(runs) == 2
+
+    def test_no_dispatch_records_by_default(self, records):
+        assert not any(r["cat"] == "dispatch" for r in records)
+
+
+class TestDispatchOptIn:
+    def test_dispatch_category_records_callbacks(self):
+        tracer = Tracer(categories=["dispatch"])
+        run_once(tracer=tracer)
+        assert tracer.records
+        assert all(r["cat"] == "dispatch" for r in tracer.records)
+        assert all("seq" in r for r in tracer.records)
+
+
+class TestGoldenTrace:
+    def test_matches_golden(self):
+        tracer = Tracer()
+        run_once(tracer=tracer)
+        got = normalise(tracer.records)
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            write_jsonl(got, GOLDEN)
+            pytest.skip(f"regenerated {GOLDEN}")
+        assert got == normalise(load_jsonl(GOLDEN))
+
+
+class TestRegistryPublish:
+    def test_run_publishes_into_installed_registry(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            res = run_once()
+        label = {"scheduler": res.scheduler_name}
+        assert reg.counter("tasks_run").value(**label) == 3
+        assert reg.gauge("makespan").value(**label) == res.metrics.makespan
+        assert reg.counter("lp_solves").value(**label) == 1
+        assert reg.counter("cost_dollars").total() == pytest.approx(
+            res.metrics.total_cost
+        )
+
+    def test_two_runs_accumulate_counters(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            run_once()
+            run_once()
+        assert reg.counter("tasks_run").total() == 6
+
+    def test_no_publishing_without_registry(self):
+        res = run_once()
+        assert res.metrics.tasks_run == 3  # and nothing blew up
+
+
+class TestAmbientTracerPickup:
+    def test_sim_uses_ambient_tracer(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            run_once()  # SimConfig.tracer left at None
+        assert any(r["cat"] == "task" for r in tracer.records)
+
+    def test_per_run_lp_histogram(self):
+        res = run_once()
+        hist = res.metrics.registry.histogram("lp_solve_duration_seconds")
+        assert hist.count(model="co-online", backend="highs") == 1

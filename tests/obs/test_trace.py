@@ -1,0 +1,99 @@
+"""Unit tests for the structured trace emitter."""
+
+import json
+
+import numpy as np
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.wants("task") is False
+
+    def test_all_ops_are_noops(self):
+        t = NullTracer()
+        t.event("task", "launch", 0.0, machine=1)
+        t.span("task", "attempt", 0.0, 1.0)
+        t.close()
+
+
+class TestTracer:
+    def test_event_record_shape(self):
+        t = Tracer()
+        t.event("task", "launch", 12.5, machine=3, job=0)
+        (rec,) = t.records
+        assert rec == {
+            "type": "event", "cat": "task", "name": "launch", "ts": 12.5,
+            "machine": 3, "job": 0,
+        }
+
+    def test_span_record_shape(self):
+        t = Tracer()
+        t.span("task", "attempt", 1.0, 2.5, machine=0)
+        (rec,) = t.records
+        assert rec["type"] == "span" and rec["dur"] == 2.5
+
+    def test_dispatch_excluded_by_default(self):
+        t = Tracer()
+        assert not t.wants("dispatch")
+        t.event("dispatch", "cb", 0.0)
+        assert t.records == []
+
+    def test_category_allowlist(self):
+        t = Tracer(categories=["lp", "dispatch"])
+        assert t.wants("dispatch") and t.wants("lp")
+        assert not t.wants("task")
+        t.event("task", "launch", 0.0)
+        t.event("dispatch", "cb", 1.0)
+        assert len(t.records) == 1
+
+    def test_to_path_streams_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        t = Tracer.to_path(path)
+        t.event("task", "launch", 0.0, machine=1)
+        t.span("epoch", "scheduler-epoch", 0.0, 600.0, index=0)
+        t.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["type"] for r in lines] == ["event", "span"]
+        assert t.records == []  # streaming tracers keep nothing in memory
+
+    def test_numpy_scalars_serialise(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer.to_path(path) as t:
+            t.event("task", "launch", 0.0, machine=np.int64(3), mb=np.float64(1.5))
+        rec = json.loads(path.read_text())
+        assert rec["machine"] == 3 and rec["mb"] == 1.5
+
+    def test_lp_solve_record(self):
+        from repro.obs.lpprof import LPSolveRecord
+
+        t = Tracer()
+        rec = LPSolveRecord(
+            name="co-online", backend="highs", rows_ub=5, rows_eq=2, cols=9,
+            nnz=20, wall_seconds=0.01, iterations=7, status="optimal",
+        )
+        t.lp_solve(rec, ts=600.0)
+        (row,) = t.records
+        assert row["type"] == "lp_solve" and row["cat"] == "lp"
+        assert row["name"] == "co-online" and row["ts"] == 600.0
+        assert row["rows_ub"] == 5 and row["wall_s"] == 0.01
+        assert row["status"] == "optimal"
+
+
+class TestAmbientTracer:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_installs_and_restores(self):
+        t = Tracer()
+        with use_tracer(t):
+            assert current_tracer() is t
+        assert current_tracer() is NULL_TRACER
