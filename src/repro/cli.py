@@ -9,6 +9,7 @@ Usage::
     python -m repro all               # everything (reduced sizes)
     python -m repro fig8 --trace t.jsonl   # + structured JSONL trace
     python -m repro report t.jsonl    # per-epoch / per-solve tables
+    python -m repro lint              # static analysis: code + LP models
 
 ``--full`` switches to the paper's full experiment sizes (equivalent to
 ``REPRO_FULL=1`` for the benchmark suite).  ``--trace``/``--metrics``
@@ -246,14 +247,65 @@ def _run_report(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    """Parser for the ``python -m repro lint`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Static analysis: repo-specific AST rules over source "
+        "trees plus a structural linter over the paper's LP models "
+        "(no solver runs).  Exits 1 when any finding is reported.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files/directories for the AST pass (default: the installed "
+        "repro package source)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--no-models",
+        action="store_true",
+        help="skip the LP model lint (AST pass only)",
+    )
+    return parser
+
+
+def _run_lint(argv: Sequence[str]) -> int:
+    from pathlib import Path
+
+    from repro.lint import findings_to_json, lint_paths, lint_repo_models, render_text
+    from repro.lint.runner import default_source_paths
+
+    args = build_lint_parser().parse_args(argv)
+    paths = [Path(p) for p in args.paths] if args.paths else default_source_paths()
+    findings = lint_paths(paths)
+    if not args.no_models:
+        findings.extend(lint_repo_models())
+    print(findings_to_json(findings) if args.format == "json" else render_text(findings))
+    return 1 if findings else 0
+
+
+#: Subcommands with their own flags (dispatched on ``argv[0]`` before the
+#: experiment parser, so they never collide with experiment names).  New
+#: subcommands register here instead of special-casing :func:`main`.
+SUBCOMMANDS: Dict[str, Callable[[Sequence[str]], int]] = {
+    "report": _run_report,
+    "lint": _run_lint,
+}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
         argv = sys.argv[1:]
-    # 'report' is a subcommand over trace files, not an experiment — it has
-    # its own flags, so it is dispatched before the experiment parser.
-    if argv and argv[0] == "report":
-        return _run_report(list(argv[1:]))
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](list(argv[1:]))
     args = build_parser().parse_args(argv)
     wanted: List[str] = []
     for name in args.experiments:
@@ -264,7 +316,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             print(
                 f"unknown experiment {name!r}; choose from: "
-                f"{', '.join(COMMANDS)}, all, report",
+                f"{', '.join(COMMANDS)}, all, {', '.join(SUBCOMMANDS)}",
                 file=sys.stderr,
             )
             return 2

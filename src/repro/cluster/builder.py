@@ -19,6 +19,7 @@ from repro.cluster.machine import Machine
 from repro.cluster.network import NetworkModel
 from repro.cluster.storage import DataStore
 from repro.cluster.topology import Topology, paper_topology
+from repro.util import round_half_up
 
 
 @dataclass
@@ -239,8 +240,8 @@ def build_paper_testbed(
     if c1_medium_fraction + m1_small_fraction > 1.0 + 1e-9:
         raise ValueError("instance-type fractions exceed 1")
     rng = np.random.default_rng(seed)
-    n_c1 = int(round(total_nodes * c1_medium_fraction))
-    n_small = int(round(total_nodes * m1_small_fraction))
+    n_c1 = round_half_up(total_nodes * c1_medium_fraction)
+    n_small = round_half_up(total_nodes * m1_small_fraction)
     n_medium = total_nodes - n_c1 - n_small
 
     builder = ClusterBuilder(topology=paper_topology(), default_uptime=uptime)

@@ -48,13 +48,16 @@ def solve_co_online(
     backend: Optional[object] = None,
     store_capacity: Optional[np.ndarray] = None,
     fairness: Optional[object] = None,
+    strict: bool = False,
 ) -> CoScheduleSolution:
     """Solve one epoch of the Figure 4 model.
 
     Always feasible thanks to the fake node (unless storage is exhausted or
     a :class:`~repro.core.fairness.FairShareConfig` guarantee collides with
     the bandwidth constraint); callers inspect ``solution.fake`` for the
-    residual work to re-queue.
+    residual work to re-queue.  With ``strict`` the built model is passed
+    through :func:`repro.lint.strict_check` first and a malformed model
+    (e.g. missing fake node) raises before any backend runs.
     """
     if backend is None:
         from repro.lp import DEFAULT_BACKEND
@@ -76,6 +79,10 @@ def solve_co_online(
     )
     asm = assembler.build()
     asm.name = "co-online"
+    if strict:
+        from repro.lint import strict_check
+
+        strict_check(assembler, asm, "co-online")
     result = backend.solve_assembled(asm)
     if result.status is not LPStatus.OPTIMAL:
         # With the fake node the model is feasible unless *storage* is

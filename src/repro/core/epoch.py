@@ -24,6 +24,7 @@ import numpy as np
 from repro.cluster.builder import Cluster
 from repro.core.co_online import OnlineModelConfig, solve_co_online
 from repro.core.model import SchedulingInput
+from repro.util import round_half_up
 from repro.core.solution import CoScheduleSolution, CostBreakdown
 from repro.cost.accounting import CostLedger
 from repro.obs import lpprof
@@ -102,6 +103,11 @@ class EpochController:
         Retain per-epoch LP solutions in the reports (memory-heavy).
     max_epochs:
         Safety cap; the run aborts loudly rather than looping forever.
+    strict:
+        Statically lint every epoch's LP before solving
+        (:func:`repro.lint.strict_check`); findings are counted in the
+        installed metrics registry and a malformed model aborts the run
+        before the backend sees it.
     """
 
     def __init__(
@@ -114,6 +120,7 @@ class EpochController:
         max_epochs: int = 100000,
         fairness: Optional[object] = None,
         tracer: Optional[object] = None,
+        strict: bool = False,
     ) -> None:
         if epoch_length <= 0:
             raise ValueError("epoch_length must be positive")
@@ -127,6 +134,8 @@ class EpochController:
         self.fairness = fairness
         #: trace emitter; None falls back to the ambient tracer at run time
         self.tracer = tracer
+        #: lint every epoch model before solving; errors abort the run
+        self.strict = strict
 
     # -- helpers -------------------------------------------------------------
     def _build_epoch_input(
@@ -160,7 +169,7 @@ class EpochController:
                         name=job.name,
                         tcp=job.tcp,
                         data_ids=[obj.data_id],
-                        num_tasks=max(1, int(round(job.num_tasks * entry.fraction))),
+                        num_tasks=max(1, round_half_up(job.num_tasks * entry.fraction)),
                         cpu_seconds_noinput=job.cpu_seconds_noinput * entry.fraction,
                         arrival_time=job.arrival_time,
                         pool=job.pool,
@@ -174,7 +183,7 @@ class EpochController:
                         name=job.name,
                         tcp=0.0,
                         data_ids=[],
-                        num_tasks=max(1, int(round(job.num_tasks * entry.fraction))),
+                        num_tasks=max(1, round_half_up(job.num_tasks * entry.fraction)),
                         cpu_seconds_noinput=job.cpu_seconds_noinput * entry.fraction,
                         arrival_time=job.arrival_time,
                         pool=job.pool,
@@ -260,6 +269,7 @@ class EpochController:
                     backend=self.backend,
                     store_capacity=remaining_cap,
                     fairness=self.fairness,
+                    strict=self.strict,
                 )
             if tracer.enabled:
                 for rec in prof.records:

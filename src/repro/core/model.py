@@ -23,6 +23,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.cluster.builder import Cluster
+from repro.util import round_half_up
 from repro.workload.job import Job, Workload
 from repro.workload.matrix import access_matrix
 
@@ -61,7 +62,7 @@ def split_multi_object_jobs(workload: Workload) -> Workload:
                     name=f"{job.name}#d{d}",
                     tcp=job.tcp,
                     data_ids=[d],
-                    num_tasks=max(1, int(round(job.num_tasks * share))),
+                    num_tasks=max(1, round_half_up(job.num_tasks * share)),
                     cpu_seconds_noinput=job.cpu_seconds_noinput * share,
                     arrival_time=job.arrival_time,
                     pool=job.pool,

@@ -22,6 +22,14 @@ import numpy as np
 
 from repro.core.model import SchedulingInput
 from repro.core.solution import CoScheduleSolution
+from repro.util import round_half_up
+
+__all__ = [
+    "IntegralSchedule",
+    "largest_remainder_round",
+    "round_half_up",
+    "round_schedule",
+]
 
 
 def largest_remainder_round(weights: np.ndarray, total: int) -> np.ndarray:
@@ -114,7 +122,7 @@ def round_schedule(
             frac[frac < threshold * scheduled] = 0.0
             flat = frac.reshape(-1)
             # Apportion the job's *scheduled* share of tasks.
-            target = int(round(n_tasks * min(1.0, scheduled)))
+            target = round_half_up(n_tasks * min(1.0, scheduled))
             assigned = largest_remainder_round(flat, target)
             nz = np.nonzero(assigned)[0]
             width = frac.shape[1]

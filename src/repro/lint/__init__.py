@@ -1,0 +1,77 @@
+"""Static analysis for the LiPS reproduction: ``repro.lint``.
+
+Two layers, one finding vocabulary (:mod:`repro.lint.findings`):
+
+* :mod:`repro.lint.model` — a structural linter over LP models
+  (``LM…``/``LIPS…`` rules) that catches malformed formulations *before*
+  any solver runs.  Strict solve paths (``solve_co_online(strict=True)``
+  etc.) call :func:`strict_check` and refuse to solve a model with ERROR
+  findings.
+* :mod:`repro.lint.rules` + :mod:`repro.lint.runner` — a repo-specific
+  AST pass (``AST…`` rules) over scheduler/simulator source.
+
+CLI: ``python -m repro lint [--format text|json] [paths…]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lint.findings import (
+    Finding,
+    ModelLintError,
+    Severity,
+    errors,
+    findings_to_json,
+    render_text,
+)
+from repro.lint.model import ModelProfile, lint_lips, lint_lips_model, lint_model
+from repro.lint.runner import lint_all, lint_paths, lint_repo_models, lint_source
+
+__all__ = [
+    "Finding",
+    "ModelLintError",
+    "ModelProfile",
+    "Severity",
+    "errors",
+    "findings_to_json",
+    "lint_all",
+    "lint_lips",
+    "lint_lips_model",
+    "lint_model",
+    "lint_paths",
+    "lint_repo_models",
+    "lint_source",
+    "render_text",
+    "strict_check",
+]
+
+
+def strict_check(assembler, asm, kind: str) -> List["Finding"]:
+    """Lint a built model on the solve path; raise on ERROR findings.
+
+    Every finding (either severity) is counted in the installed
+    :mod:`repro.obs` metrics registry under ``lint_findings_total`` with
+    ``rule``/``model`` labels, so long-running strict runs expose lint
+    pressure alongside solve metrics.  Returns the findings when none are
+    errors; raises :class:`ModelLintError` otherwise — before any backend
+    sees the model.
+    """
+    findings = lint_lips_model(assembler, asm, kind)
+    _publish(findings, kind)
+    if errors(findings):
+        raise ModelLintError(findings)
+    return findings
+
+
+def _publish(findings: List["Finding"], kind: str) -> None:
+    from repro.obs.registry import current_registry
+
+    registry = current_registry()
+    if registry is None or not findings:
+        return
+    counter = registry.counter(
+        "lint_findings_total", help="model-lint findings observed on strict solve paths"
+    )
+    for finding in findings:
+        counter.inc(rule=finding.rule, model=kind, severity=finding.severity.value)

@@ -42,10 +42,15 @@ def check_solution(lp: LinearProgram, result: LPResult, tol: float = 1e-6) -> So
 
     for var in lp.variables:
         v = x[var.index]
-        if v < var.lower - tol:
+        # Scale like the constraint checks below: a solver returning
+        # 1e9 * (1 + eps) against an upper bound of 1e9 is at its
+        # precision limit, not infeasible.
+        lo_tol = tol * max(1.0, abs(var.lower)) if np.isfinite(var.lower) else tol
+        hi_tol = tol * max(1.0, abs(var.upper)) if np.isfinite(var.upper) else tol
+        if v < var.lower - lo_tol:
             violations.append(f"{var.name} = {v} below lower bound {var.lower}")
             worst = max(worst, var.lower - v)
-        if v > var.upper + tol:
+        if v > var.upper + hi_tol:
             violations.append(f"{var.name} = {v} above upper bound {var.upper}")
             worst = max(worst, v - var.upper)
 

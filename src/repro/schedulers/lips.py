@@ -89,6 +89,10 @@ class LipsScheduler(TaskScheduler):
         LP backend (defaults to HiGHS).
     enforce_bandwidth:
         Toggle the Figure 4 transfer-time constraint (21).
+    strict:
+        Statically lint every epoch's LP before solving
+        (:func:`repro.lint.strict_check`); a malformed model raises
+        before any backend runs.
     """
 
     def __init__(
@@ -96,6 +100,7 @@ class LipsScheduler(TaskScheduler):
         epoch_length: float = 600.0,
         backend: Optional[object] = None,
         enforce_bandwidth: bool = True,
+        strict: bool = False,
     ) -> None:
         super().__init__()
         if epoch_length <= 0:
@@ -103,6 +108,7 @@ class LipsScheduler(TaskScheduler):
         self.epoch_length = epoch_length
         self.backend = backend
         self.enforce_bandwidth = enforce_bandwidth
+        self.strict = strict
         self.plans: Dict[int, Deque[_PlanEntry]] = {}
         self._planned_keys: set = set()
         #: {"planned": n, "parked": m} for the most recent epoch — parked
@@ -143,6 +149,7 @@ class LipsScheduler(TaskScheduler):
                 enforce_bandwidth=self.enforce_bandwidth,
             ),
             backend=self.backend,
+            strict=self.strict,
         )
         integral = round_schedule(inp, sol)
         self._realise(integral.task_counts, groups)

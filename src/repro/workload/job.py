@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.cluster.storage import BLOCK_MB
+from repro.util import round_half_up
 
 
 @dataclass
@@ -179,7 +180,7 @@ class Job:
         order = sorted(remaining, key=lambda d: -remaining[d])
         t = 0
         for d in order:
-            n_here = max(1, int(round(self.num_tasks * data[d].size_mb / total_mb))) if total_mb else 1
+            n_here = max(1, round_half_up(self.num_tasks * data[d].size_mb / total_mb)) if total_mb else 1
             for _ in range(n_here):
                 if t >= self.num_tasks:
                     break

@@ -28,6 +28,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.cluster.storage import BLOCK_MB
+from repro.util import round_half_up
 from repro.workload.apps import app_profile
 from repro.workload.job import DataObject, Job, Workload
 
@@ -79,7 +80,7 @@ class SwimConfig:
 
 def _log_uniform(rng: np.random.Generator, lo: int, hi: int) -> int:
     """Integer drawn log-uniformly in [lo, hi] (heavy-tail within a class)."""
-    return int(round(np.exp(rng.uniform(np.log(lo), np.log(hi)))))
+    return round_half_up(np.exp(rng.uniform(np.log(lo), np.log(hi))))
 
 
 def _arrival_times(rng: np.random.Generator, n: int, duration: float) -> np.ndarray:

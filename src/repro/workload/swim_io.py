@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.util import round_half_up
+
 import numpy as np
 
 from repro.cluster.storage import BLOCK_MB
@@ -106,7 +108,7 @@ def workload_from_swim(
     jobs: List[Job] = []
     for row in sorted(rows, key=lambda r: r.submit_time_s):
         input_mb = max(BLOCK_MB, row.map_input_bytes / (1024.0 * 1024.0))
-        maps = max(1, int(round(input_mb / BLOCK_MB)))
+        maps = max(1, round_half_up(input_mb / BLOCK_MB))
         prof = app_profile(names[int(rng.choice(len(names), p=probs))])
         d = DataObject(
             data_id=len(data),

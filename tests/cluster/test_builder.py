@@ -1,6 +1,5 @@
 """Unit tests for cluster assembly and the paper testbed builder."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.builder import ClusterBuilder, build_paper_testbed

@@ -118,7 +118,7 @@ class TestObjective:
 class TestDecode:
     def test_decode_roundtrip_shapes(self, inp):
         a = ModelAssembler(inp, include_xd=True, include_fake=True)
-        asm = a.build()
+        a.build()
         x = np.zeros(a.num_cols)
         x[0] = 0.25
         x[a.off_f] = 0.75

@@ -1,6 +1,5 @@
 """Tests for the deadline-constrained cost frontier."""
 
-import numpy as np
 import pytest
 
 from repro.core.deadline import (
@@ -8,7 +7,6 @@ from repro.core.deadline import (
     min_cost_for_deadline,
     min_deadline,
 )
-from repro.core.model import SchedulingInput
 from repro.core.solution import validate_solution
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the epoch controller (online scheduling loop)."""
 
-import numpy as np
 import pytest
 
 from repro.core.epoch import EpochController

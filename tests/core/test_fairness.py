@@ -1,6 +1,5 @@
 """Tests for the fair-share LP extension."""
 
-import numpy as np
 import pytest
 
 from repro.core.co_online import OnlineModelConfig, solve_co_online

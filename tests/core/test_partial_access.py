@@ -1,6 +1,5 @@
 """Tests for partial data access (fractional JD) across the stack."""
 
-import numpy as np
 import pytest
 
 from repro.core.co_offline import solve_co_offline

@@ -1,7 +1,5 @@
 """Property-based tests of the fair-share extension (hypothesis)."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster.builder import ClusterBuilder

@@ -9,7 +9,6 @@ Invariants, over random clusters/workloads:
 * scaling all prices scales the optimum linearly.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.co_offline import solve_co_offline
-from repro.core.rounding import IntegralSchedule, largest_remainder_round, round_schedule
+from repro.core.rounding import largest_remainder_round, round_schedule
 
 
 class TestLargestRemainder:

@@ -8,8 +8,8 @@ fast, not after a minute of simulation.
 import pytest
 
 from repro.experiments.common import DEFAULT, DELAY, LIPS
-from repro.workload.apps import make_job, table4_jobs
-from repro.workload.job import DataObject, Job, Workload
+from repro.workload.apps import make_job
+from repro.workload.job import DataObject, Workload
 
 
 @pytest.fixture(scope="module")

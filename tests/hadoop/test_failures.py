@@ -120,7 +120,7 @@ class TestFailureHandling:
             cluster, data_workload(), FifoScheduler(),
             SimConfig(replication=2, placement_seed=3), failures=plan,
         )
-        res = sim.run()
+        sim.run()
         assert sim.jobtracker.all_complete()
 
     def test_makespan_grows_under_failure(self, cluster):

@@ -5,7 +5,7 @@ import pytest
 
 from repro.cluster.builder import ClusterBuilder
 from repro.cluster.topology import Topology
-from repro.hadoop.hdfs import HDFS, ExplicitPlacement, RandomPlacement, ZoneSpreadPlacement
+from repro.hadoop.hdfs import HDFS, ExplicitPlacement, ZoneSpreadPlacement
 from repro.workload.job import DataObject
 
 

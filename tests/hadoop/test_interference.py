@@ -7,7 +7,7 @@ from repro.cluster.topology import Topology
 from repro.hadoop.interference import NO_INTERFERENCE, InterferenceModel
 from repro.hadoop.sim import HadoopSimulator, SimConfig
 from repro.schedulers import FifoScheduler
-from repro.workload.job import DataObject, Job, Workload
+from repro.workload.job import Job, Workload
 
 
 @pytest.fixture

@@ -98,10 +98,6 @@ class TestLipsReducePlacement:
         assert job.is_complete
         # with all map output in zone-b (LiPS ran maps on cheap b0), the
         # cheap machine also wins the reduces
-        reduce_hosts = set()
-        for r in res.metrics.ledger.records:
-            if r.category == "cpu":
-                continue
         # cheaper overall than FIFO for the same workload
         _, fifo = run(cluster, wc_workload())
         assert res.metrics.total_cost <= fifo.metrics.total_cost * 1.01

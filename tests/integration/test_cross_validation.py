@@ -9,7 +9,6 @@
   out of its own attempt records.
 """
 
-import numpy as np
 import pytest
 
 from repro.cluster.builder import build_paper_testbed

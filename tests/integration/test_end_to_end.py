@@ -1,6 +1,5 @@
 """End-to-end integration: full pipeline on the paper's setups (scaled)."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.builder import build_paper_testbed

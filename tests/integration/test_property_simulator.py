@@ -9,7 +9,6 @@ Invariants over random clusters/workloads/schedulers:
 * read volume equals the workload's input exactly once.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

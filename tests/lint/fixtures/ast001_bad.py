@@ -1,0 +1,10 @@
+"""AST001 positive fixture: iteration directly over unordered sets."""
+
+
+def drain(items):
+    out = []
+    for item in {3, 1, 2}:
+        out.append(item)
+    out.extend(x for x in set(items))
+    out.extend(y for y in set(items) - {0})
+    return out

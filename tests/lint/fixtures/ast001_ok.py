@@ -1,0 +1,11 @@
+"""AST001 negative fixture: set iteration with a fixed order."""
+
+
+def drain(items):
+    out = []
+    for item in sorted({3, 1, 2}):
+        out.append(item)
+    out.extend(x for x in sorted(set(items)))
+    for pair in [("a", 1), ("b", 2)]:
+        out.append(pair)
+    return out

@@ -1,0 +1,7 @@
+"""AST002 positive fixture: exact equality against non-integral floats."""
+
+
+def classify(x, y):
+    if x == 0.5:
+        return "half"
+    return y != 2.75

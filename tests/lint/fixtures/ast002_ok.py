@@ -1,0 +1,11 @@
+"""AST002 negative fixture: integral-float sentinels and tolerance compares."""
+
+import math
+
+
+def classify(x, y):
+    if x == 0.0:  # exact-zero sentinel: legitimate
+        return "unset"
+    if y == 1.0:
+        return "whole"
+    return math.isclose(x, 0.5, abs_tol=1e-9)

@@ -1,0 +1,5 @@
+"""AST003 positive fixture: int(round(x)) banker's-rounding hazard."""
+
+
+def task_count(fraction, total):
+    return int(round(fraction * total))

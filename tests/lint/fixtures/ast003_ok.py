@@ -1,0 +1,11 @@
+"""AST003 negative fixture: half-up rounding and two-arg round."""
+
+import math
+
+
+def task_count(fraction, total):
+    return math.floor(fraction * total + 0.5)
+
+
+def truncated(x):
+    return int(round(x, 2))

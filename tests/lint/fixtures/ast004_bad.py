@@ -1,0 +1,11 @@
+"""AST004 positive fixture: mutable default arguments."""
+
+
+def push(item, acc=[]):
+    acc.append(item)
+    return acc
+
+
+def tally(key, *, counts=dict()):
+    counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,12 @@
+"""AST004 negative fixture: None default with in-body construction."""
+
+
+def push(item, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc
+
+
+def scaled(x, factor=1.0, label=("a", "b")):
+    return x * factor, label

@@ -1,0 +1,6 @@
+"""AST005 positive fixture: a solve_assembled that bypasses lpprof."""
+
+
+class SilentBackend:
+    def solve_assembled(self, asm):
+        return asm

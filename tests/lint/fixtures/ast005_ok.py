@@ -1,0 +1,10 @@
+"""AST005 negative fixture: solve_assembled reporting to lpprof."""
+
+from repro.obs import lpprof
+
+
+class ObservedBackend:
+    def solve_assembled(self, asm):
+        if lpprof.active():
+            lpprof.observe(model=getattr(asm, "name", "lp"))
+        return asm

@@ -1,0 +1,60 @@
+"""CLI tests for ``python -m repro lint`` and the subcommand registry."""
+
+import json
+
+import pytest
+
+from repro.cli import SUBCOMMANDS, build_lint_parser, main
+
+
+def test_lint_subcommand_registered():
+    assert "lint" in SUBCOMMANDS
+    assert "report" in SUBCOMMANDS
+
+
+def test_repo_lints_clean(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_json_format_parses(capsys):
+    assert main(["lint", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+    assert payload["errors"] == 0
+    assert payload["warnings"] == 0
+
+
+def test_findings_set_exit_code(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x):\n    return int(round(x))\n")
+    assert main(["lint", "--no-models", str(bad)]) == 1
+    assert "AST003" in capsys.readouterr().out
+
+
+def test_findings_exit_code_in_json_mode(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x, acc=[]):\n    return acc\n")
+    assert main(["lint", "--no-models", "--format", "json", str(bad)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in payload["findings"]] == ["AST004"]
+    assert payload["warnings"] == 1
+
+
+def test_explicit_clean_path_exits_zero(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("def f(x):\n    return x + 1\n")
+    assert main(["lint", "--no-models", str(good)]) == 0
+
+
+def test_bad_format_is_usage_error():
+    with pytest.raises(SystemExit) as exc:
+        build_lint_parser().parse_args(["--format", "xml"])
+    assert exc.value.code == 2
+
+
+def test_unknown_experiment_mentions_subcommands(capsys):
+    assert main(["bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "lint" in err and "report" in err

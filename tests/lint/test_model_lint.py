@@ -1,0 +1,276 @@
+"""Model-linter tests: each LM/LIPS rule with a triggering and a clean case,
+plus the strict solve-path contract (reject before any backend runs, count
+findings in the metrics registry)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.assembly import ModelAssembler
+from repro.core.co_online import OnlineModelConfig, solve_co_online
+from repro.core.simple_task import identity_placement
+from repro.lint import (
+    ModelLintError,
+    ModelProfile,
+    Severity,
+    lint_lips,
+    lint_lips_model,
+    lint_model,
+    lint_repo_models,
+    strict_check,
+)
+from repro.lp.problem import AssembledLP, LinearProgram, Sense
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+# -- generic LM rules --------------------------------------------------------
+
+
+def test_clean_model_has_no_findings():
+    lp = LinearProgram("clean")
+    x = lp.new_var("x", upper=2.0)
+    y = lp.new_var("y", upper=2.0)
+    lp.add_constraint(x + y, Sense.GE, 1.0, name="cover")
+    lp.set_objective(x + 2.0 * y)
+    assert lint_model(lp) == []
+
+
+def test_lm001_dangling_variable():
+    lp = LinearProgram()
+    x = lp.new_var("x", upper=1.0)
+    lp.new_var("orphan", upper=1.0)
+    lp.add_constraint(x + 0.0, Sense.LE, 1.0)
+    lp.set_objective(x + 0.0)
+    findings = lint_model(lp)
+    assert _rules(findings) == {"LM001"}
+    assert "orphan" in findings[0].message
+
+
+def _assembled(b_ub, n_rows=1, n_vars=1):
+    """An AssembledLP whose <= rows are all structurally zero."""
+    return AssembledLP(
+        c=np.ones(n_vars),
+        a_ub=sparse.csr_matrix((n_rows, n_vars)),
+        b_ub=np.asarray(b_ub, dtype=float),
+        a_eq=sparse.csr_matrix((0, n_vars)),
+        b_eq=np.zeros(0),
+        bounds=np.column_stack([np.zeros(n_vars), np.ones(n_vars)]),
+        objective_constant=0.0,
+        name="synthetic",
+    )
+
+
+def test_lm002_zero_row_warning_and_error():
+    satisfiable = lint_model(_assembled([1.0]))
+    assert _rules(satisfiable) == {"LM002"}
+    assert satisfiable[0].severity is Severity.WARNING
+
+    impossible = lint_model(_assembled([-1.0]))
+    assert _rules(impossible) == {"LM002"}
+    assert impossible[0].severity is Severity.ERROR
+    assert "infeasible" in impossible[0].message
+
+
+def test_lm003_duplicate_and_lm004_dominated_rows():
+    lp = LinearProgram()
+    x = lp.new_var("x", upper=5.0)
+    lp.add_constraint(x + 0.0, Sense.LE, 2.0, name="tight")
+    lp.add_constraint(x + 0.0, Sense.LE, 2.0, name="copy")
+    lp.add_constraint(x + 0.0, Sense.LE, 4.0, name="loose")
+    lp.set_objective(x + 0.0)
+    findings = lint_model(lp)
+    assert _rules(findings) == {"LM003", "LM004"}
+    assert len(findings) == 2
+
+
+def test_lm005_unbounded_improving_direction():
+    lp = LinearProgram()
+    lp.new_var("free")  # upper defaults to +inf
+    lp.set_objective(-1.0 * lp.variable_by_name("free"))
+    findings = lint_model(lp, ModelProfile(dollar_objective=False))
+    assert _rules(findings) == {"LM005"}
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_lm005_silenced_by_limiting_constraint():
+    lp = LinearProgram()
+    free = lp.new_var("free")
+    lp.add_constraint(free + 0.0, Sense.LE, 10.0)
+    lp.set_objective(-1.0 * free)
+    findings = lint_model(lp, ModelProfile(dollar_objective=False))
+    assert findings == []
+
+
+def test_lm006_negative_dollar_cost():
+    lp = LinearProgram()
+    x = lp.new_var("x", upper=1.0)
+    lp.add_constraint(x + 0.0, Sense.LE, 1.0)
+    lp.set_objective(-3.0 * x)
+    findings = lint_model(lp)  # dollar objective is the default profile
+    assert _rules(findings) == {"LM006"}
+    # non-dollar objectives are allowed to pay for work
+    assert lint_model(lp, ModelProfile(dollar_objective=False)) == []
+
+
+def test_lm007_conditioning_spread():
+    lp = LinearProgram()
+    x = lp.new_var("x", upper=1.0)
+    y = lp.new_var("y", upper=1.0)
+    lp.add_constraint(1e-5 * x + 1e5 * y, Sense.LE, 1.0)
+    lp.set_objective(x + y)
+    findings = lint_model(lp)
+    assert _rules(findings) == {"LM007"}
+    assert "rescale" in findings[0].message
+
+
+# -- LiPS well-posedness rules ----------------------------------------------
+
+
+def _online_assembler(inp, **overrides):
+    kwargs = dict(
+        include_xd=True, horizon=600.0, include_fake=True, epoch_bandwidth=True
+    )
+    kwargs.update(overrides)
+    return ModelAssembler(inp, **kwargs)
+
+
+def test_lips_rules_pass_on_well_formed_models(small_input):
+    assert lint_repo_models() == []
+    assembler = _online_assembler(small_input)
+    asm = assembler.build()
+    assert lint_lips(assembler, asm, "co-online") == []
+
+
+def test_lips_rejects_unknown_kind(small_input):
+    assembler = _online_assembler(small_input)
+    asm = assembler.build()
+    with pytest.raises(ValueError, match="unknown LiPS model kind"):
+        lint_lips(assembler, asm, "figure-12")
+
+
+def test_lips001_online_without_fake_node(small_input):
+    assembler = _online_assembler(small_input, include_fake=False)
+    asm = assembler.build()
+    findings = lint_lips(assembler, asm, "co-online")
+    assert "LIPS001" in _rules(findings)
+    # the same assembler is a legitimate offline model
+    offline = ModelAssembler(small_input, include_xd=True)
+    assert lint_lips(offline, offline.build(), "co-offline") == []
+
+
+def test_lips002_fake_cost_must_dominate(small_input):
+    assembler = _online_assembler(small_input)
+    asm = assembler.build()
+    asm.c[assembler.off_f] = 0.0  # job 0's escape hatch is now free
+    findings = lint_lips(assembler, asm, "co-online")
+    assert _rules(findings) == {"LIPS002"}
+    assert "job 0" in findings[0].message
+
+
+def test_lips003_missing_epoch_capacity_rows(small_input):
+    assembler = _online_assembler(small_input, epoch_bandwidth=False)
+    asm = assembler.build()  # no constraint-(21) rows were emitted
+    assembler.epoch_bandwidth = True  # model now *claims* to enforce them
+    findings = lint_lips(assembler, asm, "co-online")
+    assert "LIPS003" in _rules(findings)
+
+
+def test_lips004_malformed_data_coverage(small_input):
+    assembler = _online_assembler(small_input)
+    asm = assembler.build()
+    start, _stop = assembler.row_ranges["data_coverage"]
+    asm.b_ub[start] = -2.0  # object 0 forced to be placed twice
+    findings = lint_lips(assembler, asm, "co-online")
+    assert _rules(findings) == {"LIPS004"}
+
+
+def test_lips005_missing_job_coverage(small_input):
+    assembler = _online_assembler(small_input)
+    asm = assembler.build()
+    assembler.row_ranges.pop("job_coverage")
+    findings = lint_lips(assembler, asm, "co-online")
+    assert "LIPS005" in _rules(findings)
+
+
+def test_lint_lips_model_carries_row_family_labels(small_input):
+    """LM findings on assembler-built models name constraint families."""
+    assembler = _online_assembler(small_input)
+    asm = assembler.build()
+    # duplicate the first job-coverage row to provoke LM003 with a label
+    start, _stop = assembler.row_ranges["job_coverage"]
+    row = asm.a_ub.tocsr()[start]
+    asm.a_ub = sparse.vstack([asm.a_ub, row]).tocsr()
+    asm.b_ub = np.append(asm.b_ub, asm.b_ub[start])
+    findings = [f for f in lint_lips_model(assembler, asm, "co-online") if f.rule == "LM003"]
+    assert findings and "job_coverage[0]" in findings[0].message
+
+
+# -- strict solve-path contract ---------------------------------------------
+
+
+class _ExplodingBackend:
+    """Fails the test if any solve reaches it."""
+
+    def solve_assembled(self, asm):  # lint: ok=AST005
+        raise AssertionError("solver ran on a model that failed static lint")
+
+
+def test_bad_online_model_rejected_before_solver(small_input, monkeypatch):
+    from repro.core import co_online
+
+    class NoFakeAssembler(ModelAssembler):
+        def __init__(self, inp, **kwargs):
+            kwargs["include_fake"] = False
+            super().__init__(inp, **kwargs)
+
+    monkeypatch.setattr(co_online, "ModelAssembler", NoFakeAssembler)
+    with pytest.raises(ModelLintError) as exc:
+        solve_co_online(
+            small_input,
+            OnlineModelConfig(epoch_length=10.0),
+            backend=_ExplodingBackend(),
+            strict=True,
+        )
+    assert "LIPS001" in {f.rule for f in exc.value.findings}
+    assert "LIPS001" in str(exc.value)
+
+
+def test_strict_solve_passes_on_well_formed_model(small_input):
+    sol = solve_co_online(
+        small_input, OnlineModelConfig(epoch_length=1e6, enforce_bandwidth=False), strict=True
+    )
+    assert sol.objective >= 0.0
+
+
+def test_strict_simple_and_offline_paths(small_input):
+    from repro.core.co_offline import solve_co_offline
+    from repro.core.simple_task import solve_simple_task
+
+    assert solve_simple_task(small_input, strict=True).objective >= 0.0
+    assert solve_co_offline(small_input, strict=True).objective >= 0.0
+
+
+def test_strict_check_counts_findings_in_registry(small_input):
+    from repro.obs.registry import MetricsRegistry, use_registry
+
+    assembler = _online_assembler(small_input)
+    asm = assembler.build()
+    asm.name = "co-online"
+    asm.c[assembler.off_f] = 0.0  # seed one LIPS002 error
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with pytest.raises(ModelLintError):
+            strict_check(assembler, asm, "co-online")
+    counter = registry.counter("lint_findings_total")
+    assert counter.value(rule="LIPS002", model="co-online", severity="error") == 1.0
+
+
+def test_identity_placement_lints_clean(small_input):
+    assembler = ModelAssembler(
+        small_input, include_xd=False, fixed_placement=identity_placement(small_input)
+    )
+    asm = assembler.build()
+    assert strict_check(assembler, asm, "simple-task") == []

@@ -53,6 +53,29 @@ def test_trivially_infeasible_detected():
     assert res.status is PresolveStatus.INFEASIBLE
 
 
+def test_empty_ub_row_with_negative_rhs_infeasible():
+    lp = LinearProgram()
+    x = lp.new_var("x", lower=2.0, upper=2.0)
+    lp.add_constraint(x + 0.0, Sense.LE, 1.0)  # becomes 0 <= -1 after fixing
+    lp.set_objective(x)
+    res = presolve(lp.assemble())
+    assert res.status is PresolveStatus.INFEASIBLE
+    assert res.reduced is None
+    assert res.restore is None
+
+
+def test_empty_ub_row_inside_interval_slack_still_infeasible():
+    # A residual rhs of -5e-7 sits inside the interval-analysis slack
+    # (1e-6) but beyond FEASIBILITY_TOL, so only the dedicated empty-row
+    # check can prove infeasibility.
+    lp = LinearProgram()
+    x = lp.new_var("x", lower=1.0, upper=1.0)
+    lp.add_constraint(x + 0.0, Sense.LE, 1.0 - 5e-7)
+    lp.set_objective(x)
+    res = presolve(lp.assemble())
+    assert res.status is PresolveStatus.INFEASIBLE
+
+
 def test_empty_eq_row_with_nonzero_rhs_infeasible():
     lp = LinearProgram()
     x = lp.new_var("x", lower=3.0, upper=3.0)

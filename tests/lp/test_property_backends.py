@@ -5,7 +5,6 @@ on objective value — over randomly generated bounded LPs.  Feasible optima
 must also pass the independent constraint checker.
 """
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.lp.expr import LinExpr

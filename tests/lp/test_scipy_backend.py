@@ -1,6 +1,5 @@
 """Unit tests for the HiGHS backend."""
 
-import numpy as np
 import pytest
 
 from repro.lp.problem import LinearProgram, Sense

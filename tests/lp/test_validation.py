@@ -49,6 +49,34 @@ def test_bound_violation_reported():
     assert any("upper bound" in v for v in rep.violations)
 
 
+def test_bound_tolerance_scales_with_magnitude():
+    """A 1e9-scale bound violated by well under tol * |bound| is solver noise."""
+    lp = LinearProgram()
+    x = lp.new_var("x", upper=1e9)
+    lp.set_objective(x + 0.0)
+    res = LPResult(status=LPStatus.OPTIMAL, objective=1e9, x=np.array([1e9 * (1 + 5e-7)]))
+    rep = check_solution(lp, res, tol=1e-6)
+    assert rep.feasible, rep.violations
+
+
+def test_bound_violation_beyond_scaled_tol_still_reported():
+    lp = LinearProgram()
+    x = lp.new_var("x", upper=1e9)
+    lp.set_objective(x + 0.0)
+    res = LPResult(status=LPStatus.OPTIMAL, objective=1e9, x=np.array([1e9 * (1 + 1e-5)]))
+    rep = check_solution(lp, res, tol=1e-6)
+    assert not rep.feasible
+    assert any("upper bound" in v for v in rep.violations)
+
+
+def test_small_scale_bounds_keep_absolute_tolerance():
+    lp = LinearProgram()
+    lp.new_var("x", upper=1.0)
+    lp.set_objective(lp.variable_by_name("x") + 0.0)
+    res = LPResult(status=LPStatus.OPTIMAL, objective=1.0, x=np.array([1.0 + 1e-5]))
+    assert not check_solution(lp, res, tol=1e-6).feasible
+
+
 def test_missing_vector_fails():
     lp = _model()
     res = LPResult(status=LPStatus.INFEASIBLE, objective=float("nan"), x=None)

@@ -40,7 +40,7 @@ def test_fifo_order_respected(cluster):
         Job(job_id=1, name="second", tcp=0.0, num_tasks=1, cpu_seconds_noinput=1.0, arrival_time=0.0),
     ]
     sim = make_sim(cluster, jobs, data)
-    res = sim.run()
+    sim.run()
     # both complete; first job finished no later than second started + ran
     assert sim.jobtracker.jobs[0].finish_time is not None
 

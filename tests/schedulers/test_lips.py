@@ -1,6 +1,5 @@
 """Unit tests for the LiPS simulator scheduler."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.builder import build_paper_testbed

@@ -9,7 +9,6 @@ sees the slower shared-fabric rate instead of local disk, so with (21)
 enabled the zone model is conservative, never optimistic).
 """
 
-import numpy as np
 import pytest
 
 from repro.cluster.builder import build_paper_testbed

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.workload.dag import DagScheduleResult, JobDag, chain, schedule_dag_offline
+from repro.workload.dag import JobDag, chain, schedule_dag_offline
 from repro.workload.job import DataObject, Job, Workload
 
 

@@ -1,9 +1,7 @@
 """Tests for SWIM TSV import and workload statistics."""
 
-import numpy as np
 import pytest
 
-from repro.cluster.storage import BLOCK_MB
 from repro.workload.stats import arrival_histogram, summarize
 from repro.workload.swim import SwimConfig, synthesize_facebook_day
 from repro.workload.swim_io import (
