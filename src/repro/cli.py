@@ -198,7 +198,61 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a JSON metrics-registry dump of every simulation to PATH",
     )
+    add_solver_flags(parser)
     return parser
+
+
+def add_solver_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared LP-resilience flags (see repro.resilience)."""
+    group = parser.add_argument_group("solver resilience")
+    group.add_argument(
+        "--solver-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-solve wall-clock budget; a timed-out solve is retried, "
+        "then handed to the next backend",
+    )
+    group.add_argument(
+        "--solver-retries",
+        type=int,
+        metavar="N",
+        default=None,
+        help="perturbed re-attempts per backend on numerical failure or "
+        "timeout (default 2 when resilience is enabled)",
+    )
+    group.add_argument(
+        "--solver-fallback",
+        action="store_true",
+        help="fall back from HiGHS to the from-scratch simplex backend "
+        "when a solve fails",
+    )
+
+
+def install_resilient_solver(args) -> Optional[object]:
+    """Honour the solver-resilience flags by swapping the default backend.
+
+    Returns the previous default backend when a swap happened (restore it
+    with :func:`repro.lp.set_default_backend`), else ``None``.
+    """
+    if (
+        args.solver_timeout is None
+        and args.solver_retries is None
+        and not args.solver_fallback
+    ):
+        return None
+    from repro.lp import HighsBackend, SimplexBackend, set_default_backend
+    from repro.resilience import ResilientSolver
+
+    backends: List[object] = [HighsBackend()]
+    if args.solver_fallback:
+        backends.append(SimplexBackend())
+    solver = ResilientSolver(
+        backends,
+        timeout_s=args.solver_timeout,
+        max_retries=2 if args.solver_retries is None else args.solver_retries,
+    )
+    return set_default_backend(solver)
 
 
 def build_report_parser() -> argparse.ArgumentParser:
@@ -291,12 +345,135 @@ def _run_lint(argv: Sequence[str]) -> int:
     return 1 if findings else 0
 
 
+def build_chaos_parser() -> argparse.ArgumentParser:
+    """Parser for the ``python -m repro chaos`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Chaos soak: run seeded fault storms (machine outages, "
+        "stragglers, inter-AZ partitions, store read errors, optional "
+        "solver sabotage) against the simulator and the online epoch "
+        "controller, then check post-run invariants.  Exits 1 on any "
+        "violation.",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[0, 1, 2],
+        metavar="SEED",
+        help="seeds to soak (default: 0 1 2); each seed fully determines "
+        "its cluster, workload and fault plan",
+    )
+    parser.add_argument("--machines", type=int, default=6, help="cluster size (default 6)")
+    parser.add_argument("--jobs", type=int, default=6, help="workload size (default 6)")
+    parser.add_argument(
+        "--epoch", type=float, default=120.0, metavar="SECONDS", help="epoch length"
+    )
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=3000.0,
+        metavar="SECONDS",
+        help="span chaos windows are drawn inside (default 3000)",
+    )
+    parser.add_argument(
+        "--mttf",
+        type=float,
+        default=3000.0,
+        metavar="SECONDS",
+        help="mean time to machine failure; 0 disables outages (default 3000)",
+    )
+    parser.add_argument(
+        "--force-primary-failure",
+        action="store_true",
+        help="make every primary-backend solve fail (exercises the "
+        "fallback chain end to end)",
+    )
+    parser.add_argument(
+        "--force-all-failure",
+        action="store_true",
+        help="make the whole backend chain fail (exercises degraded-mode "
+        "greedy epochs)",
+    )
+    parser.add_argument(
+        "--solver-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-solve wall-clock budget inside the soak's solver chain",
+    )
+    parser.add_argument(
+        "--solver-retries",
+        type=int,
+        metavar="N",
+        default=1,
+        help="perturbed re-attempts per backend (default 1)",
+    )
+    return parser
+
+
+def _run_chaos(argv: Sequence[str]) -> int:
+    from repro.experiments.report import format_table
+    from repro.resilience import ChaosSoakConfig, run_chaos_soak, soak_summary
+
+    args = build_chaos_parser().parse_args(argv)
+    force = "none"
+    if args.force_all_failure:
+        force = "all"
+    elif args.force_primary_failure:
+        force = "primary"
+    config = ChaosSoakConfig(
+        seeds=tuple(args.seeds),
+        num_machines=args.machines,
+        num_jobs=args.jobs,
+        epoch_length=args.epoch,
+        horizon_s=args.horizon,
+        force=force,
+        mean_time_to_failure_s=args.mttf,
+        solver_timeout_s=args.solver_timeout,
+        solver_retries=args.solver_retries,
+    )
+    outcomes = run_chaos_soak(config)
+    rows = [
+        (
+            str(o.seed),
+            str(o.faults_planned),
+            f"{o.chaos_faults_injected:.0f}",
+            f"{o.solver_failures:.0f}",
+            f"{o.solver_fallbacks:.0f}",
+            f"{o.epochs_degraded:.0f}",
+            f"{o.makespan:.0f}",
+            "OK" if o.ok else f"{len(o.violations)} VIOLATIONS",
+        )
+        for o in outcomes
+    ]
+    print(
+        format_table(
+            ["seed", "planned", "injected", "solver fail", "fallbacks",
+             "degraded", "makespan s", "invariants"],
+            rows,
+            title=f"chaos soak — force={force}",
+        )
+    )
+    for o in outcomes:
+        for v in o.violations:
+            print(f"seed {o.seed}: {v}", file=sys.stderr)
+    summary = soak_summary(outcomes)
+    print(
+        f"{int(summary['seeds'])} seeds, "
+        f"{summary['chaos_faults_injected']:.0f} faults injected, "
+        f"{int(summary['violations'])} invariant violations"
+    )
+    return 0 if all(o.ok for o in outcomes) else 1
+
+
 #: Subcommands with their own flags (dispatched on ``argv[0]`` before the
 #: experiment parser, so they never collide with experiment names).  New
 #: subcommands register here instead of special-casing :func:`main`.
 SUBCOMMANDS: Dict[str, Callable[[Sequence[str]], int]] = {
     "report": _run_report,
     "lint": _run_lint,
+    "chaos": _run_chaos,
 }
 
 
@@ -321,6 +498,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 2
     with contextlib.ExitStack() as stack:
+        previous_backend = install_resilient_solver(args)
+        if previous_backend is not None:
+            from repro.lp import set_default_backend
+
+            stack.callback(set_default_backend, previous_backend)
         if args.trace:
             from repro.obs.trace import Tracer, use_tracer
 

@@ -49,6 +49,7 @@ def solve_co_online(
     store_capacity: Optional[np.ndarray] = None,
     fairness: Optional[object] = None,
     strict: bool = False,
+    on_failure: str = "raise",
 ) -> CoScheduleSolution:
     """Solve one epoch of the Figure 4 model.
 
@@ -58,7 +59,15 @@ def solve_co_online(
     residual work to re-queue.  With ``strict`` the built model is passed
     through :func:`repro.lint.strict_check` first and a malformed model
     (e.g. missing fake node) raises before any backend runs.
+
+    ``on_failure`` controls what happens when the backend cannot produce an
+    optimal solution (or raises): ``"raise"`` (default) surfaces a
+    ``RuntimeError``; ``"greedy"`` returns the degraded-mode
+    :func:`~repro.resilience.degraded.greedy_epoch_solution` tagged with
+    ``model="co-online-degraded"`` so the epoch still executes.
     """
+    if on_failure not in ("raise", "greedy"):
+        raise ValueError(f"on_failure must be 'raise' or 'greedy', got {on_failure!r}")
     if backend is None:
         from repro.lp import DEFAULT_BACKEND
 
@@ -83,12 +92,31 @@ def solve_co_online(
         from repro.lint import strict_check
 
         strict_check(assembler, asm, "co-online")
-    result = backend.solve_assembled(asm)
-    if result.status is not LPStatus.OPTIMAL:
+    try:
+        result = backend.solve_assembled(asm)
+        failure = (
+            None
+            if result.status is LPStatus.OPTIMAL
+            else f"{result.status.value} ({result.message})"
+        )
+    except Exception as exc:
+        if on_failure == "raise":
+            raise
+        result, failure = None, f"{type(exc).__name__}: {exc}"
+    if failure is not None:
+        if on_failure == "greedy":
+            from repro.resilience.degraded import greedy_epoch_solution
+
+            return greedy_epoch_solution(
+                inp,
+                config.epoch_length,
+                store_capacity=store_capacity,
+                enforce_bandwidth=config.enforce_bandwidth,
+            )
         # With the fake node the model is feasible unless *storage* is
         # exhausted; surface that explicitly.
         raise RuntimeError(
-            f"online model not solvable: {result.status.value} ({result.message}); "
+            f"online model not solvable: {failure}; "
             "storage capacity may be exhausted"
         )
     return assembler.decode(result.x, result.objective, model="co-online")

@@ -28,6 +28,7 @@ from repro.util import round_half_up
 from repro.core.solution import CoScheduleSolution, CostBreakdown
 from repro.cost.accounting import CostLedger
 from repro.obs import lpprof
+from repro.obs.registry import current_registry
 from repro.obs.trace import current_tracer
 from repro.workload.job import DataObject, Job, Workload
 
@@ -59,6 +60,9 @@ class EpochReport:
     #: LP backend solves this epoch and their wall time (repro.obs.lpprof)
     lp_solves: int = 0
     lp_wall_seconds: float = 0.0
+    #: True when the LP chain failed and the greedy degraded path scheduled
+    #: this epoch instead
+    degraded: bool = False
 
 
 @dataclass
@@ -108,6 +112,15 @@ class EpochController:
         (:func:`repro.lint.strict_check`); findings are counted in the
         installed metrics registry and a malformed model aborts the run
         before the backend sees it.
+    degraded_mode:
+        When True (default) an epoch whose LP cannot be solved — every
+        backend in a resilient chain failed, or the single backend
+        raised — is scheduled by the greedy cost heuristic
+        (:func:`repro.resilience.degraded.greedy_epoch_solution`) instead of
+        aborting the run; the unplaced remainder re-queues via the usual
+        fake-node semantics, an ``epoch.degraded`` trace event is emitted
+        and ``epochs_degraded_total`` is counted.  Set False to get the old
+        fail-fast behaviour.
     """
 
     def __init__(
@@ -121,6 +134,7 @@ class EpochController:
         fairness: Optional[object] = None,
         tracer: Optional[object] = None,
         strict: bool = False,
+        degraded_mode: bool = True,
     ) -> None:
         if epoch_length <= 0:
             raise ValueError("epoch_length must be positive")
@@ -136,6 +150,10 @@ class EpochController:
         self.tracer = tracer
         #: lint every epoch model before solving; errors abort the run
         self.strict = strict
+        #: greedy-schedule epochs whose LP chain failed instead of raising
+        self.degraded_mode = degraded_mode
+        #: epochs scheduled by the degraded path in the most recent run
+        self.degraded_epochs = 0
 
     # -- helpers -------------------------------------------------------------
     def _build_epoch_input(
@@ -229,8 +247,12 @@ class EpochController:
     # -- main loop -----------------------------------------------------------
     def run(self, workload: Workload) -> OnlineRunResult:
         """Schedule an entire workload online; returns the aggregate result."""
+        # deferred: repro.resilience imports back into repro.core
+        from repro.resilience.degraded import DEGRADED_MODEL
+
         e = self.epoch_length
         tracer = self.tracer if self.tracer is not None else current_tracer()
+        self.degraded_epochs = 0
         L = self.cluster.num_machines
         ledger = CostLedger()
         reports: List[EpochReport] = []
@@ -270,10 +292,24 @@ class EpochController:
                     store_capacity=remaining_cap,
                     fairness=self.fairness,
                     strict=self.strict,
+                    on_failure="greedy" if self.degraded_mode else "raise",
                 )
             if tracer.enabled:
                 for rec in prof.records:
                     tracer.lp_solve(rec, ts=start)
+            degraded = sol.model == DEGRADED_MODEL
+            if degraded:
+                self.degraded_epochs += 1
+                registry = current_registry()
+                if registry is not None:
+                    registry.counter(
+                        "epochs_degraded_total",
+                        help="epochs scheduled by the greedy degraded path",
+                    ).inc(scheduler="epoch-controller")
+                if tracer.enabled:
+                    tracer.event(
+                        "epoch", "degraded", start, index=epoch, queued=len(original_ids)
+                    )
             bd = self._charge(ledger, inp, sol, original_ids)
 
             # machine CPU time this epoch (wall seconds of busy CPU)
@@ -349,6 +385,7 @@ class EpochController:
                     solution=sol if self.keep_solutions else None,
                     lp_solves=prof.solves,
                     lp_wall_seconds=prof.wall_seconds,
+                    degraded=degraded,
                 )
             )
             epoch += 1

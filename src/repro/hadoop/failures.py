@@ -77,15 +77,20 @@ def random_failure_plan(
     mean_repair_s: float = 600.0,
     seed: int = 0,
     max_concurrent_fraction: float = 0.3,
+    rng: Optional[np.random.Generator] = None,
 ) -> FailurePlan:
     """Exponential TTF/TTR outages over a horizon.
 
     ``max_concurrent_fraction`` caps how many machines may be down at once
-    (a full-cluster outage would just deadlock every scheduler).
+    (a full-cluster outage would just deadlock every scheduler).  Pass an
+    explicit ``rng`` to draw from a caller-owned generator stream (e.g. a
+    :class:`~repro.resilience.ChaosPlan` sharing one seed across all fault
+    classes); ``seed`` is ignored when ``rng`` is given.
     """
     if mean_time_to_failure_s <= 0 or mean_repair_s <= 0:
         raise ValueError("failure/repair means must be positive")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     plan = FailurePlan()
     max_down = max(1, int(num_machines * max_concurrent_fraction))
     outages: List[Tuple[float, float]] = []  # (fail, recover) sorted later

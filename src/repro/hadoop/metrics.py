@@ -81,6 +81,12 @@ class SimMetrics:
     failed_attempts = _CounterField("attempts lost to failures", as_int=True)
     lp_solves = _CounterField("LP backend solves during the run", as_int=True)
     lp_solve_seconds = _CounterField("wall seconds spent in LP solves")
+    epochs_degraded = _CounterField(
+        "epochs planned by the greedy degraded path", as_int=True
+    )
+    chaos_faults_injected = _CounterField(
+        "chaos faults injected into the run", as_int=True
+    )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         #: the run's metric registry; scalar fields above live here
@@ -165,7 +171,8 @@ class SimMetrics:
         "local_read_mb", "zone_read_mb", "remote_read_mb", "moved_mb",
         "shuffle_mb", "tasks_run", "reduces_run", "speculative_attempts",
         "killed_attempts", "machine_failures", "failed_attempts",
-        "lp_solves", "lp_solve_seconds",
+        "lp_solves", "lp_solve_seconds", "epochs_degraded",
+        "chaos_faults_injected",
     )
 
     def publish(self, target: MetricsRegistry, **labels: object) -> None:

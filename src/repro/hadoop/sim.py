@@ -17,11 +17,14 @@ pluggable scheduler, then replays a workload:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.cluster.builder import Cluster
 from repro.hadoop.events import EventQueue
 from repro.hadoop.failures import FailurePlan
+
+if TYPE_CHECKING:  # typing-only: repro.resilience imports back into hadoop
+    from repro.resilience.chaos import ChaosPlan
 from repro.hadoop.hdfs import CapacityAwarePlacement, HDFS, PlacementPolicy, RandomPlacement
 from repro.hadoop.history import KILLED, SUCCESS, AttemptRecord, JobHistory
 from repro.hadoop.interference import InterferenceModel
@@ -111,6 +114,7 @@ class HadoopSimulator:
         scheduler: TaskScheduler,
         config: Optional[SimConfig] = None,
         failures: Optional["FailurePlan"] = None,
+        chaos: Optional["ChaosPlan"] = None,
     ) -> None:
         self.cluster = cluster
         self.workload = workload
@@ -119,6 +123,9 @@ class HadoopSimulator:
         self.failures = failures
         if failures is not None:
             failures.validate(cluster.num_machines)
+        self.chaos = chaos
+        if chaos is not None:
+            chaos.validate(cluster)
         self.tracer = (
             self.config.tracer if self.config.tracer is not None else current_tracer()
         )
@@ -252,6 +259,7 @@ class HadoopSimulator:
                 self.network.flow_started(tracker.machine_id)
         compute_s = task.cpu_seconds / tracker.machine.slot_ecu
         compute_s *= self._interference_factor(tracker)
+        compute_s *= self._chaos_factor(tracker)
         attempt = self.jobtracker.new_attempt(
             job,
             task,
@@ -267,6 +275,12 @@ class HadoopSimulator:
         self._last_progress = self.now
         if speculative:
             self.metrics.speculative_attempts += 1
+        if self._chaos_read_blocked(tracker, task, source):
+            # the read is doomed: it burns its transfer time, then fails
+            attempt.finish_event = self.events.schedule(
+                self.now + read_s, lambda: self._chaos_read_failed(tracker, attempt, job)
+            )
+            return
         attempt.finish_event = self.events.schedule(
             self.now + attempt.duration, lambda: self._complete(tracker, attempt, job)
         )
@@ -285,6 +299,7 @@ class HadoopSimulator:
             read_s += self.network.per_flow_latency_s
         compute_s = task.cpu_seconds / tracker.machine.slot_ecu
         compute_s *= self._interference_factor(tracker)
+        compute_s *= self._chaos_factor(tracker)
         attempt = self.jobtracker.new_attempt(
             job, task, tracker, None, self.now, read_s, compute_s
         )
@@ -487,25 +502,83 @@ class HadoopSimulator:
         return self.trackers[store.colocated_machine].alive
 
     def _schedule_failures(self) -> None:
-        if self.failures is None:
-            return
-        for ev in self.failures.events:
-            self.events.schedule(
-                ev.fail_time, lambda ev=ev: self._fail_machine(ev.machine_id), priority=-3
-            )
-            if ev.recover_time is not None:
+        plans = []
+        if self.failures is not None:
+            plans.append((self.failures, False))
+        if self.chaos is not None and len(self.chaos.failures):
+            plans.append((self.chaos.failures, True))
+        for plan, from_chaos in plans:
+            for ev in plan.events:
                 self.events.schedule(
-                    ev.recover_time,
-                    lambda ev=ev: self._recover_machine(ev.machine_id),
+                    ev.fail_time,
+                    lambda ev=ev, c=from_chaos: self._fail_machine(ev.machine_id, chaos=c),
                     priority=-3,
                 )
+                if ev.recover_time is not None:
+                    self.events.schedule(
+                        ev.recover_time,
+                        lambda ev=ev: self._recover_machine(ev.machine_id),
+                        priority=-3,
+                    )
 
-    def _fail_machine(self, machine_id: int) -> None:
+    # -- chaos injection ----------------------------------------------------
+    def _count_chaos_fault(self, kind: str) -> None:
+        """Account one injected chaos fault (run metrics + ambient registry)."""
+        self.metrics.chaos_faults_injected += 1
+        registry = current_registry()
+        if registry is not None:
+            registry.counter(
+                "chaos_faults_injected_total", help="chaos faults injected by kind"
+            ).inc(kind=kind)
+        if self.tracer.enabled:
+            self.tracer.event("chaos", "inject", self.now, kind=kind)
+
+    def _chaos_factor(self, tracker: TaskTracker) -> float:
+        """Straggler wall-time stretch for an attempt launching now."""
+        if self.chaos is None:
+            return 1.0
+        factor = self.chaos.compute_factor(tracker.machine_id, self.now)
+        if factor > 1.0:
+            self._count_chaos_fault("straggler")
+        return factor
+
+    def _chaos_read_blocked(self, tracker: TaskTracker, task, source: Optional[int]) -> bool:
+        """True when chaos dooms this attempt's input read (partition/store fault)."""
+        if self.chaos is None or task.input_mb <= 0 or source is None:
+            return False
+        return self.chaos.read_blocked(
+            tracker.machine.zone, self.cluster.stores[source].zone, source, self.now
+        )
+
+    def _chaos_read_failed(self, tracker: TaskTracker, attempt: TaskAttempt, job: JobState) -> None:
+        """A doomed read just failed: bill the burn, re-queue with backoff."""
+        task = attempt.task
+        self._count_chaos_fault("read_error")
+        self._kill(attempt, job, detail="chaos-read-error")
+        self.metrics.failed_attempts += 1
+        if task.key not in job.completed and task.key not in job.running:
+            # back off past the fault window's hot edge, then retry wherever
+            # the scheduler next places it
+            task.earliest_start = max(
+                task.earliest_start, self.now + self.chaos.retry_backoff_s
+            )
+            if task.is_reduce:
+                if task not in job.reduce_pending:
+                    job.reduce_pending.append(task)
+            elif task not in job.pending:
+                job.pending.append(task)
+        while tracker.has_free_slot:
+            if not self._offer_slot(tracker):
+                break
+
+    def _fail_machine(self, machine_id: int, chaos: bool = False) -> None:
         tracker = self.trackers[machine_id]
         if not tracker.alive:
             return
         tracker.alive = False
         self.metrics.machine_failures += 1
+        if chaos:
+            self._count_chaos_fault("machine")
         victims = list(tracker.running.values()) + list(tracker.reduce_running.values())
         if self.tracer.enabled:
             self.tracer.event(

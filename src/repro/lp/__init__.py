@@ -40,8 +40,24 @@ __all__ = [
     "check_solution",
     "duality_gap",
     "presolve",
+    "set_default_backend",
     "to_standard_form",
 ]
 
 #: Default backend used when ``LinearProgram.solve`` is called without one.
 DEFAULT_BACKEND = HighsBackend()
+
+
+def set_default_backend(backend) -> object:
+    """Install ``backend`` as the module-wide default; returns the previous one.
+
+    Call sites resolve ``DEFAULT_BACKEND`` at solve time, so installing a
+    wrapped backend (e.g. :class:`repro.resilience.ResilientSolver`) here
+    reroutes every default-backend solve in the process — the CLI's
+    ``--solver-timeout``/``--solver-retries``/``--solver-fallback`` flags use
+    this.
+    """
+    global DEFAULT_BACKEND
+    previous = DEFAULT_BACKEND
+    DEFAULT_BACKEND = backend
+    return previous

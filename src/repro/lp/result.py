@@ -10,12 +10,26 @@ import numpy as np
 
 
 class LPStatus(enum.Enum):
-    """Outcome of an LP solve, normalised across backends."""
+    """Outcome of an LP solve, normalised across backends.
+
+    ``ITERATION_LIMIT`` and ``NUMERICAL`` are structured failure statuses
+    (pivot-limit exhaustion and numerical breakdown respectively) so retry
+    layers like :class:`~repro.resilience.ResilientSolver` can classify
+    failures without string-matching exception messages; ``ERROR`` remains
+    the catch-all for anything a backend cannot attribute.
+    """
 
     OPTIMAL = "optimal"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NUMERICAL = "numerical"
     ERROR = "error"
+
+    @property
+    def is_failure(self) -> bool:
+        """True for any non-optimal terminal status."""
+        return self is not LPStatus.OPTIMAL
 
 
 @dataclass

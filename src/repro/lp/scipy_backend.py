@@ -19,10 +19,10 @@ from repro.obs import lpprof
 # scipy linprog status codes → our normalised statuses
 _STATUS_MAP = {
     0: LPStatus.OPTIMAL,
-    1: LPStatus.ERROR,  # iteration limit
+    1: LPStatus.ITERATION_LIMIT,
     2: LPStatus.INFEASIBLE,
     3: LPStatus.UNBOUNDED,
-    4: LPStatus.ERROR,
+    4: LPStatus.NUMERICAL,  # "numerical difficulties encountered"
 }
 
 

@@ -33,7 +33,18 @@ from repro.obs import lpprof
 
 
 class SimplexError(RuntimeError):
-    """Raised on internal simplex failures (singular basis, iteration cap)."""
+    """Raised on internal simplex failures (singular basis, iteration cap).
+
+    ``status`` carries the structured :class:`LPStatus` the failure maps to
+    (``ITERATION_LIMIT`` for pivot-cap exhaustion, ``NUMERICAL`` for
+    degenerate/singular pivots and non-convergence), so callers catching the
+    exception — or receiving the :class:`LPResult` it is converted into —
+    never have to classify by message text.
+    """
+
+    def __init__(self, message: str, status: LPStatus = LPStatus.NUMERICAL) -> None:
+        super().__init__(message)
+        self.status = status
 
 
 @dataclass
@@ -157,7 +168,7 @@ class SimplexBackend:
             status, y, iters, pi = self._solve_standard(std)
         except SimplexError as exc:
             return LPResult(
-                status=LPStatus.ERROR,
+                status=exc.status,
                 objective=float("nan"),
                 x=None,
                 backend=self.name,
@@ -304,7 +315,10 @@ class SimplexBackend:
                 leaving = int(np.argmin(ratios))
 
             self._pivot(tab, entering, leaving, direction)
-        raise SimplexError(f"iteration cap {self.max_iterations} reached")
+        raise SimplexError(
+            f"iteration cap {self.max_iterations} reached",
+            status=LPStatus.ITERATION_LIMIT,
+        )
 
     @staticmethod
     def _pivot(tab: _Tableau, entering: int, leaving: int, direction: np.ndarray) -> None:

@@ -119,8 +119,52 @@ def solve_table(records: List[dict], limit: Optional[int] = 40) -> str:
     )
 
 
+def resilience_table(records: List[dict]) -> Optional[str]:
+    """Solver failures/retries/fallbacks, degraded epochs, chaos faults.
+
+    Returns None when the trace contains no resilience activity at all, so
+    healthy-run reports stay unchanged.
+    """
+    failures: Dict[tuple, int] = {}
+    retries: Dict[str, int] = {}
+    fallbacks: Dict[tuple, int] = {}
+    degraded = 0
+    chaos: Dict[str, int] = {}
+    for r in records:
+        cat, name = r.get("cat"), r.get("name")
+        if cat == "solver":
+            if name == "failure":
+                key = (str(r.get("backend", "?")), str(r.get("kind", "?")))
+                failures[key] = failures.get(key, 0) + 1
+            elif name == "retry":
+                backend = str(r.get("backend", "?"))
+                retries[backend] = retries.get(backend, 0) + 1
+            elif name == "fallback":
+                key = (str(r.get("from_backend", "?")), str(r.get("to_backend", "?")))
+                fallbacks[key] = fallbacks.get(key, 0) + 1
+        elif cat == "epoch" and name == "degraded":
+            degraded += 1
+        elif cat == "chaos" and name == "inject":
+            kind = str(r.get("kind", "?"))
+            chaos[kind] = chaos.get(kind, 0) + 1
+    if not (failures or retries or fallbacks or degraded or chaos):
+        return None
+    rows = []
+    for (backend, kind), n in sorted(failures.items()):
+        rows.append(("solve failure", f"{backend} [{kind}]", n))
+    for backend, n in sorted(retries.items()):
+        rows.append(("retry", backend, n))
+    for (src, dst), n in sorted(fallbacks.items()):
+        rows.append(("fallback", f"{src} -> {dst}", n))
+    if degraded:
+        rows.append(("degraded epoch", "greedy heuristic", degraded))
+    for kind, n in sorted(chaos.items()):
+        rows.append(("chaos fault", kind, n))
+    return format_table(["event", "detail", "count"], rows, title="Resilience")
+
+
 def render(path, limit: Optional[int] = 40) -> str:
-    """Render a full trace report (summary + the three tables)."""
+    """Render a full trace report (summary + the tables)."""
     records = load_jsonl(path)
     parts = [
         f"trace: {path} ",
@@ -132,4 +176,7 @@ def render(path, limit: Optional[int] = 40) -> str:
         "",
         machine_table(records),
     ]
+    resilience = resilience_table(records)
+    if resilience is not None:
+        parts.extend(["", resilience])
     return "\n".join(parts)

@@ -37,6 +37,8 @@ from repro.core.co_online import OnlineModelConfig, solve_co_online
 from repro.core.model import SchedulingInput
 from repro.core.rounding import round_schedule
 from repro.hadoop.jobtracker import JobState
+from repro.obs.registry import current_registry
+from repro.obs.trace import current_tracer
 from repro.hadoop.tasktracker import SimTask, TaskTracker
 from repro.schedulers.base import Assignment, TaskScheduler
 from repro.workload.job import DataObject, Job, Workload
@@ -93,6 +95,12 @@ class LipsScheduler(TaskScheduler):
         Statically lint every epoch's LP before solving
         (:func:`repro.lint.strict_check`); a malformed model raises
         before any backend runs.
+    degraded_mode:
+        When True (default) an epoch whose LP cannot be solved is planned
+        by the greedy cost heuristic instead of crashing the simulation;
+        unplaced tasks stay unplanned (the usual fake-node parking) and
+        replan next epoch.  An ``epoch.degraded`` trace event is emitted
+        and ``epochs_degraded_total`` counted.
     """
 
     def __init__(
@@ -101,6 +109,7 @@ class LipsScheduler(TaskScheduler):
         backend: Optional[object] = None,
         enforce_bandwidth: bool = True,
         strict: bool = False,
+        degraded_mode: bool = True,
     ) -> None:
         super().__init__()
         if epoch_length <= 0:
@@ -109,6 +118,9 @@ class LipsScheduler(TaskScheduler):
         self.backend = backend
         self.enforce_bandwidth = enforce_bandwidth
         self.strict = strict
+        self.degraded_mode = degraded_mode
+        #: epochs planned by the greedy degraded path over this sim's lifetime
+        self.degraded_epochs = 0
         self.plans: Dict[int, Deque[_PlanEntry]] = {}
         self._planned_keys: set = set()
         #: {"planned": n, "parked": m} for the most recent epoch — parked
@@ -135,6 +147,9 @@ class LipsScheduler(TaskScheduler):
 
     # -- epoch planning -----------------------------------------------------
     def on_epoch(self, now: float) -> None:
+        # deferred: repro.resilience imports back into repro.schedulers
+        from repro.resilience.degraded import DEGRADED_MODEL
+
         # LP solve counting/timing happens in the shared repro.obs.lpprof
         # path installed by HadoopSimulator.run — no per-scheduler clocks.
         self.last_plan_stats = {}
@@ -150,7 +165,22 @@ class LipsScheduler(TaskScheduler):
             ),
             backend=self.backend,
             strict=self.strict,
+            on_failure="greedy" if self.degraded_mode else "raise",
         )
+        if sol.model == DEGRADED_MODEL:
+            self.degraded_epochs += 1
+            self.sim.metrics.epochs_degraded += 1
+            registry = current_registry()
+            if registry is not None:
+                registry.counter(
+                    "epochs_degraded_total",
+                    help="epochs scheduled by the greedy degraded path",
+                ).inc(scheduler="lips")
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "epoch", "degraded", now, scheduler=self.name, queued=len(subjobs)
+                )
         integral = round_schedule(inp, sol)
         self._realise(integral.task_counts, groups)
 

@@ -143,3 +143,72 @@ class TestFailureHandling:
         res = sim.run()
         assert sim.jobtracker.all_complete()
         assert res.metrics.tasks_run == 10
+
+
+class TestExplicitGenerator:
+    """Satellite: random_failure_plan accepts a caller-owned Generator."""
+
+    def test_rng_param_is_deterministic(self):
+        import numpy as np
+
+        a = random_failure_plan(
+            8, 2000.0, mean_time_to_failure_s=400.0, rng=np.random.default_rng(7)
+        )
+        b = random_failure_plan(
+            8, 2000.0, mean_time_to_failure_s=400.0, rng=np.random.default_rng(7)
+        )
+        assert a.events == b.events
+        assert len(a.events) > 0
+
+    def test_rng_overrides_seed(self):
+        import numpy as np
+
+        from_rng = random_failure_plan(
+            8, 2000.0, mean_time_to_failure_s=400.0, seed=999,
+            rng=np.random.default_rng(7),
+        )
+        from_seed7 = random_failure_plan(
+            8, 2000.0, mean_time_to_failure_s=400.0, seed=7
+        )
+        assert from_rng.events == from_seed7.events
+
+    def test_shared_stream_advances(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        first = random_failure_plan(8, 2000.0, mean_time_to_failure_s=400.0, rng=rng)
+        second = random_failure_plan(8, 2000.0, mean_time_to_failure_s=400.0, rng=rng)
+        assert first.events != second.events  # one stream, no reuse
+
+
+class TestFailureDuringEpochRequeue:
+    """Machine dies mid-epoch: LiPS re-queues, replans, and the burn is billed."""
+
+    def test_mid_epoch_death_requeues_and_bills(self, cluster):
+        plan = FailurePlan()
+        # LiPS first plans at t=120 (epoch 1); machine 2 dies while its
+        # planned attempts are still running
+        plan.add(2, fail_time=130.0, recover_time=5000.0)
+        sched = LipsScheduler(epoch_length=120.0)
+        sim = HadoopSimulator(
+            cluster, data_workload(), sched,
+            SimConfig(replication=2, placement_seed=3), failures=plan,
+        )
+        res = sim.run()
+        # every task still completed exactly once
+        assert sim.jobtracker.all_complete()
+        job = sim.jobtracker.jobs[0]
+        assert job.completed_maps == len(job.tasks)
+        assert not job.pending and not sim.trackers[2].running
+        # the dead machine's in-flight work was lost and re-offered
+        assert res.metrics.failed_attempts > 0
+        # ... and its partially-burned cycles were still billed
+        burned = [
+            r for r in res.metrics.ledger.records if r.detail == "machine-failure"
+        ]
+        assert burned and all(r.amount > 0 for r in burned)
+        # the re-queued tasks were replanned in a later epoch onto survivors
+        assert res.metrics.tasks_run == 10
+        assert res.metrics.machine_cpu_seconds.get(2, 0.0) < sum(
+            res.metrics.machine_cpu_seconds.values()
+        )

@@ -109,7 +109,7 @@ def test_iteration_cap_reported():
     lp.add_constraint(x + y, Sense.GE, 1.0)
     lp.set_objective(x + y)
     res = SimplexBackend(max_iterations=0).solve(lp)
-    assert res.status is LPStatus.ERROR
+    assert res.status is LPStatus.ITERATION_LIMIT
     assert "iteration cap" in res.message
 
 

@@ -1,0 +1,259 @@
+"""Tests for ResilientSolver: classification, retries, fallback, timeout."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.lp.problem import LinearProgram, Sense
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.scipy_backend import HighsBackend
+from repro.lp.simplex import SimplexBackend, SimplexError
+from repro.obs.registry import MetricsRegistry, use_registry
+from repro.resilience import (
+    RETRYABLE_KINDS,
+    FailureKind,
+    FaultInjectingBackend,
+    ResilientSolver,
+    classify_result,
+)
+
+
+def small_lp() -> LinearProgram:
+    lp = LinearProgram()
+    x = lp.new_var("x")
+    y = lp.new_var("y", upper=1.0)
+    lp.add_constraint(x + 2 * y, Sense.GE, 2.0)
+    lp.set_objective(x + y)
+    return lp
+
+
+class _FailingBackend:
+    """Always returns a chosen failure status (or raises)."""
+
+    name = "failing"
+
+    def __init__(self, status=LPStatus.NUMERICAL, exc=None):
+        self.status = status
+        self.exc = exc
+        self.calls = 0
+        self.seen_c = []
+
+    def solve_assembled(self, asm):
+        self.calls += 1
+        self.seen_c.append(np.array(asm.c, copy=True))
+        if self.exc is not None:
+            raise self.exc
+        return LPResult(
+            status=self.status, objective=float("nan"), x=None, backend=self.name
+        )
+
+
+class _SlowBackend:
+    name = "slow"
+
+    def __init__(self, delay_s: float):
+        self.delay_s = delay_s
+
+    def solve_assembled(self, asm):
+        time.sleep(self.delay_s)
+        return HighsBackend().solve_assembled(asm)
+
+
+class TestClassification:
+    def test_optimal_is_none(self):
+        res = LPResult(status=LPStatus.OPTIMAL, objective=0.0, x=np.zeros(1))
+        assert classify_result(res) is None
+
+    @pytest.mark.parametrize(
+        "status,kind",
+        [
+            (LPStatus.INFEASIBLE, FailureKind.INFEASIBLE),
+            (LPStatus.UNBOUNDED, FailureKind.UNBOUNDED),
+            (LPStatus.ITERATION_LIMIT, FailureKind.NUMERICAL),
+            (LPStatus.NUMERICAL, FailureKind.NUMERICAL),
+            (LPStatus.ERROR, FailureKind.BACKEND_ERROR),
+        ],
+    )
+    def test_status_mapping(self, status, kind):
+        res = LPResult(status=status, objective=float("nan"), x=None)
+        assert classify_result(res) is kind
+
+    def test_only_timeout_and_numerical_retry(self):
+        assert RETRYABLE_KINDS == {FailureKind.TIMEOUT, FailureKind.NUMERICAL}
+
+    def test_simplex_iteration_cap_is_structured(self):
+        # satellite: SimplexError carries a structured status, no
+        # string-matching anywhere in the classification path
+        err = SimplexError("iteration cap 5 reached", status=LPStatus.ITERATION_LIMIT)
+        assert err.status is LPStatus.ITERATION_LIMIT
+        assert SimplexError("singular").status is LPStatus.NUMERICAL
+
+
+class TestChain:
+    def test_healthy_primary_solves(self):
+        solver = ResilientSolver([HighsBackend(), SimplexBackend()])
+        res = solver.solve(small_lp())
+        assert res.is_optimal
+        assert res.objective == pytest.approx(1.0)
+        assert solver.last_attempts == []
+        assert solver.fallbacks_total == 0
+
+    def test_fallback_order(self):
+        failing = _FailingBackend()
+        solver = ResilientSolver([failing, HighsBackend()], max_retries=1)
+        res = solver.solve(small_lp())
+        assert res.is_optimal
+        assert failing.calls == 2  # first attempt + one retry
+        assert solver.fallbacks_total == 1
+        assert [a.backend for a in solver.last_attempts] == ["failing", "failing"]
+
+    def test_numerical_retries_bounded(self):
+        failing = _FailingBackend()
+        solver = ResilientSolver([failing], max_retries=3)
+        res = solver.solve(small_lp())
+        assert not res.is_optimal
+        assert failing.calls == 4
+        assert solver.retries_total == 3
+
+    def test_infeasible_skips_retries_but_falls_back(self):
+        failing = _FailingBackend(status=LPStatus.INFEASIBLE)
+        solver = ResilientSolver([failing, HighsBackend()], max_retries=3)
+        res = solver.solve(small_lp())
+        assert res.is_optimal
+        assert failing.calls == 1  # no retry for a model property
+        assert solver.retries_total == 0
+        assert solver.fallbacks_total == 1
+
+    def test_exception_classified_backend_error(self):
+        failing = _FailingBackend(exc=RuntimeError("boom"))
+        solver = ResilientSolver([failing], max_retries=2)
+        res = solver.solve_assembled(small_lp().assemble())
+        assert res.status is LPStatus.ERROR
+        assert "boom" in res.message
+        assert solver.last_attempts[0].kind is FailureKind.BACKEND_ERROR
+        assert failing.calls == 1  # backend errors are not retried
+
+    def test_whole_chain_failure_returns_last_result(self):
+        solver = ResilientSolver(
+            [_FailingBackend(), _FailingBackend(status=LPStatus.ERROR)], max_retries=0
+        )
+        res = solver.solve_assembled(small_lp().assemble())
+        assert res.status is LPStatus.ERROR  # the *last* backend's verdict
+        assert solver.fallbacks_total == 1
+
+    def test_needs_at_least_one_backend(self):
+        with pytest.raises(ValueError):
+            ResilientSolver([])
+
+
+class TestPerturbation:
+    def test_retry_objective_is_perturbed_deterministically(self):
+        a = _FailingBackend()
+        ResilientSolver([a], max_retries=2).solve_assembled(small_lp().assemble())
+        b = _FailingBackend()
+        ResilientSolver([b], max_retries=2).solve_assembled(small_lp().assemble())
+        assert len(a.seen_c) == 3
+        # attempt 0 solves the unperturbed objective
+        np.testing.assert_array_equal(a.seen_c[0], small_lp().assemble().c)
+        assert not np.array_equal(a.seen_c[0], a.seen_c[1])
+        assert not np.array_equal(a.seen_c[1], a.seen_c[2])
+        # rerun retries through the identical perturbation sequence
+        for ca, cb in zip(a.seen_c, b.seen_c):
+            np.testing.assert_array_equal(ca, cb)
+
+    def test_perturbed_solve_reports_true_objective(self):
+        class FlakyOnce:
+            name = "flaky"
+            calls = 0
+
+            def solve_assembled(self, asm):
+                FlakyOnce.calls += 1
+                if FlakyOnce.calls == 1:
+                    return LPResult(
+                        status=LPStatus.NUMERICAL, objective=float("nan"), x=None
+                    )
+                return HighsBackend().solve_assembled(asm)
+
+        solver = ResilientSolver([FlakyOnce()], max_retries=1, perturb_scale=1e-3)
+        res = solver.solve_assembled(small_lp().assemble())
+        assert res.is_optimal
+        # even with a coarse perturbation the reported objective is
+        # re-evaluated against the ORIGINAL coefficients
+        assert res.objective == pytest.approx(1.0, abs=1e-6)
+
+    def test_backoff_schedule(self):
+        sleeps = []
+        solver = ResilientSolver(
+            [_FailingBackend()],
+            max_retries=3,
+            backoff_base_s=0.5,
+            sleep=sleeps.append,
+        )
+        solver.solve_assembled(small_lp().assemble())
+        assert sleeps == [0.5, 1.0, 2.0]
+
+
+class TestTimeout:
+    def test_slow_solve_times_out_and_falls_back(self):
+        solver = ResilientSolver(
+            [_SlowBackend(5.0), HighsBackend()], timeout_s=0.05, max_retries=0
+        )
+        res = solver.solve(small_lp())
+        assert res.is_optimal
+        assert solver.last_attempts[0].kind is FailureKind.TIMEOUT
+        assert solver.fallbacks_total == 1
+
+    def test_fast_solve_unaffected_by_timeout(self):
+        solver = ResilientSolver([HighsBackend()], timeout_s=30.0)
+        assert solver.solve(small_lp()).is_optimal
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            ResilientSolver([HighsBackend()], timeout_s=0.0)
+        with pytest.raises(ValueError):
+            ResilientSolver([HighsBackend()], max_retries=-1)
+
+
+class TestCounters:
+    def test_counters_and_labels(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            solver = ResilientSolver([_FailingBackend(), HighsBackend()], max_retries=1)
+            solver.solve(small_lp())
+        assert registry.counter("solver_retries_total").total() == 1
+        assert registry.counter("solver_fallbacks_total").value(
+            from_backend="failing", to_backend="highs"
+        ) == 1
+        assert registry.counter("solver_failures_total").value(
+            kind="numerical", backend="failing"
+        ) == 2
+
+    def test_no_registry_is_fine(self):
+        solver = ResilientSolver([_FailingBackend(), HighsBackend()], max_retries=1)
+        assert solver.solve(small_lp()).is_optimal
+
+
+class TestFaultInjectingBackend:
+    def test_fail_first_n(self):
+        inner = HighsBackend()
+        chaos = FaultInjectingBackend(inner, fail_first=2)
+        asm = small_lp().assemble()
+        assert not chaos.solve_assembled(asm).is_optimal
+        assert not chaos.solve_assembled(asm).is_optimal
+        assert chaos.solve_assembled(asm).is_optimal
+        assert chaos.faults_injected == 2
+
+    def test_fail_all_and_counting(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            chaos = FaultInjectingBackend(HighsBackend())
+            for _ in range(3):
+                assert not chaos.solve_assembled(small_lp().assemble()).is_optimal
+        assert chaos.faults_injected == 3
+        assert registry.counter("chaos_faults_injected_total").value(kind="solver") == 3
+
+    def test_raise_mode(self):
+        chaos = FaultInjectingBackend(HighsBackend(), raise_exception=True)
+        with pytest.raises(RuntimeError, match="injected"):
+            chaos.solve_assembled(small_lp().assemble())
