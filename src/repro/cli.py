@@ -10,6 +10,8 @@ Usage::
     python -m repro fig8 --trace t.jsonl   # + structured JSONL trace
     python -m repro report t.jsonl    # per-epoch / per-solve tables
     python -m repro lint              # static analysis: code + LP models
+    python -m repro bench --quick     # incremental-LP pipeline benchmark
+    python -m repro fig5 --workers 4  # fan sweeps over worker processes
 
 ``--full`` switches to the paper's full experiment sizes (equivalent to
 ``REPRO_FULL=1`` for the benchmark suite).  ``--trace``/``--metrics``
@@ -197,6 +199,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write a JSON metrics-registry dump of every simulation to PATH",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan experiment sweeps out over N worker processes "
+        "(equivalent to REPRO_WORKERS=N; 0/1 = serial, the default)",
     )
     add_solver_flags(parser)
     return parser
@@ -470,10 +480,17 @@ def _run_chaos(argv: Sequence[str]) -> int:
 #: Subcommands with their own flags (dispatched on ``argv[0]`` before the
 #: experiment parser, so they never collide with experiment names).  New
 #: subcommands register here instead of special-casing :func:`main`.
+def _run_bench(argv: Sequence[str]) -> int:
+    from repro.perf.bench import main as bench_main
+
+    return bench_main(argv)
+
+
 SUBCOMMANDS: Dict[str, Callable[[Sequence[str]], int]] = {
     "report": _run_report,
     "lint": _run_lint,
     "chaos": _run_chaos,
+    "bench": _run_bench,
 }
 
 
@@ -498,6 +515,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 2
     with contextlib.ExitStack() as stack:
+        if args.workers is not None:
+            import os
+
+            previous = os.environ.get("REPRO_WORKERS")
+            os.environ["REPRO_WORKERS"] = str(args.workers)
+            stack.callback(
+                lambda: os.environ.pop("REPRO_WORKERS", None)
+                if previous is None
+                else os.environ.__setitem__("REPRO_WORKERS", previous)
+            )
         previous_backend = install_resilient_solver(args)
         if previous_backend is not None:
             from repro.lp import set_default_backend

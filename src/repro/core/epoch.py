@@ -135,6 +135,7 @@ class EpochController:
         tracer: Optional[object] = None,
         strict: bool = False,
         degraded_mode: bool = True,
+        incremental: bool = False,
     ) -> None:
         if epoch_length <= 0:
             raise ValueError("epoch_length must be positive")
@@ -154,6 +155,12 @@ class EpochController:
         self.degraded_mode = degraded_mode
         #: epochs scheduled by the degraded path in the most recent run
         self.degraded_epochs = 0
+        #: reuse assembly/standard-form structure and warm-start the simplex
+        #: from the previous epoch's basis (see repro.perf); off by default —
+        #: warm solves may pick a different optimal vertex under degeneracy
+        self.incremental = incremental
+        #: the IncrementalContext of the most recent run (None when off)
+        self.incremental_context = None
 
     # -- helpers -------------------------------------------------------------
     def _build_epoch_input(
@@ -253,6 +260,10 @@ class EpochController:
         e = self.epoch_length
         tracer = self.tracer if self.tracer is not None else current_tracer()
         self.degraded_epochs = 0
+        if self.incremental:
+            from repro.perf import IncrementalContext
+
+            self.incremental_context = IncrementalContext()
         L = self.cluster.num_machines
         ledger = CostLedger()
         reports: List[EpochReport] = []
@@ -293,6 +304,8 @@ class EpochController:
                     fairness=self.fairness,
                     strict=self.strict,
                     on_failure="greedy" if self.degraded_mode else "raise",
+                    incremental=self.incremental_context,
+                    job_keys=original_ids,
                 )
             if tracer.enabled:
                 for rec in prof.records:

@@ -56,6 +56,25 @@ class ComparisonResult:
         return self.makespan(scheduler) / base - 1.0
 
 
+@dataclass(frozen=True)
+class LipsFactory:
+    """Picklable factory for :class:`LipsScheduler` (lambdas can't cross a
+    process boundary, and the parallel sweep path ships factories to
+    workers)."""
+
+    epoch_length: float
+    backend: Optional[object] = None
+    incremental: bool = False
+
+    def __call__(self) -> LipsScheduler:
+        """A fresh LiPS scheduler with this factory's configuration."""
+        return LipsScheduler(
+            epoch_length=self.epoch_length,
+            backend=self.backend,
+            incremental=self.incremental,
+        )
+
+
 def scheduler_lineup(
     epoch_length: float,
     backend: Optional[object] = None,
@@ -64,8 +83,20 @@ def scheduler_lineup(
     return {
         DEFAULT: (FifoScheduler, True),
         DELAY: (DelayScheduler, True),
-        LIPS: (lambda: LipsScheduler(epoch_length=epoch_length, backend=backend), False),
+        LIPS: (LipsFactory(epoch_length, backend), False),
     }
+
+
+def _scheduler_task(seeded_task) -> Tuple[str, SimMetrics]:
+    """Worker: run one scheduler on one (cluster, workload, seed) setting."""
+    cluster, workload, name, factory, speculative, placement_seed = seeded_task
+    sim = HadoopSimulator(
+        cluster,
+        workload,
+        factory(),
+        SimConfig(placement_seed=placement_seed, speculative=speculative),
+    )
+    return name, sim.run().metrics
 
 
 def compare_schedulers(
@@ -75,21 +106,24 @@ def compare_schedulers(
     placement_seed: int = 7,
     backend: Optional[object] = None,
     schedulers: Optional[Dict[str, Tuple[Callable[[], object], bool]]] = None,
+    workers: Optional[int] = None,
 ) -> ComparisonResult:
     """Run the full scheduler line-up on identical initial conditions.
 
     Each run re-populates HDFS with the same ``placement_seed``, so every
     scheduler starts from the same random block layout (the paper's
     shuffled-blocks baseline).
+
+    ``workers`` fans the line-up out over a process pool (``None`` defers to
+    the ``REPRO_WORKERS`` environment variable; 0/1 = serial).  Every task
+    carries its explicit seed, so parallel results are identical to serial.
     """
+    from repro.experiments.parallel import run_tasks
+
     lineup = schedulers or scheduler_lineup(epoch_length, backend)
-    metrics: Dict[str, SimMetrics] = {}
-    for name, (factory, speculative) in lineup.items():
-        sim = HadoopSimulator(
-            cluster,
-            workload,
-            factory(),
-            SimConfig(placement_seed=placement_seed, speculative=speculative),
-        )
-        metrics[name] = sim.run().metrics
-    return ComparisonResult(metrics=metrics)
+    seeded_tasks = [
+        (cluster, workload, name, factory, speculative, placement_seed)
+        for name, (factory, speculative) in lineup.items()
+    ]
+    results = run_tasks(_scheduler_task, seeded_tasks, workers)
+    return ComparisonResult(metrics=dict(results))

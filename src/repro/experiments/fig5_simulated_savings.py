@@ -12,7 +12,7 @@ bigger cluster gives the LP more freedom to chase cheap cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -76,26 +76,40 @@ class Fig5Result:
     reductions: List[float]  # fraction saved by LiPS
 
 
+def _fig5_point(seeded_task) -> Tuple[float, float]:
+    """Worker: one (size, seed) sweep point -> (lp cost, default cost)."""
+    j, s, m, seed, uptime, backend = seeded_task
+    rw = random_workload(j, s, m, seed=seed, uptime=uptime)
+    inp = SchedulingInput.from_parts(
+        rw.cluster, rw.workload, ms_cost=rw.ms_cost, ss_cost=rw.ss_cost
+    )
+    sol = solve_co_offline(inp, backend=backend)
+    return sol.cost_breakdown(inp).real_total, ideal_local_cost(rw, seed=seed + 1000)
+
+
 def run(
     sizes: Sequence[Tuple[int, int, int]] = PAPER_SIZES,
     seeds: Sequence[int] = (0, 1),
     backend: object = None,
     uptime: float = SWEEP_UPTIME_S,
+    workers: Optional[int] = None,
 ) -> Fig5Result:
-    """Average LP-vs-ideal-local cost reduction over sizes and seeds."""
+    """Average LP-vs-ideal-local cost reduction over sizes and seeds.
+
+    ``workers`` fans the (size, seed) grid out over a process pool; each
+    point is solved from its explicit seed, so results match the serial run.
+    """
+    from repro.experiments.parallel import run_tasks
+
+    seeded_tasks = [
+        (j, s, m, seed, uptime, backend) for (j, s, m) in sizes for seed in seeds
+    ]
+    points = run_tasks(_fig5_point, seeded_tasks, workers)
     lp_costs, default_costs, reductions = [], [], []
-    for (j, s, m) in sizes:
-        lp_total, def_total = 0.0, 0.0
-        for seed in seeds:
-            rw = random_workload(j, s, m, seed=seed, uptime=uptime)
-            inp = SchedulingInput.from_parts(
-                rw.cluster, rw.workload, ms_cost=rw.ms_cost, ss_cost=rw.ss_cost
-            )
-            sol = solve_co_offline(inp, backend=backend)
-            lp_total += sol.cost_breakdown(inp).real_total
-            def_total += ideal_local_cost(rw, seed=seed + 1000)
-        lp_costs.append(lp_total / len(seeds))
-        default_costs.append(def_total / len(seeds))
+    for i, _size in enumerate(sizes):
+        chunk = points[i * len(seeds) : (i + 1) * len(seeds)]
+        lp_costs.append(sum(p[0] for p in chunk) / len(seeds))
+        default_costs.append(sum(p[1] for p in chunk) / len(seeds))
         reductions.append(1.0 - lp_costs[-1] / default_costs[-1] if default_costs[-1] else 0.0)
     return Fig5Result(
         sizes=list(sizes),

@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 from repro.cluster.builder import build_paper_testbed
 from repro.hadoop.sim import HadoopSimulator, SimConfig
-from repro.schedulers import LipsScheduler
+from repro.experiments.common import LipsFactory
 from repro.experiments.report import format_table
 from repro.workload.apps import table4_jobs
 
@@ -28,6 +28,19 @@ class Fig8Result:
     exec_times: List[float]  # makespan seconds (Fig 8a)
 
 
+def _fig8_point(seeded_task):
+    """Worker: run LiPS for one epoch length on the shared testbed."""
+    cluster, workload, e, placement_seed, backend = seeded_task
+    sim = HadoopSimulator(
+        cluster,
+        workload,
+        LipsFactory(epoch_length=e, backend=backend)(),
+        SimConfig(placement_seed=placement_seed, speculative=False),
+    )
+    m = sim.run().metrics
+    return m.total_cost, m.makespan
+
+
 def run(
     epochs: Sequence[float] = PAPER_EPOCHS,
     total_nodes: int = 20,
@@ -36,22 +49,24 @@ def run(
     placement_seed: int = 7,
     backend: Optional[object] = None,
     workload=None,
+    workers: Optional[int] = None,
 ) -> Fig8Result:
-    """Run LiPS per epoch length on the Fig 6(iii) testbed."""
+    """Run LiPS per epoch length on the Fig 6(iii) testbed.
+
+    ``workers`` fans the epoch lengths out over a process pool; every point
+    carries its explicit seeds, so results match the serial sweep.
+    """
+    from repro.experiments.parallel import run_tasks
+
     cluster = build_paper_testbed(total_nodes, c1_medium_fraction=c1_fraction, seed=seed)
     w = workload if workload is not None else table4_jobs()
-    costs, times = [], []
-    for e in epochs:
-        sim = HadoopSimulator(
-            cluster,
-            w,
-            LipsScheduler(epoch_length=e, backend=backend),
-            SimConfig(placement_seed=placement_seed, speculative=False),
-        )
-        m = sim.run().metrics
-        costs.append(m.total_cost)
-        times.append(m.makespan)
-    return Fig8Result(epochs=list(epochs), costs=costs, exec_times=times)
+    seeded_tasks = [(cluster, w, e, placement_seed, backend) for e in epochs]
+    points = run_tasks(_fig8_point, seeded_tasks, workers)
+    return Fig8Result(
+        epochs=list(epochs),
+        costs=[p[0] for p in points],
+        exec_times=[p[1] for p in points],
+    )
 
 
 def main() -> None:

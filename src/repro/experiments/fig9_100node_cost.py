@@ -57,6 +57,7 @@ def run(
     seed: int = 0,
     placement_seed: int = 11,
     backend: Optional[object] = None,
+    workers: Optional[int] = None,
 ) -> Fig9Result:
     # three instance types, one third each, across three zones (paper setup)
     """Run the scheduler line-up on the SWIM-day setting."""
@@ -90,6 +91,7 @@ def run(
         epoch_length=epoch_length,
         placement_seed=placement_seed,
         backend=backend,
+        workers=workers,
     )
     return Fig9Result(comparison=comparison, num_jobs=num_jobs, num_nodes=num_nodes)
 

@@ -1,6 +1,6 @@
 """Repo-specific AST lint rules for the scheduler/simulator code.
 
-Five rules, each encoding a bug class this codebase has actually hit or is
+Six rules, each encoding a bug class this codebase has actually hit or is
 structurally exposed to:
 
 ==========  ==============================================================
@@ -21,6 +21,10 @@ structurally exposed to:
 ``AST005``  a ``solve_assembled`` backend entry point that never touches
             :mod:`repro.obs.lpprof` — solves through it would be invisible
             to the shared profiling path
+``AST006``  a function fanning work out over ``ProcessPoolExecutor`` /
+            ``multiprocessing`` without a seed-carrying parameter — worker
+            results must be determined by explicit seeds, never by
+            inherited global RNG state (which differs per worker)
 ==========  ==============================================================
 
 Suppression: append ``# lint: ok=AST003`` (comma-separate several ids) to
@@ -209,6 +213,52 @@ class SolverObsRule(Rule):
                 )
 
 
+class UnseededPoolRule(Rule):
+    """AST006 — process fan-out must flow from explicit seeds."""
+
+    id = "AST006"
+    summary = "process-pool use without a seed-carrying parameter"
+
+    #: names whose reference marks a function as a process fan-out point
+    POOL_NAMES = frozenset({"ProcessPoolExecutor", "multiprocessing"})
+
+    @staticmethod
+    def _param_names(node) -> List[str]:
+        args = node.args
+        params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if args.vararg is not None:
+            params.append(args.vararg)
+        if args.kwarg is not None:
+            params.append(args.kwarg)
+        return [a.arg for a in params]
+
+    @classmethod
+    def _is_seeded(cls, name: str) -> bool:
+        lowered = name.lower()
+        return "seed" in lowered or lowered == "rng"
+
+    def check(self, tree: ast.Module) -> Iterator[RawFinding]:
+        """Flag pool-spawning functions lacking a seed/rng parameter."""
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            uses_pool = any(
+                (isinstance(sub, ast.Name) and sub.id in self.POOL_NAMES)
+                or (isinstance(sub, ast.Attribute) and sub.attr in self.POOL_NAMES)
+                for sub in ast.walk(node)
+            )
+            if not uses_pool:
+                continue
+            if any(self._is_seeded(p) for p in self._param_names(node)):
+                continue
+            yield (
+                node.lineno,
+                f"{node.name}() spawns worker processes but takes no seed/rng "
+                "parameter; workers must derive results from explicit seeds "
+                "so parallel runs reproduce serial ones",
+            )
+
+
 #: The default rule set, in id order.
 ALL_RULES: Tuple[Rule, ...] = (
     SetIterationRule(),
@@ -216,4 +266,5 @@ ALL_RULES: Tuple[Rule, ...] = (
     IntRoundRule(),
     MutableDefaultRule(),
     SolverObsRule(),
+    UnseededPoolRule(),
 )

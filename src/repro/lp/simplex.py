@@ -14,21 +14,33 @@ Implementation notes
 * Pricing uses Dantzig's rule (most negative reduced cost) with an automatic
   switch to Bland's rule after a stall to guarantee termination under
   degeneracy.
-* The basis inverse is maintained explicitly (dense); adequate for the
-  model sizes the tests exercise (hundreds of rows/columns).  Production
-  solves go through HiGHS.
+* The basis inverse is maintained explicitly (dense) via product-form
+  (eta) rank-one updates — one pivot costs O(m^2), not an O(m^3)
+  re-inversion — with a periodic full refactorisation
+  (``refactor_every``) bounding numerical drift.
+* **Warm starts**: ``solve_assembled(asm, warm=ctx)`` threads a
+  :class:`~repro.lp.warmstart.WarmStartContext` through a stream of related
+  models.  The previous epoch's optimal basis is repaired onto the new
+  model by stable row/column labels (departed columns fall back to the
+  row's slack), re-factorised once, and then repaired by dual simplex when
+  the start is primal infeasible.  Any miss — unlabelled model, singular
+  basis, dual-infeasible start, non-convergence — falls back to the cold
+  two-phase path, so warm solves can only differ from cold solves within
+  solver tolerances, never in correctness.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.standard_form import StandardFormLP, to_standard_form
+from repro.lp.warmstart import WarmStartContext
 from repro.obs import lpprof
 
 
@@ -55,6 +67,7 @@ class _Tableau:
     b: np.ndarray
     basis: np.ndarray  # column index of each basic variable, len m
     b_inv: np.ndarray  # (m, m) inverse of the basis matrix
+    pivots_since_refactor: int = 0
 
     def xb(self) -> np.ndarray:
         return self.b_inv @ self.b
@@ -72,9 +85,16 @@ class SimplexBackend:
     bland_after:
         Number of non-improving pivots after which pricing switches from
         Dantzig to Bland's anti-cycling rule.
+    refactor_every:
+        Recompute the basis inverse from scratch after this many eta
+        updates (0 disables).  Product-form updates accumulate rounding;
+        periodic refactorisation keeps long solves and warm-started chains
+        well conditioned.
     """
 
     name = "simplex"
+    #: the incremental pipeline may pass ``warm=`` to :meth:`solve_assembled`
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -82,6 +102,7 @@ class SimplexBackend:
         tol: float = 1e-9,
         bland_after: int = 50,
         presolve: bool = False,
+        refactor_every: int = 256,
     ) -> None:
         self.max_iterations = max_iterations
         self.tol = tol
@@ -89,6 +110,7 @@ class SimplexBackend:
         #: apply repro.lp.presolve reductions first; duals are then not
         #: reported (row identities change under row elimination)
         self.presolve = presolve
+        self.refactor_every = refactor_every
         #: (fixed_vars, dropped_rows) of the most recent presolve, for the
         #: profiling wrapper
         self._last_presolve = None
@@ -101,18 +123,22 @@ class SimplexBackend:
             result.by_name = lp.value_map(result.x)
         return result
 
-    def solve_assembled(self, asm) -> LPResult:
+    def solve_assembled(self, asm, warm: Optional[WarmStartContext] = None) -> LPResult:
         """Solve a pre-assembled LP (kept dense internally — test scale only).
 
         When an :mod:`repro.obs.lpprof` collector is installed the solve is
         profiled (shape, presolve reductions, wall time, iterations,
         status); the presolve-then-solve path reports as a single record.
+
+        ``warm`` carries warm-start state across a stream of related models
+        (see :class:`~repro.lp.warmstart.WarmStartContext`); it is ignored
+        on the presolve path, where row/column identities change.
         """
         if not lpprof.active():
-            return self._solve_assembled(asm)
+            return self._solve_assembled(asm, warm=warm)
         self._last_presolve = None
         t0 = time.perf_counter()
-        result = self._solve_assembled(asm)
+        result = self._solve_assembled(asm, warm=warm)
         fixed, dropped = self._last_presolve or (0, 0)
         lpprof.observe(
             lpprof.LPSolveRecord(
@@ -129,7 +155,7 @@ class SimplexBackend:
         )
         return result
 
-    def _solve_assembled(self, asm) -> LPResult:
+    def _solve_assembled(self, asm, warm: Optional[WarmStartContext] = None) -> LPResult:
         if self.presolve:
             from repro.lp.presolve import PresolveStatus, presolve
 
@@ -148,6 +174,7 @@ class SimplexBackend:
                 tol=self.tol,
                 bland_after=self.bland_after,
                 presolve=False,
+                refactor_every=self.refactor_every,
             )._solve_assembled(pre.reduced)
             if inner.x is not None:
                 inner.x = pre.restore(inner.x)
@@ -163,17 +190,25 @@ class SimplexBackend:
                 by_name={},
                 backend=self.name,
             )
-        std = to_standard_form(asm)
-        try:
-            status, y, iters, pi = self._solve_standard(std)
-        except SimplexError as exc:
-            return LPResult(
-                status=exc.status,
-                objective=float("nan"),
-                x=None,
-                backend=self.name,
-                message=str(exc),
-            )
+        std = to_standard_form(asm, cache=warm.std_cache if warm is not None else None)
+        warm_out = None
+        attempted = False
+        if warm is not None and warm.snapshot is not None:
+            attempted = True
+            warm_out = self._try_warm(std, warm)
+        if warm_out is not None:
+            status, y, iters, pi, tab = warm_out
+        else:
+            try:
+                status, y, iters, pi, tab = self._solve_standard(std)
+            except SimplexError as exc:
+                return LPResult(
+                    status=exc.status,
+                    objective=float("nan"),
+                    x=None,
+                    backend=self.name,
+                    message=str(exc),
+                )
         if status is not LPStatus.OPTIMAL:
             return LPResult(
                 status=status,
@@ -181,6 +216,10 @@ class SimplexBackend:
                 x=None,
                 backend=self.name,
                 iterations=iters,
+            )
+        if warm is not None and tab is not None:
+            warm.record_solve(
+                std, tab.basis, iters, used_warm=warm_out is not None, attempted=attempted
             )
         x = std.recover(y)
         objective = float(std.c @ y) + std.objective_constant
@@ -218,17 +257,75 @@ class SimplexBackend:
                 dual_eq[idx] = value
         return dual_ub, dual_eq
 
+    # -- warm start -------------------------------------------------------------
+    def _try_warm(self, std: StandardFormLP, warm: WarmStartContext):
+        """Attempt a warm solve from the context's repaired basis.
+
+        Returns the same tuple as :meth:`_solve_standard` on success, or
+        ``None`` when the snapshot cannot be used — the caller then runs the
+        cold two-phase path.  An unbounded/infeasible claim reached from a
+        warm basis is *not* trusted (the repaired start could be atypical);
+        those also fall back to the cold certificate.
+        """
+        basis = warm.snapshot.map_onto(std)
+        if basis is None:
+            return None
+        a, b, c = std.a, std.b, std.c
+        m = a.shape[0]
+        if m == 0 or basis.shape[0] != m:
+            return None
+        try:
+            b_inv = np.linalg.inv(a[:, basis])
+        except np.linalg.LinAlgError:
+            return None
+        if not np.all(np.isfinite(b_inv)):
+            return None
+        tab = _Tableau(a=a, b=b, basis=basis.copy(), b_inv=b_inv)
+        scale_b = max(1.0, float(np.max(np.abs(b), initial=0.0)))
+        scale_c = max(1.0, float(np.max(np.abs(c), initial=0.0)))
+        feas_tol = 1e-9 * scale_b
+        try:
+            iters_repair = 0
+            xb = tab.xb()
+            if float(np.min(xb, initial=0.0)) < -feas_tol:
+                # primal-infeasible start: dual simplex repair is only valid
+                # from a dual-feasible basis
+                reduced = c - (c[tab.basis] @ tab.b_inv) @ a
+                reduced[tab.basis] = 0.0
+                if float(np.min(reduced)) < -1e-7 * scale_c:
+                    return None
+                status, iters_repair = self._iterate_dual(tab, c)
+                if status is not LPStatus.OPTIMAL:
+                    return None
+            status, iters_opt = self._iterate(tab, c)
+        except SimplexError:
+            return None
+        if status is not LPStatus.OPTIMAL:
+            return None
+        # validate the final basis against the original data: the eta chain
+        # must still reproduce a primal-feasible solution
+        xb = tab.xb()
+        if float(np.min(xb, initial=0.0)) < -1e-6 * scale_b:
+            return None
+        resid = a[:, tab.basis] @ xb - b
+        if float(np.max(np.abs(resid), initial=0.0)) > 1e-6 * scale_b:
+            return None
+        y = np.zeros(a.shape[1])
+        y[tab.basis] = xb
+        pi = c[tab.basis] @ tab.b_inv
+        return LPStatus.OPTIMAL, y, iters_repair + iters_opt, pi, tab
+
     # -- standard form driver ---------------------------------------------------
     def _solve_standard(
         self, std: StandardFormLP
-    ) -> tuple[LPStatus, np.ndarray, int, "np.ndarray | None"]:
+    ) -> tuple[LPStatus, np.ndarray, int, "np.ndarray | None", "_Tableau | None"]:
         a, b, c = std.a, std.b, std.c
         m, n = a.shape
         if m == 0:
             # No constraints: optimum is 0 for c >= 0, else unbounded.
             if np.any(c < -self.tol):
-                return LPStatus.UNBOUNDED, np.zeros(n), 0, None
-            return LPStatus.OPTIMAL, np.zeros(n), 0, np.zeros(0)
+                return LPStatus.UNBOUNDED, np.zeros(n), 0, None, None
+            return LPStatus.OPTIMAL, np.zeros(n), 0, np.zeros(0), None
 
         # ---- phase 1: artificial basis ----
         a1 = np.hstack([a, np.eye(m)])
@@ -239,7 +336,7 @@ class SimplexBackend:
             raise SimplexError("phase 1 did not converge")
         phase1_obj = float(c1[tab.basis] @ tab.xb())
         if phase1_obj > 1e-7:
-            return LPStatus.INFEASIBLE, np.zeros(n), iters1, None
+            return LPStatus.INFEASIBLE, np.zeros(n), iters1, None, None
 
         # Drive any artificial variables still in the basis out (degeneracy).
         self._purge_artificials(tab, n)
@@ -260,13 +357,13 @@ class SimplexBackend:
             tab.basis = np.array([remap.get(j, j) for j in tab.basis])
         status, iters2 = self._iterate(tab, c2)
         if status is LPStatus.UNBOUNDED:
-            return LPStatus.UNBOUNDED, np.zeros(n), iters1 + iters2, None
+            return LPStatus.UNBOUNDED, np.zeros(n), iters1 + iters2, None, None
         if status is not LPStatus.OPTIMAL:
             raise SimplexError("phase 2 did not converge")
         y = np.zeros(tab.a.shape[1])
         y[tab.basis] = tab.xb()
         pi = c2[tab.basis] @ tab.b_inv  # row prices: d(obj)/d(b)
-        return LPStatus.OPTIMAL, y[:n], iters1 + iters2, pi
+        return LPStatus.OPTIMAL, y[:n], iters1 + iters2, pi, tab
 
     # -- pivoting ---------------------------------------------------------------
     def _iterate(self, tab: _Tableau, c: np.ndarray) -> tuple[LPStatus, int]:
@@ -320,18 +417,68 @@ class SimplexBackend:
             status=LPStatus.ITERATION_LIMIT,
         )
 
-    @staticmethod
-    def _pivot(tab: _Tableau, entering: int, leaving: int, direction: np.ndarray) -> None:
-        """Product-form basis-inverse update for one pivot."""
-        m = tab.b_inv.shape[0]
+    def _iterate_dual(self, tab: _Tableau, c: np.ndarray) -> tuple[LPStatus, int]:
+        """Dual simplex: restore primal feasibility from a dual-feasible basis.
+
+        Used only for warm-start repair — the caller guarantees reduced
+        costs are non-negative on entry, and every pivot preserves that.
+        Returns ``OPTIMAL`` once no basic variable is negative (the basis is
+        then primal feasible *and* dual feasible, i.e. optimal).
+        """
+        m, n_tot = tab.a.shape
+        feas_tol = 1e-9 * max(1.0, float(np.max(np.abs(tab.b), initial=0.0)))
+        for it in range(self.max_iterations):
+            xb = tab.xb()
+            violated = np.where(xb < -feas_tol)[0]
+            if violated.size == 0:
+                return LPStatus.OPTIMAL, it
+            leaving = int(violated[np.argmin(xb[violated])])
+            y_dual = c[tab.basis] @ tab.b_inv
+            reduced = c - y_dual @ tab.a
+            reduced[tab.basis] = 0.0
+            row = tab.b_inv[leaving] @ tab.a
+            row[tab.basis] = 0.0  # basic columns never re-enter on their own row
+            candidates = np.where(row < -self.tol)[0]
+            if candidates.size == 0:
+                # the row proves primal infeasibility — but a warm-start
+                # repair must not certify that; callers fall back cold
+                raise SimplexError(
+                    "dual simplex found no entering column",
+                    status=LPStatus.INFEASIBLE,
+                )
+            ratios = reduced[candidates] / (-row[candidates])
+            entering = int(candidates[np.argmin(ratios)])
+            direction = tab.b_inv @ tab.a[:, entering]
+            self._pivot(tab, entering, leaving, direction)
+        raise SimplexError(
+            "dual simplex iteration cap reached", status=LPStatus.ITERATION_LIMIT
+        )
+
+    def _pivot(self, tab: _Tableau, entering: int, leaving: int, direction: np.ndarray) -> None:
+        """Product-form (eta) basis-inverse update for one pivot, O(m^2)."""
         pivot = direction[leaving]
         if abs(pivot) < 1e-12:
             raise SimplexError("numerically singular pivot")
-        eta = np.eye(m)
-        eta[:, leaving] = -direction / pivot
-        eta[leaving, leaving] = 1.0 / pivot
-        tab.b_inv = eta @ tab.b_inv
+        # B_new^-1 = E @ B^-1 with E = I except column `leaving`; expanding
+        # the product gives a rank-one update plus a scaled pivot row.
+        coef = direction / (-pivot)
+        coef[leaving] = 0.0
+        pivot_row = tab.b_inv[leaving].copy()
+        tab.b_inv += np.outer(coef, pivot_row)
+        tab.b_inv[leaving] = pivot_row / pivot
         tab.basis[leaving] = entering
+        tab.pivots_since_refactor += 1
+        if self.refactor_every and tab.pivots_since_refactor >= self.refactor_every:
+            self._refactor(tab)
+
+    @staticmethod
+    def _refactor(tab: _Tableau) -> None:
+        """Recompute the basis inverse from scratch (drift control)."""
+        try:
+            tab.b_inv = np.linalg.inv(tab.a[:, tab.basis])
+        except np.linalg.LinAlgError:
+            raise SimplexError("singular basis at refactorisation") from None
+        tab.pivots_since_refactor = 0
 
     def _purge_artificials(self, tab: _Tableau, n: int) -> None:
         """Pivot basic artificial variables out where a real column can enter."""
@@ -346,3 +493,4 @@ class SimplexBackend:
             entering = int(candidates[0])
             direction = tab.b_inv @ tab.a[:, entering]
             self._pivot(tab, entering, row, direction)
+        tab.pivots_since_refactor = 0

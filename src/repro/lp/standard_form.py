@@ -14,12 +14,21 @@ into that form:
 
 :func:`StandardFormLP.recover` maps a standard-form solution vector back to
 the original variable space.
+
+The conversion is fully vectorised (one sparse expansion product plus dense
+scatters — no per-row Python loops) and the *structure* of the rewrite (the
+column mapping, row layout, slack positions and warm-start labels) can be
+cached across repeated conversions of structurally identical models via
+:class:`StandardFormCache`; only the value-dependent parts (coefficients,
+right-hand sides, equilibration and sign normalisation) are recomputed per
+call.  That is what makes per-epoch re-solves cheap in the incremental
+pipeline (see :mod:`repro.perf`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -48,6 +57,15 @@ class StandardFormLP:
     #: per-row equilibration divisor applied to A and b (max |coeff|); keeps
     #: badly scaled rows from slipping past feasibility tolerances.
     row_scale: np.ndarray = None  # type: ignore[assignment]
+    #: stable identity of every standard-form column (structural vars then
+    #: slacks), present only when the source model carried column labels;
+    #: the warm-start machinery matches bases across epochs by these.
+    col_labels: Optional[List] = None
+    #: stable identity of every standard-form row (same condition).
+    row_labels: Optional[List] = None
+    #: per-row slack column index (-1 for equality rows) — the fallback
+    #: basic variable when a warm-start mapping misses a row.
+    slack_of_row: Optional[np.ndarray] = None
 
     def recover(self, y: np.ndarray) -> np.ndarray:
         """Map a standard-form solution back to the original variables."""
@@ -62,110 +80,216 @@ class StandardFormLP:
         return x
 
 
-def to_standard_form(asm: AssembledLP) -> StandardFormLP:
-    """Rewrite an :class:`AssembledLP` into equality standard form."""
+@dataclass
+class _StdPlan:
+    """Value-independent structure of one standard-form rewrite."""
+
+    n_std: int
+    slack_count: int
+    expand: Optional[sparse.csr_matrix]  # (n, n_std); None = identity
+    bound_vars: np.ndarray  # original vars with a finite upper bound
+    bound_cols: np.ndarray  # their std-form column pairs (nb, 2); col2 = -1
+    recovery: List[Tuple[str, Tuple]]
+    origins_base: List[Tuple[str, int]]
+    finite_lo: np.ndarray  # lower bounds with -inf replaced by 0
+    col_labels: Optional[List]
+    row_labels: Optional[List]
+    slack_of_row: Optional[np.ndarray]
+
+
+def _structure_key(asm: AssembledLP) -> tuple:
+    """Hashable description of everything a :class:`_StdPlan` depends on."""
+    lowers = asm.bounds[:, 0] if asm.num_variables else np.zeros(0)
+    uppers = asm.bounds[:, 1] if asm.num_variables else np.zeros(0)
+    col_labels = getattr(asm, "col_labels", None)
+    row_labels_ub = getattr(asm, "row_labels_ub", None)
+    return (
+        asm.num_variables,
+        asm.a_ub.shape[0],
+        asm.a_eq.shape[0],
+        np.isfinite(lowers).tobytes(),
+        lowers.tobytes(),  # shift amounts are baked into the recovery recipe
+        np.isfinite(uppers).tobytes(),
+        tuple(col_labels) if col_labels is not None else None,
+        tuple(row_labels_ub) if row_labels_ub is not None else None,
+    )
+
+
+class StandardFormCache:
+    """One-slot cache of the standard-form rewrite *structure*.
+
+    Keyed on :func:`_structure_key`; a hit skips rebuilding the column
+    mapping, row layout, labels and recovery recipe.  Coefficients, rhs,
+    equilibration and the b >= 0 normalisation are always recomputed — they
+    are value-dependent and cheap (vectorised).
+    """
+
+    def __init__(self) -> None:
+        self._key: Optional[tuple] = None
+        self._plan: Optional[_StdPlan] = None
+        self.hits = 0
+        self.misses = 0
+
+    def plan_for(self, asm: AssembledLP) -> _StdPlan:
+        """The rewrite plan for ``asm``, reused when the structure matches."""
+        key = _structure_key(asm)
+        if self._key == key and self._plan is not None:
+            self.hits += 1
+            return self._plan
+        self.misses += 1
+        self._key = key
+        self._plan = _build_plan(asm)
+        return self._plan
+
+
+def _build_plan(asm: AssembledLP) -> _StdPlan:
+    """Derive the value-independent structure of the rewrite."""
     n = asm.num_variables
     lowers = asm.bounds[:, 0]
     uppers = asm.bounds[:, 1]
+    finite_lo_mask = np.isfinite(lowers)
+    split_mask = ~finite_lo_mask
 
-    # --- variable rewriting ------------------------------------------------
     recovery: List[Tuple[str, Tuple]] = []
-    col_of: List[Tuple[int, ...]] = []  # original var -> std-form column(s)
-    next_col = 0
-    obj_const = asm.objective_constant
+    # std column of each original var: shifted vars get one column, split
+    # vars get an adjacent (pos, neg) pair.
+    width = np.where(split_mask, 2, 1)
+    first_col = np.concatenate([[0], np.cumsum(width)[:-1]]) if n else np.zeros(0, dtype=int)
+    n_std = int(width.sum())
     for i in range(n):
-        lo = lowers[i]
-        if np.isfinite(lo):
-            recovery.append(("shift", (next_col, float(lo))))
-            col_of.append((next_col,))
-            obj_const += asm.c[i] * lo
-            next_col += 1
+        col = int(first_col[i])
+        if finite_lo_mask[i]:
+            recovery.append(("shift", (col, float(lowers[i]))))
         else:
-            recovery.append(("split", (next_col, next_col + 1)))
-            col_of.append((next_col, next_col + 1))
-            next_col += 2
-    n_std = next_col
+            recovery.append(("split", (col, col + 1)))
 
-    def expand_row(row: "sparse.csr_matrix") -> np.ndarray:
-        """Expand a sparse row over original vars into std-form columns."""
-        out = np.zeros(n_std)
-        row = row.tocoo()
-        for j, v in zip(row.col, row.data):
-            cols = col_of[j]
-            out[cols[0]] += v
-            if len(cols) == 2:
-                out[cols[1]] -= v
-        return out
+    if np.any(split_mask):
+        rows_e = np.concatenate([np.arange(n), np.where(split_mask)[0]])
+        cols_e = np.concatenate([first_col, first_col[split_mask] + 1])
+        vals_e = np.concatenate([np.ones(n), -np.ones(int(split_mask.sum()))])
+        expand = sparse.csr_matrix((vals_e, (rows_e, cols_e)), shape=(n, n_std))
+    else:
+        expand = None  # identity: std columns == original columns
 
-    # --- objective -----------------------------------------------------------
-    c = np.zeros(n_std)
-    for j in range(n):
-        cols = col_of[j]
-        c[cols[0]] += asm.c[j]
-        if len(cols) == 2:
-            c[cols[1]] -= asm.c[j]
+    bound_vars = np.where(np.isfinite(uppers))[0]
+    bound_cols = np.full((bound_vars.shape[0], 2), -1, dtype=int)
+    bound_cols[:, 0] = first_col[bound_vars]
+    neg_of_bound = split_mask[bound_vars]
+    bound_cols[neg_of_bound, 1] = first_col[bound_vars[neg_of_bound]] + 1
 
-    # --- rows: shift rhs by lower bounds ------------------------------------
-    def shifted_rhs(mat: sparse.csr_matrix, rhs: np.ndarray) -> np.ndarray:
-        if mat.shape[0] == 0:
-            return rhs.copy()
-        finite_lo = np.where(np.isfinite(lowers), lowers, 0.0)
-        return rhs - mat @ finite_lo
+    m_eq = asm.a_eq.shape[0]
+    m_ub = asm.a_ub.shape[0]
+    nb = bound_vars.shape[0]
+    slack_count = m_ub + nb
+    origins_base: List[Tuple[str, int]] = (
+        [("eq", r) for r in range(m_eq)]
+        + [("ub", r) for r in range(m_ub)]
+        + [("bound", int(i)) for i in bound_vars]
+    )
 
-    b_ub = shifted_rhs(asm.a_ub, asm.b_ub)
-    b_eq = shifted_rhs(asm.a_eq, asm.b_eq)
+    # warm-start labels: only derivable when the source model is labelled
+    col_labels: Optional[List] = None
+    row_labels: Optional[List] = None
+    slack_of_row: Optional[np.ndarray] = None
+    asm_cols = getattr(asm, "col_labels", None)
+    if asm_cols is not None and len(asm_cols) == n:
+        asm_rows = getattr(asm, "row_labels_ub", None)
+        if asm_rows is None or len(asm_rows) != m_ub:
+            asm_rows = [("ubrow", r) for r in range(m_ub)]
+        col_labels = [None] * (n_std + slack_count)
+        for i in range(n):
+            col = int(first_col[i])
+            if finite_lo_mask[i]:
+                col_labels[col] = asm_cols[i]
+            else:
+                col_labels[col] = ("pos", asm_cols[i])
+                col_labels[col + 1] = ("neg", asm_cols[i])
+        for r in range(m_ub):
+            col_labels[n_std + r] = ("slack", asm_rows[r])
+        for k, i in enumerate(bound_vars):
+            col_labels[n_std + m_ub + k] = ("slackb", asm_cols[int(i)])
+        row_labels = (
+            [("eq", r) for r in range(m_eq)]
+            + [("ub", lbl) for lbl in asm_rows]
+            + [("bound", asm_cols[int(i)]) for i in bound_vars]
+        )
+        slack_of_row = np.full(m_eq + m_ub + nb, -1, dtype=int)
+        slack_of_row[m_eq:] = n_std + np.arange(slack_count)
 
-    rows: List[np.ndarray] = []
-    rhs: List[float] = []
-    origins: List[Tuple[str, int, float]] = []
-    slack_count = 0
+    return _StdPlan(
+        n_std=n_std,
+        slack_count=slack_count,
+        expand=expand,
+        bound_vars=bound_vars,
+        bound_cols=bound_cols,
+        recovery=recovery,
+        origins_base=origins_base,
+        finite_lo=np.where(finite_lo_mask, lowers, 0.0),
+        col_labels=col_labels,
+        row_labels=row_labels,
+        slack_of_row=slack_of_row,
+    )
 
-    for r in range(asm.a_eq.shape[0]):
-        rows.append(expand_row(asm.a_eq.getrow(r)))
-        rhs.append(float(b_eq[r]))
-        origins.append(("eq", r, 1.0))
 
-    ub_rows: List[np.ndarray] = []
-    for r in range(asm.a_ub.shape[0]):
-        ub_rows.append(expand_row(asm.a_ub.getrow(r)))
-        rhs.append(float(b_ub[r]))
-        origins.append(("ub", r, 1.0))
-        slack_count += 1
+def to_standard_form(
+    asm: AssembledLP, cache: Optional[StandardFormCache] = None
+) -> StandardFormLP:
+    """Rewrite an :class:`AssembledLP` into equality standard form.
 
-    # upper bounds become <= rows in shifted space: y <= upper - lower
-    bound_rows: List[np.ndarray] = []
-    for i in range(n):
-        up = uppers[i]
-        if np.isfinite(up):
-            lo = lowers[i] if np.isfinite(lowers[i]) else 0.0
-            row = np.zeros(n_std)
-            cols = col_of[i]
-            row[cols[0]] = 1.0
-            if len(cols) == 2:
-                row[cols[1]] = -1.0
-            bound_rows.append(row)
-            rhs.append(float(up - lo))
-            origins.append(("bound", i, 1.0))
-            slack_count += 1
+    ``cache`` (optional) reuses the structural plan across conversions of
+    structurally identical models — the incremental epoch pipeline passes a
+    per-context :class:`StandardFormCache` so only values are recomputed.
+    """
+    n = asm.num_variables
+    plan = cache.plan_for(asm) if cache is not None else _build_plan(asm)
+    n_std, slack_count = plan.n_std, plan.slack_count
 
-    total_rows = len(rows) + len(ub_rows) + len(bound_rows)
+    # --- objective over std columns -----------------------------------------
+    obj_const = asm.objective_constant + float(asm.c @ plan.finite_lo)
+    if plan.expand is None:
+        c = asm.c.astype(float, copy=True)
+    else:
+        c = np.asarray(asm.c @ plan.expand).reshape(-1)
+
+    # --- rows: shift rhs by lower bounds, expand columns ---------------------
+    m_eq = asm.a_eq.shape[0]
+    m_ub = asm.a_ub.shape[0]
+    nb = plan.bound_vars.shape[0]
+    total_rows = m_eq + m_ub + nb
+
+    b_eq = asm.b_eq - (asm.a_eq @ plan.finite_lo) if m_eq else asm.b_eq.copy()
+    b_ub = asm.b_ub - (asm.a_ub @ plan.finite_lo) if m_ub else asm.b_ub.copy()
+
     a = np.zeros((total_rows, n_std + slack_count))
-    for r, row in enumerate(rows):
-        a[r, :n_std] = row
-    slack = 0
-    for k, row in enumerate(ub_rows):
-        r = len(rows) + k
-        a[r, :n_std] = row
-        a[r, n_std + slack] = 1.0
-        slack += 1
-    for k, row in enumerate(bound_rows):
-        r = len(rows) + len(ub_rows) + k
-        a[r, :n_std] = row
-        a[r, n_std + slack] = 1.0
-        slack += 1
+    if plan.expand is None:
+        if m_eq:
+            a[:m_eq, :n_std] = asm.a_eq.toarray()
+        if m_ub:
+            a[m_eq : m_eq + m_ub, :n_std] = asm.a_ub.toarray()
+    else:
+        if m_eq:
+            a[:m_eq, :n_std] = (asm.a_eq @ plan.expand).toarray()
+        if m_ub:
+            a[m_eq : m_eq + m_ub, :n_std] = (asm.a_ub @ plan.expand).toarray()
+    # upper bounds become <= rows in shifted space: y <= upper - lower
+    if nb:
+        rb = m_eq + m_ub + np.arange(nb)
+        a[rb, plan.bound_cols[:, 0]] = 1.0
+        has_neg = plan.bound_cols[:, 1] >= 0
+        a[rb[has_neg], plan.bound_cols[has_neg, 1]] = -1.0
+    # slack columns: one per <= row (ub rows, then bound rows)
+    if slack_count:
+        a[m_eq + np.arange(slack_count), n_std + np.arange(slack_count)] = 1.0
 
     c_full = np.concatenate([c, np.zeros(slack_count)])
-    b_full = np.asarray(rhs, dtype=float)
+    uppers = asm.bounds[:, 1] if n else np.zeros(0)
+    b_full = np.concatenate(
+        [
+            b_eq.astype(float),
+            b_ub.astype(float),
+            (uppers[plan.bound_vars] - plan.finite_lo[plan.bound_vars]).astype(float),
+        ]
+    )
 
     # row equilibration: divide every row by its largest structural
     # coefficient so relative and absolute feasibility tolerances agree
@@ -185,8 +309,8 @@ def to_standard_form(asm: AssembledLP) -> StandardFormLP:
     a[neg] *= -1.0
     b_full[neg] *= -1.0
     origins = [
-        (kind, idx, -sign if neg[r] else sign)
-        for r, (kind, idx, sign) in enumerate(origins)
+        (kind, idx, -1.0 if neg[r] else 1.0)
+        for r, (kind, idx) in enumerate(plan.origins_base)
     ]
 
     return StandardFormLP(
@@ -194,8 +318,71 @@ def to_standard_form(asm: AssembledLP) -> StandardFormLP:
         a=a,
         b=b_full,
         objective_constant=obj_const,
-        recovery=recovery,
+        recovery=plan.recovery,
         num_original=n,
         row_origin=origins,
         row_scale=scale,
+        col_labels=plan.col_labels,
+        row_labels=plan.row_labels,
+        slack_of_row=plan.slack_of_row,
     )
+
+
+@dataclass
+class BasisSnapshot:
+    """The optimal basis of one solve, keyed by stable labels.
+
+    ``by_row`` maps each standard-form *row label* to the label of the
+    column that was basic in that row.  Row/column labels survive job
+    arrivals and departures (they are keyed on job identity, not position),
+    which is what lets :meth:`map_onto` repair the basis for the next
+    epoch's — possibly resized — model.
+    """
+
+    by_row: Dict[object, object] = field(default_factory=dict)
+
+    @staticmethod
+    def capture(std: StandardFormLP, basis: np.ndarray) -> Optional["BasisSnapshot"]:
+        """Snapshot a final basis; None when the model carries no labels."""
+        if std.col_labels is None or std.row_labels is None:
+            return None
+        ncols = len(std.col_labels)
+        by_row: Dict[object, object] = {}
+        for r, col in enumerate(basis):
+            col = int(col)
+            # artificial columns (>= n) have no stable identity; leave the
+            # row unmapped so the repair fills in its slack.
+            if col < ncols and std.col_labels[col] is not None:
+                by_row[std.row_labels[r]] = std.col_labels[col]
+        return BasisSnapshot(by_row=by_row)
+
+    def map_onto(self, std: StandardFormLP) -> Optional[np.ndarray]:
+        """Repair this basis onto a new model; None when it cannot be used.
+
+        Per row of the new model: reuse the previously basic column when its
+        label still exists; otherwise fall back to the row's slack.  Rows
+        without a slack (equality rows) that cannot be mapped, or conflicts
+        that cannot be resolved by slacks, abort the warm start (the caller
+        cold-solves).
+        """
+        if std.col_labels is None or std.row_labels is None or std.slack_of_row is None:
+            return None
+        col_index = {lbl: j for j, lbl in enumerate(std.col_labels) if lbl is not None}
+        m = len(std.row_labels)
+        basis = np.full(m, -1, dtype=int)
+        used = set()
+        for r in range(m):
+            mapped = self.by_row.get(std.row_labels[r])
+            j = col_index.get(mapped) if mapped is not None else None
+            if j is not None and j not in used:
+                basis[r] = j
+                used.add(j)
+        for r in range(m):
+            if basis[r] >= 0:
+                continue
+            slack = int(std.slack_of_row[r])
+            if slack < 0 or slack in used:
+                return None
+            basis[r] = slack
+            used.add(slack)
+        return basis

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import contextlib
 import json
+import threading
 from typing import IO, Iterator, List, Optional, Sequence, Union
 
 #: Dispatch-level records (one per event-queue callback) are high-volume
@@ -104,6 +105,10 @@ class Tracer:
         self._keep = keep_records or sink is None
         self.records: List[dict] = []
         self._owns_sink = False
+        # emission must be thread-safe: abandoned solver-timeout threads
+        # (repro.resilience) can outlive their solve and emit concurrently
+        # with the main thread; an unlocked two-part write interleaves lines
+        self._lock = threading.Lock()
 
     @classmethod
     def to_path(cls, path, categories: Optional[Sequence[str]] = None) -> "Tracer":
@@ -121,12 +126,17 @@ class Tracer:
 
     # -- emission ----------------------------------------------------------
     def emit(self, record: dict) -> None:
-        """Record one raw trace record (already enveloped)."""
-        if self._keep:
-            self.records.append(record)
-        if self._sink is not None:
-            self._sink.write(json.dumps(record, separators=(",", ":"), default=json_default))
-            self._sink.write("\n")
+        """Record one raw trace record (already enveloped); thread-safe."""
+        line = (
+            json.dumps(record, separators=(",", ":"), default=json_default)
+            if self._sink is not None
+            else None
+        )
+        with self._lock:
+            if self._keep:
+                self.records.append(record)
+            if self._sink is not None:
+                self._sink.write(line + "\n")
 
     def event(self, cat: str, name: str, ts: float, **attrs) -> None:
         """Emit an instant event."""

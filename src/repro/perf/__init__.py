@@ -1,0 +1,20 @@
+"""Incremental-solve pipeline: caches, warm starts and benchmarks.
+
+The online scheduler solves one LP per epoch, and consecutive epochs differ
+only in a few jobs and right-hand sides.  This package owns the state that
+lets the solve pipeline exploit that:
+
+* :class:`IncrementalContext` — bundles the
+  :class:`~repro.core.assembly.AssemblyCache` (COO->CSR plan reuse), the
+  :class:`~repro.lp.warmstart.WarmStartContext` (standard-form structure
+  cache + previous optimal basis) and is threaded through
+  :func:`repro.core.co_online.solve_co_online` by the epoch controller and
+  the LiPS scheduler when ``incremental=True``;
+* :mod:`repro.perf.bench` — the ``python -m repro bench`` harness timing
+  cold vs. incremental epoch loops and sweep throughput into
+  ``BENCH_epoch.json``.
+"""
+
+from repro.perf.incremental import IncrementalContext
+
+__all__ = ["IncrementalContext"]

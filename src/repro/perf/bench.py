@@ -1,0 +1,283 @@
+"""``python -m repro bench`` — the incremental-pipeline benchmark.
+
+Times three things on a deterministic epoch-loop scenario (the Figure 8
+testbed shape: paper machines, two long jobs sized to span several epochs):
+
+* **cold** — the from-scratch simplex re-assembling and re-solving every
+  epoch with no shared state;
+* **incremental** — the same loop with an
+  :class:`~repro.perf.IncrementalContext`: assembly-plan reuse, cached
+  standard-form conversion and warm-started simplex;
+* **HiGHS** — the production backend plain vs ``presolve=True`` with the
+  pattern cache (reported, not gated: HiGHS is already fast here);
+* **sweep throughput** — a small figure-5 grid run serially and through
+  the process-pool path (reported, not gated: single-core CI boxes show
+  no speedup by construction).
+
+The regression gate requires the incremental loop to be no slower than the
+cold loop and every per-epoch objective to agree within ``REL_TOL``.
+Results are written as JSON (schema ``repro.bench/1``, documented in the
+README's Benchmarks section) and mirrored into ``bench.*`` gauges when a
+metrics registry is active.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.builder import build_paper_testbed
+from repro.core.epoch import EpochController
+from repro.obs.registry import current_registry
+from repro.workload.job import DataObject, Job, Workload
+
+#: warm and cold epoch objectives must agree to this relative tolerance
+REL_TOL = 1e-7
+
+#: JSON schema identifier written into every benchmark file
+SCHEMA = "repro.bench/1"
+
+
+def build_scenario(quick: bool = False) -> Tuple[object, Workload, float, dict]:
+    """The benchmark scenario: ``(cluster, workload, epoch_length, meta)``.
+
+    Two jobs sized so the workload spans several epochs of the paper
+    testbed — each epoch's LP is structurally identical to the last, which
+    is exactly the shape the incremental pipeline exploits.
+    """
+    machines = 12 if quick else 20
+    epochs_target = 8 if quick else 10
+    epoch_length = 60.0
+    cluster = build_paper_testbed(machines, c1_medium_fraction=0.5, seed=0)
+    capacity = float(np.sum(cluster.throughput_vector())) * epoch_length
+    total_cpu = capacity * epochs_target * 0.9
+    jobs, data = [], []
+    for i in range(2):
+        size_mb = 200.0
+        cpu = total_cpu / 2
+        data.append(
+            DataObject(
+                data_id=i,
+                name=f"d{i}",
+                size_mb=size_mb,
+                origin_store=i % cluster.num_stores,
+            )
+        )
+        jobs.append(
+            Job(job_id=i, name=f"j{i}", tcp=cpu / size_mb, data_ids=[i], num_tasks=32)
+        )
+    meta = {
+        "machines": machines,
+        "jobs": len(jobs),
+        "epoch_length_s": epoch_length,
+        "epochs_target": epochs_target,
+    }
+    return cluster, Workload(jobs=jobs, data=data), epoch_length, meta
+
+
+def _timed_epoch_loop(cluster, workload, epoch_length, backend, incremental):
+    """Run the epoch loop once; returns (wall_s, objectives, controller)."""
+    controller = EpochController(
+        cluster,
+        epoch_length,
+        backend=backend,
+        keep_solutions=True,
+        incremental=incremental,
+    )
+    t0 = time.perf_counter()
+    result = controller.run(workload)
+    wall = time.perf_counter() - t0
+    objectives = [r.solution.objective for r in result.reports]
+    return wall, objectives, controller
+
+
+def _rel_delta(cold: Sequence[float], warm: Sequence[float]) -> float:
+    """Worst relative per-epoch objective disagreement."""
+    if len(cold) != len(warm):
+        return float("inf")
+    return max(
+        (abs(a - b) / max(1.0, abs(a)) for a, b in zip(cold, warm)), default=0.0
+    )
+
+
+def _bench_simplex(cluster, workload, epoch_length) -> dict:
+    """Cold vs incremental epoch loops on the from-scratch simplex."""
+    from repro.lp.simplex import SimplexBackend
+
+    cold_wall, cold_obj, _ = _timed_epoch_loop(
+        cluster, workload, epoch_length, SimplexBackend(), incremental=False
+    )
+    warm_wall, warm_obj, controller = _timed_epoch_loop(
+        cluster, workload, epoch_length, SimplexBackend(), incremental=True
+    )
+    delta = _rel_delta(cold_obj, warm_obj)
+    speedup = cold_wall / warm_wall if warm_wall > 0 else float("inf")
+    return {
+        "cold": {"wall_s": cold_wall, "epochs": len(cold_obj)},
+        "incremental": {
+            "wall_s": warm_wall,
+            "epochs": len(warm_obj),
+            "stats": controller.incremental_context.stats(),
+        },
+        "speedup": speedup,
+        "equivalence": {
+            "max_rel_objective_delta": delta,
+            "tolerance": REL_TOL,
+            "ok": bool(delta <= REL_TOL),
+        },
+    }
+
+
+def _bench_highs(cluster, workload, epoch_length) -> dict:
+    """Plain vs presolve+pattern-cache epoch loops on HiGHS (reported only)."""
+    from repro.lp.scipy_backend import HighsBackend
+
+    plain_wall, plain_obj, _ = _timed_epoch_loop(
+        cluster, workload, epoch_length, HighsBackend(), incremental=False
+    )
+    backend = HighsBackend(presolve=True)
+    pre_wall, pre_obj, _ = _timed_epoch_loop(
+        cluster, workload, epoch_length, backend, incremental=True
+    )
+    return {
+        "cold_wall_s": plain_wall,
+        "presolve_wall_s": pre_wall,
+        "presolve_cache_hits": backend._presolve_cache.hits,
+        "presolve_cache_misses": backend._presolve_cache.misses,
+        "max_rel_objective_delta": _rel_delta(plain_obj, pre_obj),
+    }
+
+
+def _bench_sweep(quick: bool, workers: Optional[int]) -> dict:
+    """Figure-5 grid throughput, serial vs the process-pool path."""
+    from repro.experiments.fig5_simulated_savings import run
+    from repro.experiments.parallel import resolve_workers
+
+    sizes = ((50, 4, 4), (100, 5, 5)) if quick else ((100, 5, 5), (200, 10, 10))
+    seeds = (0, 1)
+    t0 = time.perf_counter()
+    serial = run(sizes=sizes, seeds=seeds, workers=0)
+    serial_wall = time.perf_counter() - t0
+    n = resolve_workers(workers)
+    pool_workers = n if n > 1 else 2
+    t0 = time.perf_counter()
+    parallel = run(sizes=sizes, seeds=seeds, workers=pool_workers)
+    parallel_wall = time.perf_counter() - t0
+    match = bool(
+        np.allclose(serial.reductions, parallel.reductions, rtol=0, atol=0)
+    )
+    points = len(sizes) * len(seeds)
+    return {
+        "points": points,
+        "workers": pool_workers,
+        "serial_wall_s": serial_wall,
+        "parallel_wall_s": parallel_wall,
+        "serial_points_per_s": points / serial_wall if serial_wall > 0 else 0.0,
+        "parallel_points_per_s": points / parallel_wall if parallel_wall > 0 else 0.0,
+        "results_identical": match,
+    }
+
+
+def run_bench(quick: bool = False, workers: Optional[int] = None) -> dict:
+    """Run the full benchmark; returns the ``repro.bench/1`` document."""
+    cluster, workload, epoch_length, meta = build_scenario(quick)
+    simplex = _bench_simplex(cluster, workload, epoch_length)
+    highs = _bench_highs(cluster, workload, epoch_length)
+    sweep = _bench_sweep(quick, workers)
+    gate_checks = {
+        "incremental_not_slower": bool(simplex["speedup"] >= 1.0),
+        "objectives_match": simplex["equivalence"]["ok"],
+        "sweep_results_identical": sweep["results_identical"],
+    }
+    doc = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "scenario": meta,
+        **simplex,
+        "highs": highs,
+        "sweep": sweep,
+        "gate": {"ok": all(gate_checks.values()), "checks": gate_checks},
+    }
+    registry = current_registry()
+    if registry is not None:
+        registry.gauge("bench.cold_wall_s", help="cold epoch loop wall").set(
+            simplex["cold"]["wall_s"]
+        )
+        registry.gauge(
+            "bench.incremental_wall_s", help="incremental epoch loop wall"
+        ).set(simplex["incremental"]["wall_s"])
+        registry.gauge("bench.speedup", help="cold/incremental wall ratio").set(
+            simplex["speedup"]
+        )
+    return doc
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    """Parser for the ``python -m repro bench`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Benchmark the incremental epoch-LP pipeline (assembly "
+        "caching + simplex warm starts) against cold per-epoch solves, and "
+        "the parallel sweep path against serial.  Writes a repro.bench/1 "
+        "JSON document and exits 1 when the regression gate fails.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke-test sizes (12 machines, ~8 epochs) for CI",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_epoch.json",
+        help="output JSON path (default BENCH_epoch.json)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for the sweep-throughput section "
+        "(default: REPRO_WORKERS, else 2)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str]) -> int:
+    """Entry point for ``python -m repro bench``."""
+    args = build_bench_parser().parse_args(list(argv))
+    doc = run_bench(quick=args.quick, workers=args.workers)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    eq = doc["equivalence"]
+    print(
+        f"epoch loop ({doc['scenario']['machines']} machines, "
+        f"{doc['cold']['epochs']} epochs): "
+        f"cold {doc['cold']['wall_s']:.2f}s, "
+        f"incremental {doc['incremental']['wall_s']:.2f}s "
+        f"({doc['speedup']:.2f}x), "
+        f"max rel obj delta {eq['max_rel_objective_delta']:.2e}"
+    )
+    print(
+        f"highs: plain {doc['highs']['cold_wall_s']:.2f}s, "
+        f"presolve+cache {doc['highs']['presolve_wall_s']:.2f}s "
+        f"({doc['highs']['presolve_cache_hits']} cache hits)"
+    )
+    print(
+        f"sweep: {doc['sweep']['points']} points, "
+        f"serial {doc['sweep']['serial_wall_s']:.2f}s, "
+        f"parallel[{doc['sweep']['workers']}] "
+        f"{doc['sweep']['parallel_wall_s']:.2f}s"
+    )
+    print(f"wrote {args.out}")
+    if not doc["gate"]["ok"]:
+        failed = [k for k, v in doc["gate"]["checks"].items() if not v]
+        print(f"bench gate FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0

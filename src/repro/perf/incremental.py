@@ -1,0 +1,34 @@
+"""The state bundle threaded through incremental epoch solves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.assembly import AssemblyCache
+from repro.lp.warmstart import WarmStartContext
+
+
+@dataclass
+class IncrementalContext:
+    """Per-stream caches for consecutive, structurally related epoch LPs.
+
+    One context belongs to one solve stream (one
+    :class:`~repro.core.epoch.EpochController` run, one
+    :class:`~repro.schedulers.lips.LipsScheduler` instance); sharing a
+    context across unrelated streams is safe but defeats the caches.
+
+    The warm-start half only engages on backends advertising
+    ``supports_warm_start`` (the from-scratch simplex); the assembly cache
+    helps every backend.
+    """
+
+    assembly_cache: AssemblyCache = field(default_factory=AssemblyCache)
+    warm: WarmStartContext = field(default_factory=WarmStartContext)
+
+    def stats(self) -> dict:
+        """JSON-ready cache/warm-start statistics (used by ``repro bench``)."""
+        return {
+            "assembly_cache_hits": self.assembly_cache.hits,
+            "assembly_cache_misses": self.assembly_cache.misses,
+            **self.warm.stats(),
+        }

@@ -31,7 +31,7 @@ from __future__ import annotations
 import enum
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -149,6 +149,9 @@ class ResilientSolver:
         self._sleep = sleep
         #: failed attempts of the most recent solve_assembled call
         self.last_attempts: List[SolveAttempt] = []
+        #: per-column perturbation base of the current solve (lazy, reused
+        #: across that solve's retries)
+        self._perturb_base: Optional[np.ndarray] = None
         #: lifetime totals (also mirrored into the installed obs registry)
         self.retries_total = 0
         self.fallbacks_total = 0
@@ -170,6 +173,7 @@ class ResilientSolver:
         to raise or degrade.
         """
         self.last_attempts = []
+        self._perturb_base = None
         last_result: Optional[LPResult] = None
         for chain_pos, backend in enumerate(self.backends):
             attempt = 0
@@ -245,20 +249,17 @@ class ResilientSolver:
         The pattern depends only on (attempt, n) — never on clocks or global
         RNG state — so a rerun of the same failing model retries through the
         identical sequence of perturbed problems.
+
+        Only the cost vector is replaced: matrices, bounds and labels of the
+        already-assembled model are shared, never re-assembled, and the
+        per-column perturbation base is computed once per solve rather than
+        per retry.
         """
+        if self._perturb_base is None:
+            self._perturb_base = self.perturb_scale * np.maximum(np.abs(asm.c), 1.0)
         rng = np.random.default_rng(attempt)
-        magnitude = self.perturb_scale * attempt * np.maximum(np.abs(asm.c), 1.0)
-        c = asm.c + magnitude * rng.random(asm.c.shape[0])
-        return AssembledLP(
-            c=c,
-            a_ub=asm.a_ub,
-            b_ub=asm.b_ub,
-            a_eq=asm.a_eq,
-            b_eq=asm.b_eq,
-            bounds=asm.bounds,
-            objective_constant=asm.objective_constant,
-            name=asm.name,
-        )
+        c = asm.c + self._perturb_base * attempt * rng.random(asm.c.shape[0])
+        return replace(asm, c=c)
 
     # -- accounting --------------------------------------------------------
     def _record_failure(

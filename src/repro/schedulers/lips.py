@@ -101,6 +101,12 @@ class LipsScheduler(TaskScheduler):
         unplaced tasks stay unplanned (the usual fake-node parking) and
         replan next epoch.  An ``epoch.degraded`` trace event is emitted
         and ``epochs_degraded_total`` counted.
+    incremental:
+        Thread a :class:`repro.perf.IncrementalContext` through the
+        per-epoch solves: assembly structure reuse on every backend plus
+        simplex warm starts keyed on stable (job, zone) sub-job identities
+        on backends that support them.  Off by default — warm solves may
+        pick a different optimal vertex under degeneracy.
     """
 
     def __init__(
@@ -110,6 +116,7 @@ class LipsScheduler(TaskScheduler):
         enforce_bandwidth: bool = True,
         strict: bool = False,
         degraded_mode: bool = True,
+        incremental: bool = False,
     ) -> None:
         super().__init__()
         if epoch_length <= 0:
@@ -119,6 +126,12 @@ class LipsScheduler(TaskScheduler):
         self.enforce_bandwidth = enforce_bandwidth
         self.strict = strict
         self.degraded_mode = degraded_mode
+        if incremental:
+            from repro.perf import IncrementalContext
+
+            self.incremental_context = IncrementalContext()
+        else:
+            self.incremental_context = None
         #: epochs planned by the greedy degraded path over this sim's lifetime
         self.degraded_epochs = 0
         self.plans: Dict[int, Deque[_PlanEntry]] = {}
@@ -157,6 +170,11 @@ class LipsScheduler(TaskScheduler):
         if not subjobs:
             return
         inp, groups = self._build_lp_input(subjobs)
+        # stable sub-job identities: (simulator job id, zone) survives across
+        # epochs even as the positional LP job ids shift
+        job_keys = [
+            (job.job_id, "free" if zone is None else zone) for job, zone, _ in groups
+        ]
         sol = solve_co_online(
             inp,
             OnlineModelConfig(
@@ -166,6 +184,8 @@ class LipsScheduler(TaskScheduler):
             backend=self.backend,
             strict=self.strict,
             on_failure="greedy" if self.degraded_mode else "raise",
+            incremental=self.incremental_context,
+            job_keys=job_keys,
         )
         if sol.model == DEGRADED_MODEL:
             self.degraded_epochs += 1

@@ -1,0 +1,15 @@
+"""AST006 positive fixture: process fan-out with no seed parameter."""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+
+def sweep_unseeded(tasks):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(str, tasks))
+
+
+def spawn_unseeded(target):
+    proc = multiprocessing.Process(target=target)
+    proc.start()
+    return proc

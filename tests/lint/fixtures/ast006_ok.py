@@ -1,0 +1,17 @@
+"""AST006 negative fixture: fan-out APIs carry their seeds explicitly."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def sweep(fn, seeded_tasks, workers):
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, seeded_tasks))
+
+
+def run_point(fn, task, seed):
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        return pool.submit(fn, task, seed).result()
+
+
+def plain_serial(tasks):
+    return [str(t) for t in tasks]

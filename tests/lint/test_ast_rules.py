@@ -20,6 +20,7 @@ RULE_FIXTURES = [
     ("AST003", "ast003"),
     ("AST004", "ast004"),
     ("AST005", "ast005"),
+    ("AST006", "ast006"),
 ]
 
 
@@ -49,6 +50,13 @@ def test_ast004_flags_both_positional_and_keyword_defaults():
     assert len(findings) == 2
     assert any("push" in f.message for f in findings)
     assert any("tally" in f.message for f in findings)
+
+
+def test_ast006_flags_both_pool_styles():
+    findings = lint_paths([FIXTURES / "ast006_bad.py"])
+    assert len(findings) == 2
+    assert any("sweep_unseeded" in f.message for f in findings)
+    assert any("spawn_unseeded" in f.message for f in findings)
 
 
 def test_suppression_comment_silences_one_rule():

@@ -1,0 +1,83 @@
+"""The assembly plan cache must be invisible except for speed."""
+
+import numpy as np
+import pytest
+
+from repro.core.assembly import AssemblyCache, ModelAssembler
+from repro.obs.registry import MetricsRegistry, use_registry
+
+
+def _assembler(small_input):
+    return ModelAssembler(
+        small_input,
+        include_xd=True,
+        horizon=500.0,
+        include_fake=True,
+        epoch_bandwidth=True,
+    )
+
+
+class TestAssemblyCache:
+    def test_hit_reproduces_identical_matrices(self, small_input):
+        cache = AssemblyCache()
+        cold = _assembler(small_input).build()
+        first = _assembler(small_input).build(cache=cache)
+        second = _assembler(small_input).build(cache=cache)
+        assert cache.misses == 1 and cache.hits == 1
+        for asm in (first, second):
+            assert (asm.a_ub != cold.a_ub).nnz == 0
+            np.testing.assert_array_equal(asm.b_ub, cold.b_ub)
+            np.testing.assert_array_equal(asm.c, cold.c)
+
+    def test_hit_shares_index_arrays(self, small_input):
+        """Hits hand back the plan's exact index arrays (identity), which
+        downstream identity-keyed caches rely on."""
+        cache = AssemblyCache()
+        first = _assembler(small_input).build(cache=cache)
+        second = _assembler(small_input).build(cache=cache)
+        assert second.a_ub.indices is first.a_ub.indices
+        assert second.a_ub.indptr is first.a_ub.indptr
+
+    def test_structural_change_misses(self, small_input):
+        cache = AssemblyCache()
+        _assembler(small_input).build(cache=cache)
+        other = ModelAssembler(
+            small_input,
+            include_xd=True,
+            horizon=500.0,
+            include_fake=True,
+            epoch_bandwidth=False,
+        )
+        other.build(cache=cache)
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_counters_reach_registry(self, small_input):
+        registry = MetricsRegistry()
+        cache = AssemblyCache()
+        with use_registry(registry):
+            _assembler(small_input).build(cache=cache)
+            _assembler(small_input).build(cache=cache)
+        names = {m["name"]: m for m in registry.dump()}
+        assert "assembly.cache_hits" in names
+        assert "assembly.cache_misses" in names
+
+
+class TestLabels:
+    def test_column_labels_cover_every_column(self, small_input):
+        assembler = _assembler(small_input)
+        asm = assembler.build(job_keys=list(range(small_input.num_jobs)))
+        assert asm.col_labels is not None
+        assert len(asm.col_labels) == asm.num_variables
+        assert len(set(asm.col_labels)) == asm.num_variables
+
+    def test_row_labels_cover_every_ub_row(self, small_input):
+        assembler = _assembler(small_input)
+        asm = assembler.build(job_keys=list(range(small_input.num_jobs)))
+        assert asm.row_labels_ub is not None
+        assert len(asm.row_labels_ub) == asm.a_ub.shape[0]
+        assert len(set(asm.row_labels_ub)) == asm.a_ub.shape[0]
+
+    def test_job_keys_length_is_validated(self, small_input):
+        assembler = _assembler(small_input)
+        with pytest.raises(ValueError):
+            assembler.build(job_keys=[0])

@@ -1,0 +1,75 @@
+"""``python -m repro bench`` — scenario shape, schema and the gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.bench import REL_TOL, SCHEMA, build_bench_parser, build_scenario
+
+#: top-level keys every repro.bench/1 document must carry
+SCHEMA_KEYS = {
+    "schema",
+    "quick",
+    "scenario",
+    "cold",
+    "incremental",
+    "speedup",
+    "equivalence",
+    "highs",
+    "sweep",
+    "gate",
+}
+
+
+class TestScenario:
+    def test_quick_scenario_shape(self):
+        cluster, workload, epoch_length, meta = build_scenario(quick=True)
+        assert meta["machines"] == 12
+        assert cluster.num_machines == 12
+        assert len(workload.jobs) == meta["jobs"] == 2
+        assert epoch_length == meta["epoch_length_s"] == 60.0
+
+    def test_full_scenario_meets_acceptance_floor(self):
+        _, _, _, meta = build_scenario(quick=False)
+        # the acceptance criterion demands >= 20 machines and >= 8 epochs
+        assert meta["machines"] >= 20
+        assert meta["epochs_target"] >= 8
+
+    def test_scenarios_are_deterministic(self):
+        _, w1, _, _ = build_scenario(quick=True)
+        _, w2, _, _ = build_scenario(quick=True)
+        assert [j.tcp for j in w1.jobs] == [j.tcp for j in w2.jobs]
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_bench_parser().parse_args([])
+        assert args.out == "BENCH_epoch.json"
+        assert not args.quick and args.workers is None
+
+    def test_flags(self):
+        args = build_bench_parser().parse_args(
+            ["--quick", "--out", "x.json", "--workers", "3"]
+        )
+        assert args.quick and args.out == "x.json" and args.workers == 3
+
+
+class TestQuickBenchEndToEnd:
+    def test_quick_bench_writes_schema_and_passes_gate(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_epoch.json"
+        code = main(["bench", "--quick", "--out", str(out)])
+        assert code == 0, capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert set(doc) == SCHEMA_KEYS
+        assert doc["schema"] == SCHEMA
+        assert doc["quick"] is True
+        assert doc["gate"]["ok"] is True
+        # the whole point: incremental must beat cold, with cold-equal results
+        assert doc["speedup"] >= 1.0
+        assert doc["equivalence"]["max_rel_objective_delta"] <= REL_TOL
+        assert doc["cold"]["epochs"] == doc["incremental"]["epochs"] >= 8
+        stats = doc["incremental"]["stats"]
+        assert stats["warm_solves"] > 0
+        assert stats["assembly_cache_hits"] > 0
+        assert doc["sweep"]["results_identical"] is True
