@@ -419,6 +419,18 @@ def build_chaos_parser() -> argparse.ArgumentParser:
         default=1,
         help="perturbed re-attempts per backend (default 1)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a structured JSONL trace of every soaked run to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a JSON metrics-registry dump of the soak to PATH",
+    )
     return parser
 
 
@@ -443,7 +455,26 @@ def _run_chaos(argv: Sequence[str]) -> int:
         solver_timeout_s=args.solver_timeout,
         solver_retries=args.solver_retries,
     )
-    outcomes = run_chaos_soak(config)
+    with contextlib.ExitStack() as stack:
+        if args.trace:
+            from repro.obs.trace import Tracer, use_tracer
+
+            try:
+                tracer = stack.enter_context(Tracer.to_path(args.trace))
+            except OSError as exc:
+                print(f"cannot write trace {args.trace!r}: {exc}", file=sys.stderr)
+                return 2
+            stack.enter_context(use_tracer(tracer))
+        registry = None
+        if args.metrics:
+            from repro.obs.registry import MetricsRegistry, use_registry
+
+            registry = MetricsRegistry()
+            stack.enter_context(use_registry(registry))
+        outcomes = run_chaos_soak(config)
+        if registry is not None:
+            registry.write_json(args.metrics)
+            print(f"wrote {args.metrics}")
     rows = [
         (
             str(o.seed),
@@ -477,6 +508,99 @@ def _run_chaos(argv: Sequence[str]) -> int:
     return 0 if all(o.ok for o in outcomes) else 1
 
 
+def build_diff_parser() -> argparse.ArgumentParser:
+    """Parser for the ``python -m repro diff`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro diff",
+        description="Compare two JSONL traces (written with --trace) for "
+        "cost, makespan, critical-path and LP-iteration regressions.  "
+        "Exits 1 when a gated stat grew past its threshold.",
+    )
+    parser.add_argument(
+        "base", nargs="?", metavar="BASE", help="baseline trace (JSONL)"
+    )
+    parser.add_argument(
+        "candidate", nargs="?", metavar="CANDIDATE", help="candidate trace (JSONL)"
+    )
+    parser.add_argument(
+        "--threshold-cost",
+        type=float,
+        metavar="FRAC",
+        default=None,
+        help="relative total-cost increase gate (default 0.05)",
+    )
+    parser.add_argument(
+        "--threshold-makespan",
+        type=float,
+        metavar="FRAC",
+        default=None,
+        help="relative makespan increase gate (default 0.10)",
+    )
+    parser.add_argument(
+        "--threshold-lp-iterations",
+        type=float,
+        metavar="FRAC",
+        default=None,
+        help="relative LP-iteration increase gate (default 0.50)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the comparison as JSON to PATH",
+    )
+    parser.add_argument(
+        "--emit-smoke-traces",
+        metavar="DIR",
+        default=None,
+        help="instead of diffing, write the CI smoke trio (base/same/slow "
+        "traces of a tiny deterministic scenario) into DIR",
+    )
+    return parser
+
+
+def _run_diff(argv: Sequence[str]) -> int:
+    import json
+
+    from repro.obs.diff import diff_traces, emit_smoke_traces
+    from repro.obs.export import load_jsonl
+
+    args = build_diff_parser().parse_args(argv)
+    if args.emit_smoke_traces:
+        for path in emit_smoke_traces(args.emit_smoke_traces).values():
+            print(f"wrote {path}")
+        return 0
+    if not args.base or not args.candidate:
+        print("diff needs BASE and CANDIDATE traces (or --emit-smoke-traces)",
+              file=sys.stderr)
+        return 2
+    thresholds = {}
+    if args.threshold_cost is not None:
+        thresholds["total_cost"] = args.threshold_cost
+    if args.threshold_makespan is not None:
+        thresholds["makespan"] = args.threshold_makespan
+    if args.threshold_lp_iterations is not None:
+        thresholds["lp_iterations"] = args.threshold_lp_iterations
+    try:
+        base = load_jsonl(args.base)
+        candidate = load_jsonl(args.candidate)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"not a JSONL trace ({exc})", file=sys.stderr)
+        return 2
+    result = diff_traces(base, candidate, thresholds=thresholds)
+    print(f"base:      {args.base}")
+    print(f"candidate: {args.candidate}")
+    print(result.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if result.ok else 1
+
+
 #: Subcommands with their own flags (dispatched on ``argv[0]`` before the
 #: experiment parser, so they never collide with experiment names).  New
 #: subcommands register here instead of special-casing :func:`main`.
@@ -491,6 +615,7 @@ SUBCOMMANDS: Dict[str, Callable[[Sequence[str]], int]] = {
     "lint": _run_lint,
     "chaos": _run_chaos,
     "bench": _run_bench,
+    "diff": _run_diff,
 }
 
 

@@ -28,6 +28,7 @@ from repro.util import round_half_up
 from repro.core.solution import CoScheduleSolution, CostBreakdown
 from repro.cost.accounting import CostLedger
 from repro.obs import lpprof
+from repro.obs.ledger import DollarLedger, emit_run_summary
 from repro.obs.registry import current_registry
 from repro.obs.trace import current_tracer
 from repro.workload.job import DataObject, Job, Workload
@@ -242,13 +243,23 @@ class EpochController:
             ledger.charge_runtime_transfer(
                 float(cost_lm[l, m]), machine_id=int(l), store_id=int(m)
             )
-        # placement per (data, store)
+        # placement per (data, store) — each epoch data object is private to
+        # one queued job, so moves attribute exactly to the job that owns it
         if inp.num_data:
+            data_job = {
+                int(inp.job_data[pos]): original_ids[pos]
+                for pos in range(len(original_ids))
+                if inp.job_data[pos] >= 0
+            }
             moved = sol.xd.copy()
             moved[np.arange(inp.num_data), inp.origin] = 0.0
             cost_ij = moved * inp.ss_cost[inp.origin, :] * inp.data_size_mb[:, None]
             for i, j in zip(*np.nonzero(cost_ij > 0)):
-                ledger.charge_placement_transfer(float(cost_ij[i, j]), store_id=int(j))
+                ledger.charge_placement_transfer(
+                    float(cost_ij[i, j]),
+                    store_id=int(j),
+                    job_id=data_job.get(int(i)),
+                )
         return bd
 
     # -- main loop -----------------------------------------------------------
@@ -295,7 +306,10 @@ class EpochController:
 
             inp, original_ids = self._build_epoch_input(queue, store_used_mb, workload.data)
             remaining_cap = np.maximum(self.cluster.store_capacity_vector() - store_used_mb, 0.0)
-            with lpprof.profile() as prof:
+            epoch_span = tracer.new_span_id()
+            with lpprof.profile() as prof, lpprof.scope(
+                epoch=epoch, scheduler="epoch-controller"
+            ):
                 sol = solve_co_online(
                     inp,
                     OnlineModelConfig(epoch_length=e, enforce_bandwidth=self.enforce_bandwidth),
@@ -309,7 +323,9 @@ class EpochController:
                 )
             if tracer.enabled:
                 for rec in prof.records:
-                    tracer.lp_solve(rec, ts=start)
+                    tracer.lp_solve(
+                        rec, ts=start, span_id=tracer.new_span_id(), parent=epoch_span
+                    )
             degraded = sol.model == DEGRADED_MODEL
             if degraded:
                 self.degraded_epochs += 1
@@ -385,6 +401,7 @@ class EpochController:
                     cost_delta=bd.real_total,
                     lp_solves=prof.solves,
                     lp_wall_s=prof.wall_seconds,
+                    span_id=epoch_span,
                 )
             reports.append(
                 EpochReport(
@@ -406,6 +423,21 @@ class EpochController:
         makespan = 0.0
         for job in workload.jobs:
             makespan = max(makespan, job.arrival_time + job_completion.get(job.job_id, 0.0))
+        if tracer.enabled:
+            dollars = DollarLedger.from_cost_ledger(ledger)
+            dollars.reconcile(ledger.total)
+            dollars.emit(tracer, makespan)
+            emit_run_summary(
+                tracer,
+                ts=makespan,
+                scheduler="epoch-controller",
+                total_cost=ledger.total,
+                makespan=makespan,
+                epochs=len(reports),
+                jobs=len(job_completion),
+                lp_solves=sum(r.lp_solves for r in reports),
+                lp_wall_s=sum(r.lp_wall_seconds for r in reports),
+            )
         return OnlineRunResult(
             reports=reports,
             ledger=ledger,

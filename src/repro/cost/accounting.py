@@ -19,7 +19,12 @@ RUNTIME_TRANSFER = "runtime-transfer"  # store -> machine during execution (Eq. 
 
 @dataclass(frozen=True)
 class CostRecord:
-    """One atomic charge."""
+    """One atomic charge.
+
+    ``span_id`` optionally ties the charge to the trace span that incurred
+    it (a task attempt, a placement move) — the join key the dollar ledger
+    (:mod:`repro.obs.ledger`) uses to reconcile bills against traces.
+    """
 
     category: str
     amount: float
@@ -27,6 +32,7 @@ class CostRecord:
     machine_id: Optional[int] = None
     store_id: Optional[int] = None
     detail: str = ""
+    span_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.amount < 0:
@@ -46,10 +52,18 @@ class CostLedger:
         job_id: Optional[int] = None,
         machine_id: Optional[int] = None,
         detail: str = "",
+        span_id: Optional[int] = None,
     ) -> None:
         """Record a CPU charge (dollars) with optional attribution."""
         self.records.append(
-            CostRecord(CPU, amount, job_id=job_id, machine_id=machine_id, detail=detail)
+            CostRecord(
+                CPU,
+                amount,
+                job_id=job_id,
+                machine_id=machine_id,
+                detail=detail,
+                span_id=span_id,
+            )
         )
 
     def charge_placement_transfer(
@@ -57,10 +71,23 @@ class CostLedger:
         amount: float,
         store_id: Optional[int] = None,
         detail: str = "",
+        job_id: Optional[int] = None,
+        span_id: Optional[int] = None,
     ) -> None:
-        """Record a store-to-store data-move charge."""
+        """Record a store-to-store data-move charge.
+
+        ``job_id`` attributes the move to the job whose plan triggered it
+        (LiPS moves blocks on behalf of a specific planned job).
+        """
         self.records.append(
-            CostRecord(PLACEMENT_TRANSFER, amount, store_id=store_id, detail=detail)
+            CostRecord(
+                PLACEMENT_TRANSFER,
+                amount,
+                store_id=store_id,
+                detail=detail,
+                job_id=job_id,
+                span_id=span_id,
+            )
         )
 
     def charge_runtime_transfer(
@@ -70,6 +97,7 @@ class CostLedger:
         machine_id: Optional[int] = None,
         store_id: Optional[int] = None,
         detail: str = "",
+        span_id: Optional[int] = None,
     ) -> None:
         """Record a store-to-machine read (or shuffle) charge."""
         self.records.append(
@@ -80,6 +108,7 @@ class CostLedger:
                 machine_id=machine_id,
                 store_id=store_id,
                 detail=detail,
+                span_id=span_id,
             )
         )
 

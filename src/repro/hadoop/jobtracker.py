@@ -41,6 +41,8 @@ class JobState:
     #: (these run on every heartbeat for every queued job)
     completed_maps: int = 0
     completed_reduces: int = 0
+    #: trace identity of the job's submit event (traced runs only)
+    span_id: Optional[int] = None
 
     @property
     def job_id(self) -> int:
@@ -155,6 +157,7 @@ class JobTracker:
         self.jobs[job.job_id] = state
         self.queue.append(state)
         if self.tracer.enabled:
+            state.span_id = self.tracer.new_span_id()
             self.tracer.event(
                 "job",
                 "submit",
@@ -163,6 +166,7 @@ class JobTracker:
                 job_name=job.name,
                 tasks=len(tasks),
                 reduces=job.num_reduces,
+                span_id=state.span_id,
             )
         return state
 
@@ -263,6 +267,8 @@ class JobTracker:
                     job_name=job.job.name,
                     tasks=len(job.tasks),
                     reduces=len(job.reduce_tasks),
+                    span_id=self.tracer.new_span_id(),
+                    parent=job.span_id,
                 )
         return siblings
 

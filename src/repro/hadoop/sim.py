@@ -33,6 +33,7 @@ from repro.hadoop.metrics import SimMetrics
 from repro.hadoop.tasktracker import TaskAttempt, TaskTracker
 from repro.hadoop.transfer import NetworkSimulator
 from repro.obs import lpprof
+from repro.obs.ledger import DollarLedger, emit_run_summary
 from repro.obs.registry import current_registry
 from repro.obs.trace import current_tracer
 from repro.schedulers.base import Assignment, TaskScheduler
@@ -146,12 +147,18 @@ class HadoopSimulator:
         self.trackers: List[TaskTracker] = [
             TaskTracker(m, tracer=self.tracer) for m in cluster.machines
         ]
-        self.network = NetworkSimulator(cluster)
+        self.network = NetworkSimulator(cluster, tracer=self.tracer)
         self.metrics = SimMetrics()
         self.history = JobHistory() if self.config.record_history else None
         self._heartbeat_scheduled = False
         self._last_progress = 0.0
         self._epoch_index = 0
+        #: causal identity of the in-flight epoch / most recent LP solve /
+        #: most recent placement move (None on untraced runs) — plan-driven
+        #: schedulers read these to link their planned attempts
+        self.current_epoch_span: Optional[int] = None
+        self.last_lp_span: Optional[int] = None
+        self.last_move_span: Optional[int] = None
 
     @property
     def now(self) -> float:
@@ -256,7 +263,7 @@ class HadoopSimulator:
             store = self.cluster.stores[source]
             local = store.colocated_machine == tracker.machine_id
             if not local:
-                self.network.flow_started(tracker.machine_id)
+                self.network.flow_started(tracker.machine_id, now=self.now)
         compute_s = task.cpu_seconds / tracker.machine.slot_ecu
         compute_s *= self._interference_factor(tracker)
         compute_s *= self._chaos_factor(tracker)
@@ -271,6 +278,11 @@ class HadoopSimulator:
             speculative=speculative,
         )
         attempt.read_is_local = local
+        if self.tracer.enabled:
+            attempt.span_id = self.tracer.new_span_id()
+            if assignment.links is not None:
+                attempt.parent_span = assignment.links.epoch
+                attempt.links = assignment.links.link_ids()
         tracker.launch(attempt)
         self._last_progress = self.now
         if speculative:
@@ -304,6 +316,11 @@ class HadoopSimulator:
             job, task, tracker, None, self.now, read_s, compute_s
         )
         attempt.read_is_local = True  # shuffle locality tracked separately
+        if self.tracer.enabled:
+            attempt.span_id = self.tracer.new_span_id()
+            if assignment.links is not None:
+                attempt.parent_span = assignment.links.epoch
+                attempt.links = assignment.links.link_ids()
         tracker.launch(attempt)
         self._last_progress = self.now
         attempt.finish_event = self.events.schedule(
@@ -314,7 +331,7 @@ class HadoopSimulator:
         task = attempt.task
         machine = tracker.machine
         if not attempt.read_is_local and task.input_mb > 0:
-            self.network.flow_finished(tracker.machine_id)
+            self.network.flow_finished(tracker.machine_id, now=self.now)
         tracker.complete(attempt)
 
         # -- charge the attempt's real dollar cost --
@@ -322,6 +339,7 @@ class HadoopSimulator:
             machine.execution_cost(task.cpu_seconds),
             job_id=job.job_id,
             machine_id=machine.machine_id,
+            span_id=attempt.span_id,
         )
         if task.is_reduce:
             mm = self.cluster.network.mm_cost
@@ -333,6 +351,7 @@ class HadoopSimulator:
                         job_id=job.job_id,
                         machine_id=machine.machine_id,
                         detail="shuffle",
+                        span_id=attempt.span_id,
                     )
             self.metrics.shuffle_mb += task.input_mb
             if self.tracer.enabled and task.input_mb > 0:
@@ -354,6 +373,7 @@ class HadoopSimulator:
                     job_id=job.job_id,
                     machine_id=machine.machine_id,
                     store_id=attempt.source_store,
+                    span_id=attempt.span_id,
                 )
             store = self.cluster.stores[attempt.source_store]
             if attempt.read_is_local:
@@ -462,6 +482,7 @@ class HadoopSimulator:
                 job_id=job.job_id,
                 machine_id=tracker.machine_id,
                 detail=detail,
+                span_id=attempt.span_id,
             )
         if attempt.task.input_mb > 0 and attempt.source_store is not None:
             price = self.cluster.network.ms_cost[tracker.machine_id, attempt.source_store]
@@ -472,9 +493,10 @@ class HadoopSimulator:
                     machine_id=tracker.machine_id,
                     store_id=attempt.source_store,
                     detail=detail,
+                    span_id=attempt.span_id,
                 )
         if not attempt.read_is_local:
-            self.network.flow_finished(tracker.machine_id)
+            self.network.flow_finished(tracker.machine_id, now=self.now)
         if self.history is not None:
             self.history.add(
                 AttemptRecord(
@@ -637,7 +659,13 @@ class HadoopSimulator:
 
     # -- data movement (used by LiPS) ------------------------------------------
     def move_block(self, block, to_store: int, job_id: Optional[int] = None) -> float:
-        """Move a block between stores; charges cost, returns completion time."""
+        """Move a block between stores; charges cost, returns completion time.
+
+        On traced runs the move is a first-class span (``transfer/move``)
+        parented to the in-flight epoch; :attr:`last_move_span` exposes its
+        id so the planner can link the waiting task to it.
+        """
+        self.last_move_span = None
         src_candidates = list(block.replicas)
         if to_store in src_candidates:
             return self.now
@@ -647,26 +675,39 @@ class HadoopSimulator:
         )
         price = self.cluster.network.ss_cost[src, to_store]
         moved = self.hdfs.move_block(block, to_store)
+        move_s = self.network.store_move_time(src, to_store, moved)
+        if self.tracer.enabled and moved > 0:
+            self.last_move_span = self.tracer.new_span_id()
         if moved > 0 and price > 0:
             self.metrics.ledger.charge_placement_transfer(
-                moved * price, store_id=to_store, detail=f"block{block.block_id}"
+                moved * price,
+                store_id=to_store,
+                detail=f"block{block.block_id}",
+                job_id=job_id,
+                span_id=self.last_move_span,
             )
         self.metrics.moved_mb += moved
         if self.tracer.enabled and moved > 0:
             src_zone = self.cluster.stores[src].zone
             dst_zone = self.cluster.stores[to_store].zone
-            self.tracer.event(
+            causal = {}
+            if self.current_epoch_span is not None:
+                causal["parent"] = self.current_epoch_span
+            self.tracer.span(
                 "transfer",
                 "move",
                 self.now,
+                move_s,
                 block=block.block_id,
                 job=job_id,
                 src=src,
                 dest=to_store,
                 mb=moved,
                 tier="zone" if src_zone == dst_zone else "remote",
+                span_id=self.last_move_span,
+                **causal,
             )
-        return self.now + self.network.store_move_time(src, to_store, moved)
+        return self.now + move_s
 
     # -- LP solve accounting -----------------------------------------------------
     def _on_lp_solve(self, rec) -> None:
@@ -681,7 +722,13 @@ class HadoopSimulator:
             "lp_solve_duration_seconds", help="wall seconds per LP backend solve"
         ).observe(rec.wall_seconds, model=rec.name, backend=rec.backend)
         if self.tracer.enabled:
-            self.tracer.lp_solve(rec, ts=self.now)
+            self.last_lp_span = self.tracer.new_span_id()
+            causal = {}
+            if self.current_epoch_span is not None:
+                causal["parent"] = self.current_epoch_span
+            self.tracer.lp_solve(
+                rec, ts=self.now, span_id=self.last_lp_span, **causal
+            )
 
     # -- run ----------------------------------------------------------------------
     def run(self) -> SimResult:
@@ -702,6 +749,22 @@ class HadoopSimulator:
                 f"{incomplete[:5]}"
             )
         self.metrics.makespan = self.jobtracker.makespan()
+        if self.tracer.enabled:
+            dollars = DollarLedger.from_cost_ledger(self.metrics.ledger)
+            dollars.reconcile(self.metrics.total_cost)
+            dollars.emit(self.tracer, self.metrics.makespan)
+            emit_run_summary(
+                self.tracer,
+                ts=self.metrics.makespan,
+                scheduler=self.scheduler.name,
+                total_cost=self.metrics.total_cost,
+                makespan=self.metrics.makespan,
+                tasks_run=self.metrics.tasks_run,
+                reduces_run=self.metrics.reduces_run,
+                moved_mb=self.metrics.moved_mb,
+                lp_solves=self.metrics.lp_solves,
+                lp_wall_s=self.metrics.lp_solve_seconds,
+            )
         registry = current_registry()
         if registry is not None:
             self.metrics.publish(registry, scheduler=self.scheduler.name)
@@ -734,7 +797,9 @@ class HadoopSimulator:
                 moved0 = self.metrics.moved_mb
                 solves0 = self.metrics.lp_solves
                 lp_wall0 = self.metrics.lp_solve_seconds
-                self.scheduler.on_epoch(self.now)
+                self.current_epoch_span = self.tracer.new_span_id()
+                with lpprof.scope(epoch=index, scheduler=self.scheduler.name):
+                    self.scheduler.on_epoch(self.now)
                 stats = getattr(self.scheduler, "last_plan_stats", None) or {}
                 self.tracer.span(
                     "epoch",
@@ -747,8 +812,12 @@ class HadoopSimulator:
                     moved_mb=self.metrics.moved_mb - moved0,
                     lp_solves=self.metrics.lp_solves - solves0,
                     lp_wall_s=self.metrics.lp_solve_seconds - lp_wall0,
+                    span_id=self.current_epoch_span,
                     **stats,
                 )
+                self.current_epoch_span = None
+                self.last_lp_span = None
+                self.last_move_span = None
             self._offer_all_idle()
             if not self.jobtracker.all_complete() or self._arrivals_outstanding():
                 self._schedule_epoch()

@@ -65,6 +65,12 @@ class TaskAttempt:
     speculative: bool = False
     finish_event: Optional["EventHandle"] = None
     killed: bool = False
+    #: causal identity (traced runs only): this attempt's span id, the
+    #: epoch span that planned it, and links to the LP solve / placement
+    #: move that caused it (see repro.obs.spans)
+    span_id: Optional[int] = None
+    parent_span: Optional[int] = None
+    links: List[int] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -157,6 +163,7 @@ class TaskTracker:
                 speculative=attempt.speculative,
                 read_s=attempt.read_seconds,
                 compute_s=attempt.compute_seconds,
+                span_id=attempt.span_id,
             )
 
     def complete(self, attempt: TaskAttempt) -> None:
@@ -166,6 +173,11 @@ class TaskTracker:
             self.cpu_busy_seconds += attempt.task.cpu_seconds
             self.wall_busy_seconds += attempt.duration
             if self.tracer.enabled:
+                causal = {}
+                if attempt.parent_span is not None:
+                    causal["parent"] = attempt.parent_span
+                if attempt.links:
+                    causal["links"] = attempt.links
                 self.tracer.span(
                     "task",
                     "attempt",
@@ -180,6 +192,10 @@ class TaskTracker:
                     local=attempt.read_is_local,
                     source_store=attempt.source_store,
                     input_mb=attempt.task.input_mb,
+                    read_s=attempt.read_seconds,
+                    compute_s=attempt.compute_seconds,
+                    span_id=attempt.span_id,
+                    **causal,
                 )
 
     def kill(self, attempt: TaskAttempt) -> float:

@@ -17,15 +17,25 @@ from typing import Dict
 
 
 from repro.cluster.builder import Cluster
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass
 class NetworkSimulator:
-    """Tracks active flows per machine NIC and times transfers."""
+    """Tracks active flows per machine NIC and times transfers.
+
+    When a tracer collecting the (default-excluded) ``netflow`` category is
+    installed, every remote-read flow start/finish is recorded with the
+    NIC's concurrent flow count — the contention signal behind slow reads.
+    Flow events carry no simulation time of their own (the caller owns the
+    clock), so ``now`` is threaded in by the simulator.
+    """
 
     cluster: Cluster
     #: extra seconds added per remote read (connection setup, RTT-ish)
     per_flow_latency_s: float = 0.05
+    #: trace emitter for netflow records (the simulator installs its own)
+    tracer: object = NULL_TRACER
     _active_flows: Dict[int, int] = field(default_factory=dict)
 
     def read_time(self, machine_id: int, store_id: int, mb: float) -> float:
@@ -51,17 +61,26 @@ class NetworkSimulator:
         bw = self.cluster.network.store_bandwidth(src_store, dst_store)
         return mb / bw
 
-    def flow_started(self, machine_id: int) -> None:
+    def flow_started(self, machine_id: int, now: float = 0.0) -> None:
         """Count a new remote read on the machine's NIC."""
-        self._active_flows[machine_id] = self._active_flows.get(machine_id, 0) + 1
+        flows = self._active_flows.get(machine_id, 0) + 1
+        self._active_flows[machine_id] = flows
+        if self.tracer.enabled and self.tracer.wants("netflow"):
+            self.tracer.event(
+                "netflow", "start", now, machine=machine_id, active=flows
+            )
 
-    def flow_finished(self, machine_id: int) -> None:
+    def flow_finished(self, machine_id: int, now: float = 0.0) -> None:
         """Release a remote read from the machine's NIC."""
         n = self._active_flows.get(machine_id, 0)
         if n <= 1:
             self._active_flows.pop(machine_id, None)
         else:
             self._active_flows[machine_id] = n - 1
+        if self.tracer.enabled and self.tracer.wants("netflow"):
+            self.tracer.event(
+                "netflow", "finish", now, machine=machine_id, active=max(0, n - 1)
+            )
 
     def active_flows(self, machine_id: int) -> int:
         """Concurrent remote reads on one machine."""

@@ -82,6 +82,7 @@ class HighsBackend:
                 presolve_fixed_vars=fixed,
                 presolve_dropped_rows=dropped,
                 presolve_applied=self.presolve,
+                meta=lpprof.current_scope(),
                 **lpprof.describe_assembled(asm),
             )
         )

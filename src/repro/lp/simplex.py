@@ -150,6 +150,7 @@ class SimplexBackend:
                 presolve_fixed_vars=fixed,
                 presolve_dropped_rows=dropped,
                 presolve_applied=self.presolve,
+                meta=lpprof.current_scope(),
                 **lpprof.describe_assembled(asm),
             )
         )

@@ -77,8 +77,13 @@ def to_chrome_trace(records: Iterable[dict], pid: int = 1) -> dict:
     Spans become complete (``ph: X``) events, instants become instant
     (``ph: i``) events, and LP solves become complete events on their own
     lane whose duration is the solve's *wall* time (the one real-clock
-    quantity in a trace).
+    quantity in a trace).  Causal identity (``parent``/``links``, see
+    :mod:`repro.obs.spans`) is rendered as Chrome flow-event arrows
+    (``ph: s``/``f``) between the lanes, one flow per causal edge — the
+    ``span_id``/``parent``/``links`` attributes themselves also survive
+    verbatim in ``args``.
     """
+    records = list(records)
     events: List[dict] = []
     lanes: Dict[int, str] = {}
     for record in records:
@@ -111,6 +116,7 @@ def to_chrome_trace(records: Iterable[dict], pid: int = 1) -> dict:
             base["ph"] = "i"
             base["s"] = "t"
         events.append(base)
+    events.extend(_flow_events(records, pid))
     meta = [
         {
             "name": "thread_name",
@@ -124,16 +130,65 @@ def to_chrome_trace(records: Iterable[dict], pid: int = 1) -> dict:
     return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 
+def _flow_events(records: List[dict], pid: int) -> List[dict]:
+    """Chrome flow arrows for every parent/links causal edge."""
+    located: Dict[int, dict] = {}
+    for record in records:
+        sid = record.get("span_id")
+        if sid is not None:
+            located[int(sid)] = record
+    flows: List[dict] = []
+    flow_id = 0
+    for record in records:
+        dst = record.get("span_id")
+        if dst is None:
+            continue
+        sources = []
+        if record.get("parent") is not None:
+            sources.append(int(record["parent"]))
+        sources.extend(int(x) for x in record.get("links") or ())
+        for src_id in sources:
+            src = located.get(src_id)
+            if src is None:
+                continue
+            flow_id += 1
+            flows.append(
+                {
+                    "name": "causal",
+                    "cat": "causal",
+                    "ph": "s",
+                    "id": flow_id,
+                    "pid": pid,
+                    "tid": _lane(src),
+                    "ts": float(src.get("ts", 0.0)) * _US,
+                }
+            )
+            flows.append(
+                {
+                    "name": "causal",
+                    "cat": "causal",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "pid": pid,
+                    "tid": _lane(record),
+                    "ts": float(record.get("ts", 0.0)) * _US,
+                }
+            )
+    return flows
+
+
 def from_chrome_trace(chrome: dict) -> List[dict]:
     """Inverse of :func:`to_chrome_trace` (envelope + args only).
 
-    Reconstructs ``(type, cat, name, ts[, dur])`` plus the preserved args.
-    LP solve records come back as ``lp_solve`` with their wall time in the
-    args (their Chrome duration), other spans recover ``dur``.
+    Reconstructs ``(type, cat, name, ts[, dur])`` plus the preserved args —
+    including ``span_id``/``parent``/``links``, which round-trip verbatim.
+    Metadata and flow-arrow events (``ph`` M/s/f) are projection artefacts
+    and are skipped.
     """
     out: List[dict] = []
     for ev in chrome.get("traceEvents", []):
-        if ev.get("ph") == "M":
+        if ev.get("ph") in ("M", "s", "f", "t"):
             continue
         cat = ev.get("cat", "?")
         name = ev["name"].split(":", 1)[1] if ":" in ev["name"] else ev["name"]

@@ -17,12 +17,18 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List
+from typing import Callable, Iterator, List, Mapping
 
 
 @dataclass(frozen=True)
 class LPSolveRecord:
-    """Shape, cost and outcome of one LP backend solve."""
+    """Shape, cost and outcome of one LP backend solve.
+
+    ``meta`` carries the caller's solve scope (see :func:`scope`) — e.g.
+    the epoch index and scheduler a solve belongs to — flattened into the
+    trace record so analysis can join solves to epochs without relying on
+    collector installation order.
+    """
 
     name: str
     backend: str
@@ -36,6 +42,7 @@ class LPSolveRecord:
     presolve_fixed_vars: int = 0
     presolve_dropped_rows: int = 0
     presolve_applied: bool = False
+    meta: Mapping[str, object] = field(default_factory=dict)
 
     @property
     def rows(self) -> int:
@@ -44,7 +51,7 @@ class LPSolveRecord:
 
     def to_dict(self) -> dict:
         """Flat JSON-ready view (used by the trace emitter)."""
-        return {
+        out = {
             "backend": self.backend,
             "rows_ub": self.rows_ub,
             "rows_eq": self.rows_eq,
@@ -57,6 +64,9 @@ class LPSolveRecord:
             "presolve_dropped_rows": self.presolve_dropped_rows,
             "presolve_applied": self.presolve_applied,
         }
+        for key, value in self.meta.items():
+            out.setdefault(key, value)
+        return out
 
 
 def describe_assembled(asm) -> dict:
@@ -73,6 +83,36 @@ Collector = Callable[[LPSolveRecord], None]
 
 #: Installed collectors (a stack: nested scopes all observe).
 _collectors: List[Collector] = []
+
+#: Solve-scope stack: caller-provided context stamped onto every record a
+#: backend emits inside the scope (epoch index, scheduler name, ...).
+_scopes: List[dict] = []
+
+
+def current_scope() -> dict:
+    """The merged attributes of every active solve scope (innermost wins)."""
+    if not _scopes:
+        return {}
+    merged: dict = {}
+    for entry in _scopes:
+        merged.update(entry)
+    return merged
+
+
+@contextlib.contextmanager
+def scope(**attrs) -> Iterator[dict]:
+    """Stamp ``attrs`` onto every solve record emitted in this extent.
+
+    The epoch controller and LiPS wrap their per-epoch solves in
+    ``scope(epoch=i, scheduler=...)``, which is what lets a trace join an
+    ``lp_solve`` record back to its epoch even when several backends (or a
+    resilient retry chain) ran inside the same epoch.
+    """
+    _scopes.append(dict(attrs))
+    try:
+        yield _scopes[-1]
+    finally:
+        _scopes.pop()
 
 
 def active() -> bool:

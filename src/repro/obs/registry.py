@@ -239,6 +239,43 @@ class MetricsRegistry:
         """All metrics, sorted by name."""
         return [self._metrics[k] for k in sorted(self._metrics)]
 
+    def merge_from(self, other: "MetricsRegistry", **labels: object) -> None:
+        """Fold another registry's series into this one.
+
+        Counters and gauges accumulate; histogram series merge bucket by
+        bucket (same bucket bounds required).  Extra ``labels`` are added
+        to every merged series — the per-seed soak registries use this to
+        land in the ambient ``--metrics`` registry labelled by seed.
+        """
+        for metric in other.metrics():
+            if isinstance(metric, Counter):
+                mine = self.counter(metric.name, metric.help)
+                for key, value in metric._series().items():
+                    mine.inc(value, **dict(key), **labels)
+            elif isinstance(metric, Gauge):
+                mine = self.gauge(metric.name, metric.help)
+                for key, value in metric._series().items():
+                    mine.add(value, **dict(key), **labels)
+            elif isinstance(metric, Histogram):
+                mine = self.histogram(metric.name, metric.help, buckets=metric.buckets)
+                if mine.buckets != metric.buckets:
+                    raise ValueError(
+                        f"histogram {metric.name!r} bucket bounds differ; cannot merge"
+                    )
+                for key, series in metric._series_map.items():
+                    merged_key = _label_key({**dict(key), **labels})
+                    mine_series = mine._series_map.get(merged_key)
+                    if mine_series is None:
+                        mine_series = mine._series_map[merged_key] = _HistogramSeries(
+                            len(mine.buckets)
+                        )
+                    for i, c in enumerate(series.bucket_counts):
+                        mine_series.bucket_counts[i] += c
+                    mine_series.count += series.count
+                    mine_series.sum += series.sum
+                    mine_series.min = min(mine_series.min, series.min)
+                    mine_series.max = max(mine_series.max, series.max)
+
     def dump(self) -> List[dict]:
         """JSON-ready dump of every metric (sorted, deterministic)."""
         return [m.dump() for m in self.metrics()]

@@ -163,6 +163,49 @@ def resilience_table(records: List[dict]) -> Optional[str]:
     return format_table(["event", "detail", "count"], rows, title="Resilience")
 
 
+def cost_table(records: List[dict]) -> Optional[str]:
+    """Dollar-attribution table from the trace's ledger cells.
+
+    Returns None for traces written before the end-of-run ledger records
+    existed, so old-trace reports stay unchanged.
+    """
+    from repro.obs.ledger import DollarLedger
+
+    ledger = DollarLedger.from_trace(records)
+    if not len(ledger):
+        return None
+    rows = [
+        (
+            "-" if c.job is None else c.job,
+            "-" if c.node is None else c.node,
+            c.category,
+            f"{c.dollars:.6f}",
+            c.charges,
+            f"{100 * (c.linked_dollars / c.dollars if c.dollars else 1.0):.0f}%",
+        )
+        for c in ledger.rows()
+    ]
+    rows.append(("", "", "total", f"{ledger.total:.6f}", "", ""))
+    return format_table(
+        ["job", "node", "category", "dollars", "charges", "span-linked"],
+        rows,
+        title="Dollar attribution",
+    )
+
+
+def critpath_section(records: List[dict]) -> Optional[str]:
+    """Critical-path rendering, or None when the trace has no causal spans."""
+    from repro.obs.critpath import CritPathError, critical_path
+
+    try:
+        path = critical_path(records)
+    except CritPathError as exc:
+        return f"critical path: unavailable ({exc})"
+    if not path.segments:
+        return None
+    return path.render()
+
+
 def render(path, limit: Optional[int] = 40) -> str:
     """Render a full trace report (summary + the tables)."""
     records = load_jsonl(path)
@@ -176,7 +219,7 @@ def render(path, limit: Optional[int] = 40) -> str:
         "",
         machine_table(records),
     ]
-    resilience = resilience_table(records)
-    if resilience is not None:
-        parts.extend(["", resilience])
+    for extra in (cost_table(records), critpath_section(records), resilience_table(records)):
+        if extra is not None:
+            parts.extend(["", extra])
     return "\n".join(parts)

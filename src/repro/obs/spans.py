@@ -1,0 +1,129 @@
+"""First-class span identity: causal links between trace records.
+
+:class:`~repro.obs.trace.Tracer` records may carry three identity
+attributes — ``span_id`` (this record), ``parent`` (the record that caused
+it) and ``links`` (non-parental causal references).  The simulator threads
+them so that every task attempt points at the scheduling epoch that planned
+it (parent), the LP solve that placed it and the placement transfer(s) it
+waited on (links).  This module holds the two sides of that contract:
+
+* :class:`PlanLinks` — the write side: a small carrier schedulers fill in
+  while planning and the simulator copies onto attempts;
+* :class:`SpanIndex` — the read side: an id-indexed view over a loaded
+  trace used by :mod:`repro.obs.critpath` and :mod:`repro.obs.diff` to
+  reconstruct the dependency DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+#: Record attribute names for causal identity.
+SPAN_ID = "span_id"
+PARENT = "parent"
+LINKS = "links"
+
+
+def span_id_of(record: dict) -> Optional[int]:
+    """The record's span id, or ``None`` when it carries no identity."""
+    return record.get(SPAN_ID)
+
+
+def parent_of(record: dict) -> Optional[int]:
+    """The record's parent span id, if any."""
+    return record.get(PARENT)
+
+
+def links_of(record: dict) -> List[int]:
+    """The record's link ids (always a list, possibly empty)."""
+    links = record.get(LINKS)
+    if not links:
+        return []
+    return [int(x) for x in links]
+
+
+@dataclass
+class PlanLinks:
+    """Causal context of one planned task, filled in during an epoch.
+
+    ``epoch`` becomes the attempt's parent; ``lp_solve`` and ``move`` its
+    links.  All fields are ``None`` on untraced runs (the null tracer
+    allocates no ids), so carrying a ``PlanLinks`` never perturbs an
+    untraced simulation.
+    """
+
+    epoch: Optional[int] = None
+    lp_solve: Optional[int] = None
+    move: Optional[int] = None
+
+    def link_ids(self) -> List[int]:
+        """The non-parental references, in stable order."""
+        return [x for x in (self.lp_solve, self.move) if x is not None]
+
+    @property
+    def empty(self) -> bool:
+        """True when no identity was allocated (untraced run)."""
+        return self.epoch is None and self.lp_solve is None and self.move is None
+
+
+@dataclass
+class SpanIndex:
+    """Id-indexed view over trace records for DAG reconstruction."""
+
+    by_id: Dict[int, dict] = field(default_factory=dict)
+    children: Dict[int, List[dict]] = field(default_factory=dict)
+    #: records with a span id but no parent (DAG roots)
+    roots: List[dict] = field(default_factory=list)
+
+    @classmethod
+    def from_records(cls, records: Iterable[dict]) -> "SpanIndex":
+        """Index every identified record by id and by parent."""
+        index = cls()
+        for record in records:
+            sid = span_id_of(record)
+            if sid is None:
+                continue
+            index.by_id[int(sid)] = record
+            parent = parent_of(record)
+            if parent is None:
+                index.roots.append(record)
+            else:
+                index.children.setdefault(int(parent), []).append(record)
+        return index
+
+    def get(self, span_id: Optional[int]) -> Optional[dict]:
+        """The record with ``span_id``, or ``None``."""
+        if span_id is None:
+            return None
+        return self.by_id.get(int(span_id))
+
+    def parent(self, record: dict) -> Optional[dict]:
+        """The record's parent record, when present in the trace."""
+        return self.get(parent_of(record))
+
+    def linked(self, record: dict) -> List[dict]:
+        """The records referenced by ``links`` (missing ids skipped)."""
+        out = []
+        for lid in links_of(record):
+            target = self.get(lid)
+            if target is not None:
+                out.append(target)
+        return out
+
+    def ancestry(self, record: dict) -> List[dict]:
+        """The parent chain from ``record`` up to a root (record excluded)."""
+        chain: List[dict] = []
+        seen = set()
+        current = self.parent(record)
+        while current is not None:
+            sid = span_id_of(current)
+            if sid in seen:  # defensive: a cyclic trace must not hang us
+                break
+            seen.add(sid)
+            chain.append(current)
+            current = self.parent(current)
+        return chain
+
+    def __len__(self) -> int:
+        return len(self.by_id)

@@ -13,6 +13,23 @@ share a common envelope (``type``, ``cat``, ``name``, ``ts``):
     One LP backend solve: rows/cols/nonzeros, presolve reductions, wall
     seconds, iterations and terminal status (see :mod:`repro.obs.lpprof`).
 
+Causal identity
+---------------
+Records may carry three optional identity attributes (allocated with
+:meth:`Tracer.new_span_id`, see :mod:`repro.obs.spans`):
+
+``span_id``
+    This record's identity — a small integer unique within one trace.
+``parent``
+    The ``span_id`` of the record that *caused* this one (a task attempt's
+    parent is the scheduling epoch that planned it).
+``links``
+    Non-parental causal references — the LP solve that placed a task, the
+    placement transfer it waited on.
+
+Ids are allocated sequentially per tracer, so a seeded run allocates the
+same ids every time; the null tracer allocates nothing (``None``).
+
 Everything else on a record is a free-form attribute.  Timestamps are
 *simulation* seconds (LP wall time is the one real-clock quantity, and it is
 carried as an attribute, never as ``ts``), so a seeded run traces
@@ -33,10 +50,10 @@ import json
 import threading
 from typing import IO, Iterator, List, Optional, Sequence, Union
 
-#: Dispatch-level records (one per event-queue callback) are high-volume
-#: and excluded by default; pass ``categories`` including ``"dispatch"`` to
-#: a :class:`Tracer` to opt in.
-DEFAULT_EXCLUDED_CATEGORIES = frozenset({"dispatch"})
+#: Dispatch-level records (one per event-queue callback) and per-flow NIC
+#: records are high-volume and excluded by default; pass ``categories``
+#: including ``"dispatch"``/``"netflow"`` to a :class:`Tracer` to opt in.
+DEFAULT_EXCLUDED_CATEGORIES = frozenset({"dispatch", "netflow"})
 
 
 def json_default(obj):
@@ -60,13 +77,17 @@ class NullTracer:
         """Never wants anything."""
         return False
 
+    def new_span_id(self) -> None:
+        """No identity when disabled (``None``)."""
+        return None
+
     def event(self, cat: str, name: str, ts: float, **attrs) -> None:
         """No-op."""
 
     def span(self, cat: str, name: str, ts: float, dur: float, **attrs) -> None:
         """No-op."""
 
-    def lp_solve(self, record, ts: float = 0.0) -> None:
+    def lp_solve(self, record, ts: float = 0.0, **attrs) -> None:
         """No-op."""
 
     def close(self) -> None:
@@ -105,6 +126,11 @@ class Tracer:
         self._keep = keep_records or sink is None
         self.records: List[dict] = []
         self._owns_sink = False
+        self.closed = False
+        #: records emitted after :meth:`close` — counted, never written
+        #: (abandoned solver-timeout threads can outlive the run)
+        self.dropped_after_close = 0
+        self._next_span_id = 0
         # emission must be thread-safe: abandoned solver-timeout threads
         # (repro.resilience) can outlive their solve and emit concurrently
         # with the main thread; an unlocked two-part write interleaves lines
@@ -124,15 +150,29 @@ class Tracer:
             return cat in self._categories
         return cat not in DEFAULT_EXCLUDED_CATEGORIES
 
+    # -- causal identity ---------------------------------------------------
+    def new_span_id(self) -> int:
+        """Allocate the next span id (sequential, so seeded runs agree)."""
+        with self._lock:
+            self._next_span_id += 1
+            return self._next_span_id
+
     # -- emission ----------------------------------------------------------
     def emit(self, record: dict) -> None:
-        """Record one raw trace record (already enveloped); thread-safe."""
+        """Record one raw trace record (already enveloped); thread-safe.
+
+        After :meth:`close` the record is dropped and counted in
+        :attr:`dropped_after_close` instead of raising on the closed sink.
+        """
         line = (
             json.dumps(record, separators=(",", ":"), default=json_default)
             if self._sink is not None
             else None
         )
         with self._lock:
+            if self.closed:
+                self.dropped_after_close += 1
+                return
             if self._keep:
                 self.records.append(record)
             if self._sink is not None:
@@ -154,20 +194,36 @@ class Tracer:
         record.update(attrs)
         self.emit(record)
 
-    def lp_solve(self, record, ts: float = 0.0) -> None:
-        """Emit an LP solve record (an :class:`~repro.obs.lpprof.LPSolveRecord`)."""
+    def lp_solve(self, record, ts: float = 0.0, **attrs) -> None:
+        """Emit an LP solve record (an :class:`~repro.obs.lpprof.LPSolveRecord`).
+
+        ``attrs`` carries causal identity (``span_id``, ``parent``) and any
+        other context the collector wants to attach.
+        """
         if not self.wants("lp"):
             return
         row = {"type": "lp_solve", "cat": "lp", "name": record.name, "ts": ts}
         row.update(record.to_dict())
+        row.update(attrs)
         self.emit(row)
 
     def close(self) -> None:
-        """Flush and close an owned sink."""
-        if self._sink is not None:
-            self._sink.flush()
-            if self._owns_sink:
-                self._sink.close()
+        """Flush and close an owned sink; idempotent.
+
+        Used as a context manager the tracer closes on exceptions too, so a
+        crashed run still leaves a loadable (truncated) JSONL trace.
+        Records emitted afterwards are dropped and counted in
+        :attr:`dropped_after_close` rather than raising or interleaving
+        with a closed stream.
+        """
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            if self._sink is not None:
+                self._sink.flush()
+                if self._owns_sink:
+                    self._sink.close()
 
     def __enter__(self) -> "Tracer":
         return self

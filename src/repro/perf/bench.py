@@ -42,6 +42,45 @@ REL_TOL = 1e-7
 #: JSON schema identifier written into every benchmark file
 SCHEMA = "repro.bench/1"
 
+#: JSONL schema identifier for the append-only history file
+HISTORY_SCHEMA = "repro.bench-history/1"
+
+
+def history_row(doc: dict) -> dict:
+    """Flatten a ``repro.bench/1`` document into one history JSONL row.
+
+    The row carries a real UTC timestamp plus the headline numbers, so an
+    append-only ``BENCH_history.jsonl`` charts performance over time
+    without retaining full documents.
+    """
+    import datetime
+
+    return {
+        "schema": HISTORY_SCHEMA,
+        "ts": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "quick": doc["quick"],
+        "machines": doc["scenario"]["machines"],
+        "epochs": doc["cold"]["epochs"],
+        "cold_wall_s": doc["cold"]["wall_s"],
+        "incremental_wall_s": doc["incremental"]["wall_s"],
+        "speedup": doc["speedup"],
+        "highs_cold_wall_s": doc["highs"]["cold_wall_s"],
+        "highs_presolve_wall_s": doc["highs"]["presolve_wall_s"],
+        "sweep_serial_points_per_s": doc["sweep"]["serial_points_per_s"],
+        "sweep_parallel_points_per_s": doc["sweep"]["parallel_points_per_s"],
+        "gate_ok": doc["gate"]["ok"],
+    }
+
+
+def append_history(doc: dict, path) -> dict:
+    """Append the document's history row to the JSONL file at ``path``."""
+    row = history_row(doc)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(row, separators=(",", ":")) + "\n")
+    return row
+
 
 def build_scenario(quick: bool = False) -> Tuple[object, Workload, float, dict]:
     """The benchmark scenario: ``(cluster, workload, epoch_length, meta)``.
@@ -245,16 +284,66 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="process-pool size for the sweep-throughput section "
         "(default: REPRO_WORKERS, else 2)",
     )
+    parser.add_argument(
+        "--history",
+        metavar="PATH",
+        default="BENCH_history.jsonl",
+        help="append a timestamped repro.bench-history/1 row to this JSONL "
+        "file (default BENCH_history.jsonl; --no-history disables)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip the history append",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a structured JSONL trace of the benchmarked epoch "
+        "loops to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a JSON metrics-registry dump (bench.* gauges included) "
+        "to PATH",
+    )
     return parser
 
 
 def main(argv: Sequence[str]) -> int:
     """Entry point for ``python -m repro bench``."""
+    import contextlib
+
     args = build_bench_parser().parse_args(list(argv))
-    doc = run_bench(quick=args.quick, workers=args.workers)
+    with contextlib.ExitStack() as stack:
+        if args.trace:
+            from repro.obs.trace import Tracer, use_tracer
+
+            try:
+                tracer = stack.enter_context(Tracer.to_path(args.trace))
+            except OSError as exc:
+                print(f"cannot write trace {args.trace!r}: {exc}", file=sys.stderr)
+                return 2
+            stack.enter_context(use_tracer(tracer))
+        registry = None
+        if args.metrics:
+            from repro.obs.registry import MetricsRegistry, use_registry
+
+            registry = MetricsRegistry()
+            stack.enter_context(use_registry(registry))
+        doc = run_bench(quick=args.quick, workers=args.workers)
+        if registry is not None:
+            registry.write_json(args.metrics)
+            print(f"wrote {args.metrics}")
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    if not args.no_history:
+        append_history(doc, args.history)
+        print(f"appended {args.history}")
     eq = doc["equivalence"]
     print(
         f"epoch loop ({doc['scenario']['machines']} machines, "

@@ -35,7 +35,7 @@ from repro.core.epoch import EpochController
 from repro.hadoop.sim import HadoopSimulator, SimConfig
 from repro.lp.scipy_backend import HighsBackend
 from repro.lp.simplex import SimplexBackend
-from repro.obs.registry import MetricsRegistry, use_registry
+from repro.obs.registry import MetricsRegistry, current_registry, use_registry
 from repro.resilience.chaos import ChaosPlan, FaultInjectingBackend, random_chaos_plan
 from repro.resilience.invariants import (
     InvariantViolation,
@@ -155,6 +155,9 @@ def build_soak_backend(config: ChaosSoakConfig) -> ResilientSolver:
 def run_chaos_soak_seed(seed: int, config: ChaosSoakConfig) -> SoakOutcome:
     """Soak one seed through both execution paths; returns its outcome."""
     outcome = SoakOutcome(seed=seed)
+    # each seed gets a private registry (isolated counters); the ambient
+    # one (CLI --metrics) receives a merged, seed-labelled copy at the end
+    ambient = current_registry()
     registry = MetricsRegistry()
     with use_registry(registry):
         rng = np.random.default_rng(seed)
@@ -206,6 +209,8 @@ def run_chaos_soak_seed(seed: int, config: ChaosSoakConfig) -> SoakOutcome:
     outcome.solver_retries = registry.counter("solver_retries_total").total()
     outcome.solver_fallbacks = registry.counter("solver_fallbacks_total").total()
     outcome.epochs_degraded = registry.counter("epochs_degraded_total").total()
+    if ambient is not None:
+        ambient.merge_from(registry, seed=seed)
     return outcome
 
 

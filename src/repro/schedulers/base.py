@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
 from repro.hadoop.tasktracker import SimTask, TaskTracker
+from repro.obs.spans import PlanLinks
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hadoop.jobtracker import JobState
@@ -23,13 +24,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Assignment:
     """A scheduling decision: run ``task`` reading from ``source_store``.
 
-    ``source_store`` is ``None`` for input-less tasks.
+    ``source_store`` is ``None`` for input-less tasks.  ``links`` is the
+    causal context of plan-driven schedulers (the epoch/LP solve/data move
+    behind the decision); the simulator copies it onto the attempt's trace
+    span.  ``None`` for decision-per-offer schedulers.
     """
 
     job: "JobState"
     task: SimTask
     source_store: Optional[int]
     speculative: bool = False
+    links: Optional[PlanLinks] = None
 
 
 class TaskScheduler(abc.ABC):

@@ -38,21 +38,33 @@ from repro.core.model import SchedulingInput
 from repro.core.rounding import round_schedule
 from repro.hadoop.jobtracker import JobState
 from repro.obs.registry import current_registry
-from repro.obs.trace import current_tracer
+from repro.obs.spans import PlanLinks
 from repro.hadoop.tasktracker import SimTask, TaskTracker
 from repro.schedulers.base import Assignment, TaskScheduler
 from repro.workload.job import DataObject, Job, Workload
 
 
 class _PlanEntry:
-    """One planned task waiting for its machine's next free slot."""
+    """One planned task waiting for its machine's next free slot.
 
-    __slots__ = ("job", "task", "source_store")
+    ``links`` captures the causal context of the planning decision (the
+    epoch span, the LP solve, the data move the task waits on) on traced
+    runs; ``None`` otherwise.
+    """
 
-    def __init__(self, job: JobState, task: SimTask, source_store: Optional[int]) -> None:
+    __slots__ = ("job", "task", "source_store", "links")
+
+    def __init__(
+        self,
+        job: JobState,
+        task: SimTask,
+        source_store: Optional[int],
+        links: Optional[PlanLinks] = None,
+    ) -> None:
         self.job = job
         self.task = task
         self.source_store = source_store
+        self.links = links
 
 
 def build_zone_aggregate(cluster: Cluster) -> Cluster:
@@ -196,7 +208,7 @@ class LipsScheduler(TaskScheduler):
                     "epochs_degraded_total",
                     help="epochs scheduled by the greedy degraded path",
                 ).inc(scheduler="lips")
-            tracer = current_tracer()
+            tracer = self.sim.tracer
             if tracer.enabled:
                 tracer.event(
                     "epoch", "degraded", now, scheduler=self.name, queued=len(subjobs)
@@ -303,6 +315,7 @@ class LipsScheduler(TaskScheduler):
     ) -> None:
         planned = 0
         parked = 0
+        traced = self.sim.tracer.enabled
         for idx, (job, zone, tasks) in enumerate(groups):
             remaining = list(tasks)
             for (machine_id, dst_zone), count in sorted(task_counts[idx].items()):
@@ -311,7 +324,15 @@ class LipsScheduler(TaskScheduler):
                         break
                     task = remaining.pop()
                     if zone is None:
-                        entry = _PlanEntry(job, task, None)
+                        links = (
+                            PlanLinks(
+                                epoch=self.sim.current_epoch_span,
+                                lp_solve=self.sim.last_lp_span,
+                            )
+                            if traced
+                            else None
+                        )
+                        entry = _PlanEntry(job, task, None, links)
                     else:
                         dst_store = self._dest_store(machine_id, dst_zone)
                         block = self.sim.hdfs.blocks[task.block_id]
@@ -319,7 +340,16 @@ class LipsScheduler(TaskScheduler):
                         task.pinned_store = dst_store
                         task.candidate_stores = [dst_store]
                         task.earliest_start = ready
-                        entry = _PlanEntry(job, task, dst_store)
+                        links = (
+                            PlanLinks(
+                                epoch=self.sim.current_epoch_span,
+                                lp_solve=self.sim.last_lp_span,
+                                move=self.sim.last_move_span,
+                            )
+                            if traced
+                            else None
+                        )
+                        entry = _PlanEntry(job, task, dst_store, links)
                     self.plans[machine_id].append(entry)
                     self._planned_keys.add(task.key)
                     planned += 1
@@ -396,7 +426,12 @@ class LipsScheduler(TaskScheduler):
                 continue
             plan.popleft()
             self._planned_keys.discard(task.key)
-            return Assignment(job=entry.job, task=task, source_store=entry.source_store)
+            return Assignment(
+                job=entry.job,
+                task=task,
+                source_store=entry.source_store,
+                links=entry.links,
+            )
         return None
 
     @property

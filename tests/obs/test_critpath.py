@@ -1,0 +1,98 @@
+"""Critical-path tests: golden decomposition and the tiling invariant.
+
+The golden trace (tests/obs/golden_trace.jsonl) freezes the tiny
+2-machine/2-job LiPS run, so the critical path over it is a fixed point:
+the binding chain waits for the t=60 scheduling epoch, reads, computes,
+and defines the 92.96s makespan.
+"""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.obs.critpath import (
+    ARRIVAL_WAIT,
+    COMPUTE,
+    EPOCH_WAIT,
+    RUNTIME_TRANSFER,
+    CriticalPath,
+    CritPathError,
+    Segment,
+    critical_path,
+)
+from repro.obs.export import load_jsonl
+from repro.obs.trace import Tracer
+
+from tests.obs.test_sim_tracing import run_once
+
+GOLDEN = Path(__file__).parent / "golden_trace.jsonl"
+
+
+@pytest.fixture(scope="module")
+def golden_path():
+    return critical_path(load_jsonl(GOLDEN))
+
+
+class TestGoldenPath:
+    def test_segments_sum_to_makespan_exactly(self, golden_path):
+        residual = golden_path.check(tol=1e-9)
+        assert abs(residual) <= 1e-9
+        assert golden_path.makespan == pytest.approx(92.96, abs=0.01)
+
+    def test_segments_are_contiguous_from_zero(self, golden_path):
+        assert golden_path.segments[0].start == 0.0
+        for prev, nxt in zip(golden_path.segments, golden_path.segments[1:]):
+            assert nxt.start == pytest.approx(prev.end, abs=1e-9)
+        assert golden_path.segments[-1].end == pytest.approx(
+            golden_path.makespan, abs=1e-9
+        )
+
+    def test_decomposition_kinds_and_magnitudes(self, golden_path):
+        by_kind = golden_path.by_kind()
+        # binding chain: submitted at t=0, waits out the t=60 epoch, then runs
+        assert by_kind[EPOCH_WAIT] == pytest.approx(60.0, abs=0.01)
+        assert ARRIVAL_WAIT not in by_kind
+        assert by_kind[COMPUTE] == pytest.approx(32.8, abs=0.1)
+        assert by_kind.get(RUNTIME_TRANSFER, 0.0) < 1.0
+        assert math.fsum(by_kind.values()) == pytest.approx(
+            golden_path.makespan, abs=1e-9
+        )
+
+    def test_render_mentions_kinds_and_makespan(self, golden_path):
+        text = golden_path.render()
+        assert "critical path: makespan 92.96s" in text
+        assert EPOCH_WAIT in text and COMPUTE in text
+
+
+class TestLiveTrace:
+    def test_solver_wall_time_surfaced_separately(self):
+        tracer = Tracer()
+        res = run_once(tracer=tracer)
+        path = critical_path(tracer.records)
+        # real wall seconds, reported but never a timeline segment
+        assert 0.0 < path.solver_wall_s < 10.0
+        assert path.makespan == pytest.approx(res.metrics.makespan)
+        assert not any(s.kind == "lp" for s in path.segments)
+
+
+class TestInvariantEnforcement:
+    def test_empty_trace_yields_empty_path(self):
+        path = critical_path([])
+        assert path.segments == [] and path.makespan == 0.0
+        assert path.check() == 0.0
+
+    def test_check_rejects_sum_mismatch(self):
+        path = CriticalPath(
+            segments=[Segment(0.0, 5.0, COMPUTE)], makespan=10.0
+        )
+        with pytest.raises(CritPathError, match="residual"):
+            path.check()
+
+    def test_check_rejects_gap(self):
+        path = CriticalPath(
+            segments=[Segment(0.0, 4.0, COMPUTE), Segment(6.0, 12.0, COMPUTE)],
+            makespan=10.0,
+        )
+        with pytest.raises(CritPathError, match="gap"):
+            path.check()

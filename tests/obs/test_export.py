@@ -72,6 +72,48 @@ class TestChromeTrace:
         assert "traceEvents" in loaded
 
 
+CAUSAL_RECORDS = [
+    {"type": "span", "cat": "epoch", "name": "scheduler-epoch", "ts": 0.0,
+     "dur": 60.0, "index": 0, "span_id": 1},
+    {"type": "lp_solve", "cat": "lp", "name": "co-online", "ts": 60.0,
+     "backend": "highs", "wall_s": 0.01, "iterations": 7, "status": "optimal",
+     "span_id": 2, "parent": 1},
+    {"type": "span", "cat": "transfer", "name": "move", "ts": 60.0, "dur": 5.0,
+     "block": 0, "src": 0, "dest": 1, "mb": 64.0, "span_id": 3, "parent": 1},
+    {"type": "span", "cat": "task", "name": "attempt", "ts": 65.0, "dur": 10.0,
+     "machine": 1, "job": 0, "span_id": 4, "parent": 1, "links": [2, 3]},
+]
+
+
+class TestCausalFlows:
+    def test_round_trip_preserves_causal_identity(self):
+        back = from_chrome_trace(to_chrome_trace(CAUSAL_RECORDS))
+        assert back == CAUSAL_RECORDS
+
+    def test_flow_arrows_per_causal_edge(self):
+        chrome = to_chrome_trace(CAUSAL_RECORDS)
+        starts = [e for e in chrome["traceEvents"] if e["ph"] == "s"]
+        ends = [e for e in chrome["traceEvents"] if e["ph"] == "f"]
+        # edges: lp->epoch, move->epoch, attempt->epoch, attempt->lp, attempt->move
+        assert len(starts) == len(ends) == 5
+        assert {e["id"] for e in starts} == {e["id"] for e in ends}
+
+    def test_flow_arrows_join_source_and_target_lanes(self):
+        chrome = to_chrome_trace(CAUSAL_RECORDS)
+        by_id = {}
+        for e in chrome["traceEvents"]:
+            if e["ph"] in ("s", "f"):
+                by_id.setdefault(e["id"], {})[e["ph"]] = e
+        # the attempt->move edge starts on the move's lane, ends on machine 1
+        lanes = {(pair["s"]["tid"], pair["f"]["tid"]) for pair in by_id.values()}
+        assert (MISC_LANE, 1) in lanes  # move (no machine attr) -> attempt
+
+    def test_dangling_link_emits_no_flow(self):
+        records = [dict(CAUSAL_RECORDS[-1], links=[99])]
+        chrome = to_chrome_trace(records)
+        assert not [e for e in chrome["traceEvents"] if e["ph"] in ("s", "f")]
+
+
 class TestSummary:
     def test_mentions_counts(self):
         text = summary(RECORDS)

@@ -1,0 +1,129 @@
+"""Dollar-ledger tests: reconciliation property, trace round-trip, sim join.
+
+The core invariant — cells re-sum to the authoritative total within 1e-9
+dollars — is exercised with hypothesis over random charge sets, then
+end-to-end against a traced simulator run.
+"""
+
+import math
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.accounting import CostLedger
+from repro.obs.export import load_jsonl
+from repro.obs.ledger import (
+    DollarLedger,
+    LedgerMismatch,
+    emit_run_summary,
+    summary_from_trace,
+)
+from repro.obs.trace import Tracer
+
+from tests.obs.test_sim_tracing import run_once
+
+amounts = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+ids = st.one_of(st.none(), st.integers(min_value=0, max_value=4))
+
+charge = st.tuples(
+    st.sampled_from(["cpu", "placement", "runtime"]),
+    amounts,
+    ids,  # job_id
+    ids,  # machine/store id
+    st.booleans(),  # carries a span_id
+)
+
+
+def build_ledger(charges):
+    ledger = CostLedger()
+    for i, (kind, amount, job, node, linked) in enumerate(charges):
+        span = i + 1 if linked else None
+        if kind == "cpu":
+            ledger.charge_cpu(amount, job_id=job, machine_id=node, span_id=span)
+        elif kind == "placement":
+            ledger.charge_placement_transfer(
+                amount, store_id=node, job_id=job, span_id=span
+            )
+        else:
+            ledger.charge_runtime_transfer(
+                amount, job_id=job, machine_id=node, span_id=span
+            )
+    return ledger
+
+
+class TestReconciliationProperty:
+    @given(st.lists(charge, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_cells_resum_to_ledger_total(self, charges):
+        ledger = build_ledger(charges)
+        dollars = DollarLedger.from_cost_ledger(ledger)
+        expected = math.fsum(r.amount for r in ledger.records)
+        residual = dollars.reconcile(expected)
+        assert abs(residual) <= 1e-9
+        # every slicing re-sums too
+        for view in (dollars.by_category(), dollars.by_job(), dollars.by_node()):
+            assert math.fsum(view.values()) == pytest.approx(expected, abs=1e-9)
+
+    @given(st.lists(charge, min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_perturbed_total_raises(self, charges):
+        ledger = build_ledger(charges)
+        dollars = DollarLedger.from_cost_ledger(ledger)
+        expected = math.fsum(r.amount for r in ledger.records)
+        with pytest.raises(LedgerMismatch):
+            dollars.reconcile(expected + 1e-6)
+
+    @given(st.lists(charge, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_linked_dollars_never_exceed_cell_dollars(self, charges):
+        dollars = DollarLedger.from_cost_ledger(build_ledger(charges))
+        for cell in dollars.rows():
+            assert cell.linked <= cell.charges
+            assert cell.linked_dollars <= cell.dollars + 1e-12
+        assert 0.0 <= dollars.linked_fraction <= 1.0 + 1e-12
+
+
+class TestTraceRoundTrip:
+    def test_emit_then_from_trace_is_identity(self):
+        ledger = build_ledger(
+            [("cpu", 1.25, 0, 1, True), ("placement", 0.5, None, 2, False),
+             ("runtime", 0.125, 1, 1, True), ("cpu", 2.0, 0, 1, False)]
+        )
+        dollars = DollarLedger.from_cost_ledger(ledger)
+        tracer = Tracer()
+        dollars.emit(tracer, ts=100.0)
+        back = DollarLedger.from_trace(tracer.records)
+        assert back.cells == dollars.cells
+
+    def test_summary_round_trip(self):
+        tracer = Tracer()
+        emit_run_summary(
+            tracer, ts=10.0, scheduler="s", total_cost=1.5, makespan=10.0,
+            tasks_run=3,
+        )
+        summary = summary_from_trace(tracer.records)
+        assert summary["total_cost"] == 1.5 and summary["tasks_run"] == 3
+        assert summary_from_trace([]) is None
+
+
+class TestSimulatorJoin:
+    def test_traced_run_cost_cells_reconcile_with_metrics(self):
+        tracer = Tracer()
+        res = run_once(tracer=tracer)
+        dollars = DollarLedger.from_trace(tracer.records)
+        assert len(dollars) > 0
+        assert dollars.reconcile(res.metrics.total_cost) == pytest.approx(
+            0.0, abs=1e-9
+        )
+        # every dollar in this run traces back to an identified span
+        assert dollars.linked_fraction == pytest.approx(1.0)
+
+    def test_golden_trace_cells_match_summary(self):
+        records = load_jsonl(Path(__file__).parent / "golden_trace.jsonl")
+        dollars = DollarLedger.from_trace(records)
+        summary = summary_from_trace(records)
+        assert dollars.reconcile(summary["total_cost"]) == pytest.approx(
+            0.0, abs=1e-9
+        )

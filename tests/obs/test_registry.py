@@ -120,6 +120,34 @@ class TestRegistry:
         assert len(reg) == 1
 
 
+class TestMergeFrom:
+    def test_counters_and_gauges_accumulate_with_extra_labels(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("hits").inc(2, kind="solver")
+        b.gauge("makespan").set(5.0)
+        a.merge_from(b, seed=0)
+        a.merge_from(b, seed=1)
+        assert a.counter("hits").value(kind="solver", seed=0) == 2
+        assert a.counter("hits").total() == 4
+        assert a.gauge("makespan").value(seed=1) == 5.0
+
+    def test_histograms_merge_bucket_by_bucket(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.histogram("lat").observe(0.01)
+        b.histogram("lat").observe(2.0)
+        a.histogram("lat").observe(0.01)
+        a.merge_from(b)
+        assert a.histogram("lat").count() == 3
+        assert a.histogram("lat").sum() == pytest.approx(2.02)
+
+    def test_histogram_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(1.0, 2.0))
+        b.histogram("lat", buckets=(5.0,)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket bounds"):
+            a.merge_from(b)
+
+
 class TestCurrentRegistry:
     def test_default_none(self):
         assert current_registry() is None

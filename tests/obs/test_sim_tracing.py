@@ -61,7 +61,7 @@ def normalise(records):
         if r.get("type") == "lp_solve":
             r["wall_s"] = 0.0
             r["iterations"] = 0
-        if r.get("cat") == "epoch":
+        if r.get("cat") in ("epoch", "summary"):
             r["lp_wall_s"] = 0.0
         out.append(r)
     return out

@@ -88,6 +88,46 @@ class TestTracer:
         assert row["status"] == "optimal"
 
 
+class TestSpanIdentity:
+    def test_span_ids_are_sequential_per_tracer(self):
+        t = Tracer()
+        assert [t.new_span_id() for _ in range(3)] == [1, 2, 3]
+        assert Tracer().new_span_id() == 1  # fresh tracer, fresh counter
+
+    def test_null_tracer_allocates_nothing(self):
+        assert NullTracer().new_span_id() is None
+
+
+class TestLifecycle:
+    def test_context_manager_closes_and_counts_drops(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer.to_path(path) as t:
+            t.event("task", "launch", 0.0, machine=1)
+        assert t.closed
+        # emitting after close is tolerated but counted, never written
+        t.event("task", "launch", 1.0, machine=1)
+        t.span("task", "attempt", 1.0, 2.0)
+        assert t.dropped_after_close == 2
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_close_is_idempotent(self):
+        t = Tracer()
+        t.close()
+        t.close()
+        assert t.closed and t.dropped_after_close == 0
+
+    def test_context_manager_closes_on_exception(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        try:
+            with Tracer.to_path(path) as t:
+                t.event("task", "launch", 0.0)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert t.closed
+        assert json.loads(path.read_text())["name"] == "launch"
+
+
 class TestAmbientTracer:
     def test_default_is_null(self):
         assert current_tracer() is NULL_TRACER

@@ -5,7 +5,15 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.perf.bench import REL_TOL, SCHEMA, build_bench_parser, build_scenario
+from repro.perf.bench import (
+    HISTORY_SCHEMA,
+    REL_TOL,
+    SCHEMA,
+    append_history,
+    build_bench_parser,
+    build_scenario,
+    history_row,
+)
 
 #: top-level keys every repro.bench/1 document must carry
 SCHEMA_KEYS = {
@@ -47,19 +55,58 @@ class TestParser:
         args = build_bench_parser().parse_args([])
         assert args.out == "BENCH_epoch.json"
         assert not args.quick and args.workers is None
+        assert args.history == "BENCH_history.jsonl" and not args.no_history
+        assert args.trace is None and args.metrics is None
 
     def test_flags(self):
         args = build_bench_parser().parse_args(
-            ["--quick", "--out", "x.json", "--workers", "3"]
+            ["--quick", "--out", "x.json", "--workers", "3",
+             "--history", "h.jsonl", "--trace", "t.jsonl", "--metrics", "m.json"]
         )
         assert args.quick and args.out == "x.json" and args.workers == 3
+        assert args.history == "h.jsonl"
+        assert args.trace == "t.jsonl" and args.metrics == "m.json"
+
+
+#: a minimal repro.bench/1 document with every field history_row reads
+FAKE_DOC = {
+    "quick": True,
+    "scenario": {"machines": 12},
+    "cold": {"epochs": 8, "wall_s": 2.0},
+    "incremental": {"wall_s": 1.0},
+    "speedup": 2.0,
+    "highs": {"cold_wall_s": 0.5, "presolve_wall_s": 0.25},
+    "sweep": {"serial_points_per_s": 10.0, "parallel_points_per_s": 30.0},
+    "gate": {"ok": True},
+}
+
+
+class TestHistory:
+    def test_row_schema_and_fields(self):
+        row = history_row(FAKE_DOC)
+        assert row["schema"] == HISTORY_SCHEMA == "repro.bench-history/1"
+        assert row["ts"].endswith("+00:00")  # real UTC timestamp
+        assert row["machines"] == 12 and row["epochs"] == 8
+        assert row["speedup"] == 2.0 and row["gate_ok"] is True
+
+    def test_append_is_append_only_jsonl(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history(FAKE_DOC, path)
+        append_history(FAKE_DOC, path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == 2
+        assert all(r["schema"] == HISTORY_SCHEMA for r in rows)
 
 
 class TestQuickBenchEndToEnd:
     def test_quick_bench_writes_schema_and_passes_gate(self, tmp_path, capsys):
         out = tmp_path / "BENCH_epoch.json"
-        code = main(["bench", "--quick", "--out", str(out)])
+        history = tmp_path / "BENCH_history.jsonl"
+        code = main(["bench", "--quick", "--out", str(out),
+                     "--history", str(history)])
         assert code == 0, capsys.readouterr()
+        (row,) = [json.loads(line) for line in history.read_text().splitlines()]
+        assert row["schema"] == HISTORY_SCHEMA and row["quick"] is True
         doc = json.loads(out.read_text())
         assert set(doc) == SCHEMA_KEYS
         assert doc["schema"] == SCHEMA
