@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.units import CPU_SECONDS, DOLLARS, SECONDS, returns
+
 
 @dataclass
 class Machine:
@@ -59,6 +61,7 @@ class Machine:
             raise ValueError(f"machine {self.name!r}: slots must be >= 0")
 
     @property
+    @returns(CPU_SECONDS)
     def capacity(self) -> float:
         """Total equivalent-CPU-seconds available over the uptime window."""
         return self.ecu * self.uptime
@@ -68,12 +71,14 @@ class Machine:
         """ECU throughput of one map slot (slots share the node's CPUs)."""
         return self.ecu / max(1, self.map_slots)
 
+    @returns(DOLLARS)
     def execution_cost(self, cpu_seconds: float) -> float:
         """Dollar cost of running ``cpu_seconds`` equivalent-CPU-seconds here."""
         if cpu_seconds < 0:
             raise ValueError("cpu_seconds must be >= 0")
         return cpu_seconds * self.cpu_cost
 
+    @returns(SECONDS)
     def wall_time(self, cpu_seconds: float) -> float:
         """Wall-clock seconds to burn ``cpu_seconds`` at this node's speed."""
         return cpu_seconds / self.ecu

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.units import DOLLARS, returns
+
 #: Charge categories.
 CPU = "cpu"
 PLACEMENT_TRANSFER = "placement-transfer"  # data store -> data store (Eq. 6/16)
@@ -118,6 +120,7 @@ class CostLedger:
 
     # -- queries -------------------------------------------------------------
     @property
+    @returns(DOLLARS)
     def total(self) -> float:
         """Sum of every recorded charge."""
         return sum(r.amount for r in self.records)
@@ -129,10 +132,12 @@ class CostLedger:
             out[r.category] = out.get(r.category, 0.0) + r.amount
         return out
 
+    @returns(DOLLARS)
     def total_for_job(self, job_id: int) -> float:
         """Dollars attributed to one job."""
         return sum(r.amount for r in self.records if r.job_id == job_id)
 
+    @returns(DOLLARS)
     def total_for_machine(self, machine_id: int) -> float:
         """Dollars attributed to one machine."""
         return sum(r.amount for r in self.records if r.machine_id == machine_id)
@@ -153,6 +158,7 @@ class CostLedger:
                 out[r.job_id] = out.get(r.job_id, 0.0) + r.amount
         return out
 
+    @returns(DOLLARS)
     def category_total(self, category: str) -> float:
         """Total for one charge category."""
         return sum(r.amount for r in self.records if r.category == category)

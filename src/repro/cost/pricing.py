@@ -14,7 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.units import DOLLARS, returns
 
+
+@returns(DOLLARS)
 def cpu_cost(cpu_seconds: float, price_per_cpu_second: float) -> float:
     """Dollar cost of ``cpu_seconds`` at a machine's unit price."""
     if cpu_seconds < 0:
@@ -24,6 +27,7 @@ def cpu_cost(cpu_seconds: float, price_per_cpu_second: float) -> float:
     return cpu_seconds * price_per_cpu_second
 
 
+@returns(DOLLARS)
 def transfer_cost(mb: float, price_per_mb: float) -> float:
     """Dollar cost of moving ``mb`` megabytes at a link's unit price."""
     if mb < 0:

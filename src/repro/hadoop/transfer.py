@@ -18,6 +18,7 @@ from typing import Dict
 
 from repro.cluster.builder import Cluster
 from repro.obs.trace import NULL_TRACER
+from repro.units import SECONDS, returns
 
 
 @dataclass
@@ -38,6 +39,7 @@ class NetworkSimulator:
     tracer: object = NULL_TRACER
     _active_flows: Dict[int, int] = field(default_factory=dict)
 
+    @returns(SECONDS)
     def read_time(self, machine_id: int, store_id: int, mb: float) -> float:
         """Seconds to read ``mb`` from ``store_id`` into ``machine_id``.
 
@@ -54,6 +56,7 @@ class NetworkSimulator:
         flows = self._active_flows.get(machine_id, 0) + 1
         return self.per_flow_latency_s + mb / (bw / flows)
 
+    @returns(SECONDS)
     def store_move_time(self, src_store: int, dst_store: int, mb: float) -> float:
         """Seconds to move ``mb`` between stores (placement transfers)."""
         if mb <= 0:

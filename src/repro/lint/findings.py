@@ -44,6 +44,9 @@ class Finding:
     location: Optional[str] = None
     #: 1-based line for AST findings; None for model findings
     line: Optional[int] = None
+    #: stable anchor for baseline matching (flow findings: the function
+    #: qname or shared-state token the finding is about); None elsewhere
+    symbol: Optional[str] = None
 
     def to_dict(self) -> dict:
         """JSON-ready view (stable key order)."""
@@ -53,6 +56,7 @@ class Finding:
             "message": self.message,
             "location": self.location,
             "line": self.line,
+            "symbol": self.symbol,
         }
 
     def render(self) -> str:

@@ -1,0 +1,332 @@
+"""Module-level symbol table: the program view the flow passes share.
+
+One :class:`SymbolTable` covers every ``.py`` file handed to
+:func:`build_symbol_table`.  Per module it records
+
+* **imports** — local alias → fully-qualified name (``np`` → ``numpy``,
+  ``current_tracer`` → ``repro.obs.trace.current_tracer``);
+* **functions** — every ``def``, including methods and nested functions,
+  keyed by a qualified name of the form ``pkg.mod:Class.method`` (nested
+  functions use ``outer.<locals>.inner``, mirroring ``__qualname__``);
+* **classes** — base-class expressions, methods and whether the class is
+  marked as shared-mutable state (``# flow: shared`` on the ``class`` line);
+* **globals** — module-level assignments, with a flag for values that are
+  mutable containers (list/dict/set literals or constructor calls).
+
+Everything is derived from one ``ast.parse`` per file; the table keeps the
+source lines around so passes can honour per-line suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Marker comment on a ``class`` line declaring its instances are shared
+#: across threads (ambient singletons like the tracer/metrics registry).
+SHARED_MARKER = "# flow: shared"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qname: str  #: ``module:qualpath`` (e.g. ``repro.obs.trace:Tracer.emit``)
+    module: str
+    name: str
+    node: ast.AST  #: the FunctionDef/AsyncFunctionDef node
+    lineno: int
+    #: enclosing class name ("" for module-level / nested-in-function defs)
+    class_name: str = ""
+    params: Tuple[str, ...] = ()
+    decorators: Tuple[ast.AST, ...] = ()
+
+    @property
+    def is_method(self) -> bool:
+        """True when defined directly inside a class body."""
+        return bool(self.class_name)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition."""
+
+    qname: str  #: ``module:Class``
+    module: str
+    name: str
+    lineno: int
+    #: base-class expressions as dotted strings ("" when unresolvable)
+    bases: Tuple[str, ...] = ()
+    #: method name -> function qname
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: instances are shared across threads (``# flow: shared`` marker)
+    shared: bool = False
+
+
+@dataclass
+class GlobalInfo:
+    """One module-level binding."""
+
+    qname: str  #: ``module:NAME``
+    module: str
+    name: str
+    lineno: int
+    #: bound to a mutable container (list/dict/set literal or call)
+    mutable: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """Everything recorded about one parsed module."""
+
+    name: str
+    path: Path
+    tree: ast.Module
+    source_lines: List[str]
+    #: local alias -> fully qualified name
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)  # by qualpath
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)  # by class name
+    globals: Dict[str, GlobalInfo] = field(default_factory=dict)  # by name
+
+    def line(self, lineno: int) -> str:
+        """The 1-based source line (empty string out of range)."""
+        if 0 < lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1]
+        return ""
+
+
+@dataclass
+class SymbolTable:
+    """The merged program view over every analyzed module."""
+
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+    #: function qname -> FunctionInfo, across all modules
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class qname -> ClassInfo
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: method name -> [function qnames] (the name-based CHA index)
+    methods_by_name: Dict[str, List[str]] = field(default_factory=dict)
+    #: global qname -> GlobalInfo
+    globals: Dict[str, GlobalInfo] = field(default_factory=dict)
+
+    def module_of(self, qname: str) -> Optional[ModuleInfo]:
+        """The module a function/class/global qname belongs to."""
+        return self.modules.get(qname.split(":", 1)[0])
+
+    def resolve_suffix(self, dotted: str) -> List[str]:
+        """Function qnames whose ``module:qualpath`` ends in ``dotted``.
+
+        ``dotted`` uses plain dots (``HadoopSimulator.run``,
+        ``repro.core.co_online.solve_co_online``); both the module part and
+        the qualpath part participate in the match, so entry points can be
+        named as loosely or as fully as the caller likes.
+        """
+        out = []
+        want = dotted.split(".")
+        for qname in self.functions:
+            parts = qname.replace(":", ".").split(".")
+            if parts[-len(want):] == want:
+                out.append(qname)
+        return sorted(out)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from package ``__init__.py`` ancestry."""
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _param_names(node) -> Tuple[str, ...]:
+    args = node.args
+    params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    if args.vararg is not None:
+        params.append(args.vararg)
+    if args.kwarg is not None:
+        params.append(args.kwarg)
+    return tuple(a.arg for a in params)
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    """True for list/dict/set literals, comprehensions and constructors."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id in ("list", "dict", "set", "bytearray", "defaultdict", "deque"):
+            return True
+    return False
+
+
+class _ModuleVisitor(ast.NodeVisitor):
+    """Collects imports, functions, classes and globals for one module."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+        self._qual: List[str] = []  # qualname stack (Class / func.<locals>)
+        self._class: List[Optional[ClassInfo]] = []  # innermost class or None
+
+    # -- imports -----------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.info.imports[local] = target
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            # relative imports: resolve against this module's package
+            pkg = self.info.name.rsplit(".", node.level)[0] if node.level else ""
+            base = f"{pkg}.{node.module}" if node.module else pkg
+        else:
+            base = node.module
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.info.imports[local] = f"{base}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- defs --------------------------------------------------------------
+    def _add_function(self, node) -> None:
+        qualpath = ".".join([*self._qual, node.name]) if self._qual else node.name
+        qname = f"{self.info.name}:{qualpath}"
+        enclosing = self._class[-1] if self._class else None
+        fn = FunctionInfo(
+            qname=qname,
+            module=self.info.name,
+            name=node.name,
+            node=node,
+            lineno=node.lineno,
+            class_name=enclosing.name if enclosing is not None else "",
+            params=_param_names(node),
+            decorators=tuple(node.decorator_list),
+        )
+        self.info.functions[qualpath] = fn
+        if enclosing is not None:
+            enclosing.methods[node.name] = qname
+        self._qual.append(node.name)
+        self._qual.append("<locals>")
+        self._class.append(None)  # nested defs are not methods
+        self.generic_visit(node)
+        self._class.pop()
+        self._qual.pop()
+        self._qual.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._add_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._add_function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        bases = tuple(_dotted(b) or "" for b in node.bases)
+        cls = ClassInfo(
+            qname=f"{self.info.name}:{node.name}",
+            module=self.info.name,
+            name=node.name,
+            lineno=node.lineno,
+            bases=bases,
+            shared=SHARED_MARKER in self.info.line(node.lineno),
+        )
+        self.info.classes[node.name] = cls
+        self._qual.append(node.name)
+        self._class.append(cls)
+        self.generic_visit(node)
+        self._class.pop()
+        self._qual.pop()
+
+    # -- globals -----------------------------------------------------------
+    def _add_global(self, name: str, value: Optional[ast.AST], lineno: int) -> None:
+        if self._qual:  # only module level
+            return
+        existing = self.info.globals.get(name)
+        mutable = _is_mutable_value(value) if value is not None else False
+        if existing is None:
+            self.info.globals[name] = GlobalInfo(
+                qname=f"{self.info.name}:{name}",
+                module=self.info.name,
+                name=name,
+                lineno=lineno,
+                mutable=mutable,
+            )
+        elif mutable:
+            existing.mutable = True
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._add_global(target.id, node.value, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self._add_global(node.target.id, node.value, node.lineno)
+        self.generic_visit(node)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def parse_module(path: Path, module_name: Optional[str] = None) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (raises on syntax errors)."""
+    with tokenize.open(path) as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=str(path))
+    info = ModuleInfo(
+        name=module_name if module_name is not None else module_name_for(path),
+        path=path,
+        tree=tree,
+        source_lines=source.splitlines(),
+    )
+    _ModuleVisitor(info).visit(tree)
+    return info
+
+
+def build_symbol_table(paths: Iterable[Path]) -> SymbolTable:
+    """Parse every ``.py`` under ``paths`` into one :class:`SymbolTable`.
+
+    Unparseable files are skipped here — the plain AST pass already reports
+    them as ``AST999`` — so one syntax error does not take down the whole
+    program view.
+    """
+    from repro.lint.runner import iter_python_files
+
+    table = SymbolTable()
+    for path in iter_python_files(paths):
+        try:
+            info = parse_module(path)
+        except (OSError, SyntaxError, UnicodeDecodeError):
+            continue
+        # last parse wins on duplicate module names (shadowed fixtures)
+        table.modules[info.name] = info
+    for info in table.modules.values():
+        for fn in info.functions.values():
+            table.functions[fn.qname] = fn
+            if fn.is_method:
+                table.methods_by_name.setdefault(fn.name, []).append(fn.qname)
+        for cls in info.classes.values():
+            table.classes[cls.qname] = cls
+        for glob in info.globals.values():
+            table.globals[glob.qname] = glob
+    for names in table.methods_by_name.values():
+        names.sort()
+    return table

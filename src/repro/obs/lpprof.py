@@ -16,6 +16,7 @@ instead of only the ones a particular scheduler remembered to time.
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Mapping
 
@@ -81,6 +82,13 @@ def describe_assembled(asm) -> dict:
 
 Collector = Callable[[LPSolveRecord], None]
 
+#: Guards the collector and scope stacks below.  Backends report solves
+#: from whatever thread ran them — including abandoned
+#: :class:`~repro.resilience.solver.ResilientSolver` timeout workers that
+#: finish long after the main thread moved on — so stack mutation and
+#: snapshotting must not interleave.
+_lock = threading.Lock()
+
 #: Installed collectors (a stack: nested scopes all observe).
 _collectors: List[Collector] = []
 
@@ -91,10 +99,12 @@ _scopes: List[dict] = []
 
 def current_scope() -> dict:
     """The merged attributes of every active solve scope (innermost wins)."""
-    if not _scopes:
+    with _lock:
+        snapshot = list(_scopes)
+    if not snapshot:
         return {}
     merged: dict = {}
-    for entry in _scopes:
+    for entry in snapshot:
         merged.update(entry)
     return merged
 
@@ -108,42 +118,73 @@ def scope(**attrs) -> Iterator[dict]:
     ``lp_solve`` record back to its epoch even when several backends (or a
     resilient retry chain) ran inside the same epoch.
     """
-    _scopes.append(dict(attrs))
+    entry = dict(attrs)
+    with _lock:
+        _scopes.append(entry)
     try:
-        yield _scopes[-1]
+        yield entry
     finally:
-        _scopes.pop()
+        with _lock:
+            _scopes.remove(entry)
 
 
 def active() -> bool:
     """True when at least one collector wants solve records."""
-    return bool(_collectors)
+    with _lock:
+        return bool(_collectors)
 
 
 def observe(record: LPSolveRecord) -> None:
-    """Deliver one solve record to every installed collector."""
-    for cb in list(_collectors):
+    """Deliver one solve record to every installed collector.
+
+    Callbacks run outside the stack lock — a collector is allowed to be
+    slow (or to call back into this module) without blocking installs.
+    """
+    with _lock:
+        snapshot = list(_collectors)
+    for cb in snapshot:
         cb(record)
 
 
 @contextlib.contextmanager
 def collect(callback: Collector) -> Iterator[Collector]:
     """Install ``callback`` as a solve-record collector for the extent."""
-    _collectors.append(callback)
+    with _lock:
+        _collectors.append(callback)
     try:
         yield callback
     finally:
-        _collectors.remove(callback)
+        with _lock:
+            _collectors.remove(callback)
 
 
 @dataclass
-class LPProfile:
-    """A convenience collector accumulating records and summary stats."""
+class LPProfile:  # flow: shared
+    """A convenience collector accumulating records and summary stats.
+
+    Instances are handed to :func:`collect`, so :meth:`__call__` may run on
+    a late backend thread while the owner reads the summary properties —
+    appends go through a lock; readers see a consistent list snapshot.
+    """
 
     records: List[LPSolveRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __call__(self, record: LPSolveRecord) -> None:
-        self.records.append(record)
+        with self._lock:
+            self.records.append(record)
+
+    # profiles ride back from sweep worker processes; locks do not pickle
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @property
     def solves(self) -> int:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import contextlib
 import json
+import threading
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -31,13 +32,32 @@ def _label_key(labels: Mapping[str, object]) -> LabelKey:
 
 
 class Metric:
-    """Base class: a named metric with per-label-set series."""
+    """Base class: a named metric with per-label-set series.
+
+    Every metric carries its own lock: observations can arrive from late
+    :class:`~repro.resilience.solver.ResilientSolver` worker threads while
+    the main thread keeps incrementing, so series mutation is serialized
+    per metric (reads are snapshot-free — CPython dict reads are safe
+    against concurrent locked writes, and dumps run after the fact).
+    """
 
     kind = "metric"
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
+        self._lock = threading.Lock()
+
+    # metrics cross process boundaries inside sweep results; locks do not
+    # pickle, so drop the lock on the way out and mint one on the way in
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def _series(self) -> Dict[LabelKey, object]:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -51,7 +71,7 @@ class Metric:
         return {"name": self.name, "kind": self.kind, "help": self.help, "series": series}
 
 
-class Counter(Metric):
+class Counter(Metric):  # flow: shared
     """A monotonically-increasing sum per label set."""
 
     kind = "counter"
@@ -65,11 +85,13 @@ class Counter(Metric):
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def set_total(self, value: float, **labels: object) -> None:
         """Force the labelled series to ``value`` (used by metric adapters)."""
-        self._values[_label_key(labels)] = float(value)
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
 
     def value(self, **labels: object) -> float:
         """Current total of the labelled series (0 if never incremented)."""
@@ -83,7 +105,7 @@ class Counter(Metric):
         return self._values
 
 
-class Gauge(Metric):
+class Gauge(Metric):  # flow: shared
     """A value that can move both ways per label set."""
 
     kind = "gauge"
@@ -94,12 +116,14 @@ class Gauge(Metric):
 
     def set(self, value: float, **labels: object) -> None:
         """Set the labelled series to ``value``."""
-        self._values[_label_key(labels)] = float(value)
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
 
     def add(self, amount: float, **labels: object) -> None:
         """Shift the labelled series by ``amount`` (either sign)."""
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: object) -> float:
         """Current value of the labelled series (0 if never set)."""
@@ -130,7 +154,7 @@ class _HistogramSeries:
         self.max = float("-inf")
 
 
-class Histogram(Metric):
+class Histogram(Metric):  # flow: shared
     """Bucketed distribution of observations per label set."""
 
     kind = "histogram"
@@ -150,19 +174,20 @@ class Histogram(Metric):
     def observe(self, value: float, **labels: object) -> None:
         """Record one observation in the labelled series."""
         key = _label_key(labels)
-        series = self._series_map.get(key)
-        if series is None:
-            series = self._series_map[key] = _HistogramSeries(len(self.buckets))
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                series.bucket_counts[i] += 1
-                break
-        else:
-            series.bucket_counts[-1] += 1
-        series.count += 1
-        series.sum += value
-        series.min = min(series.min, value)
-        series.max = max(series.max, value)
+        with self._lock:
+            series = self._series_map.get(key)
+            if series is None:
+                series = self._series_map[key] = _HistogramSeries(len(self.buckets))
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[i] += 1
+                    break
+            else:
+                series.bucket_counts[-1] += 1
+            series.count += 1
+            series.sum += value
+            series.min = min(series.min, value)
+            series.max = max(series.max, value)
 
     def count(self, **labels: object) -> int:
         """Observations recorded in the labelled series."""
@@ -197,29 +222,42 @@ class Histogram(Metric):
         return out
 
 
-class MetricsRegistry:
+class MetricsRegistry:  # flow: shared
     """A namespace of metrics, memoised by name.
 
     Asking twice for the same name returns the same object; asking for an
     existing name with a different metric kind raises — silent type drift is
-    how metrics rot.
+    how metrics rot.  Lookup-or-create is locked: a late solver thread
+    asking for ``lp_solve_failures`` must get the same Counter object the
+    main thread holds, not a second one that shadows it in the map.
     """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def _get(self, cls, name: str, help: str, **kwargs) -> Metric:
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise TypeError(
-                    f"metric {name!r} already registered as {existing.kind}, "
-                    f"not {cls.kind}"
-                )
-            return existing
-        metric = cls(name, help=help, **kwargs)
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as {existing.kind}, "
+                        f"not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help=help, **kwargs)
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         """Get or create a counter."""
@@ -262,19 +300,20 @@ class MetricsRegistry:
                     raise ValueError(
                         f"histogram {metric.name!r} bucket bounds differ; cannot merge"
                     )
-                for key, series in metric._series_map.items():
-                    merged_key = _label_key({**dict(key), **labels})
-                    mine_series = mine._series_map.get(merged_key)
-                    if mine_series is None:
-                        mine_series = mine._series_map[merged_key] = _HistogramSeries(
-                            len(mine.buckets)
-                        )
-                    for i, c in enumerate(series.bucket_counts):
-                        mine_series.bucket_counts[i] += c
-                    mine_series.count += series.count
-                    mine_series.sum += series.sum
-                    mine_series.min = min(mine_series.min, series.min)
-                    mine_series.max = max(mine_series.max, series.max)
+                with mine._lock:
+                    for key, series in metric._series_map.items():
+                        merged_key = _label_key({**dict(key), **labels})
+                        mine_series = mine._series_map.get(merged_key)
+                        if mine_series is None:
+                            mine_series = mine._series_map[merged_key] = _HistogramSeries(
+                                len(mine.buckets)
+                            )
+                        for i, c in enumerate(series.bucket_counts):
+                            mine_series.bucket_counts[i] += c
+                        mine_series.count += series.count
+                        mine_series.sum += series.sum
+                        mine_series.min = min(mine_series.min, series.min)
+                        mine_series.max = max(mine_series.max, series.max)
 
     def dump(self) -> List[dict]:
         """JSON-ready dump of every metric (sorted, deterministic)."""

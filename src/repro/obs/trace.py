@@ -98,7 +98,7 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 
-class Tracer:
+class Tracer:  # flow: shared
     """Collects trace records in memory and/or streams them as JSONL.
 
     Parameters

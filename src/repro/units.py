@@ -1,0 +1,58 @@
+"""Physical-unit annotations for the cost model: dollars, seconds, bytes.
+
+LiPS is a *cost* scheduler — its whole point is minimizing a dollar
+objective assembled from second- and byte-denominated inputs via prices.
+Mixing those up (adding a transfer *time* to a transfer *cost*, comparing
+CPU-seconds against dollars) produces plausible-looking nonsense numbers,
+which is the worst failure mode a reproduction can have.
+
+This module is the runtime half of the defence.  The :func:`returns`
+decorator tags a function/property with the unit of its return value:
+
+    from repro.units import DOLLARS, returns
+
+    @returns(DOLLARS)
+    def cpu_cost(cpu_seconds: float, price: CpuPrice) -> float:
+        ...
+
+At runtime it is a no-op (it only sets ``__unit__`` on the function, so
+introspection and docs can see it).  The static half lives in
+:mod:`repro.lint.flow.units`: an abstract interpreter reads these
+decorators as taint sources, propagates unit tags through assignments and
+arithmetic, and flags cross-unit ``+``/``-``/comparisons as ``FLOW201``.
+
+Unit algebra is deliberately string-simple: ``*``/``/`` derive composite
+tags (``"seconds*dollars"``), addition requires exact tag equality, and
+untagged values unify with anything.  This is a linter, not a type system.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+#: Canonical unit tags.  Keep these in sync with DESIGN.md §11.3.
+DOLLARS = "dollars"
+SECONDS = "seconds"
+MEGABYTES = "megabytes"
+CPU_SECONDS = "cpu_seconds"
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def returns(unit: str) -> Callable[[_F], _F]:
+    """Declare the unit of a callable's return value.
+
+    The decorated function is returned unchanged apart from a ``__unit__``
+    attribute; the flow linter reads the decorator *statically* (the string
+    literal must appear in the decorator call) so annotations survive even
+    on properties and in unimported modules.
+    """
+
+    def mark(fn: _F) -> _F:
+        try:
+            fn.__unit__ = unit
+        except AttributeError:  # e.g. functools.partial objects
+            pass
+        return fn
+
+    return mark

@@ -1,0 +1,15 @@
+"""FLOW001 fixture: ambient RNG two calls below a seeded entry point."""
+
+import numpy as np
+
+
+def _draw(n):
+    return np.random.random(n)  # ambient global RNG — seeded runs diverge
+
+
+def _plan(n):
+    return _draw(n)
+
+
+def run(n):
+    return _plan(n)

@@ -1,0 +1,12 @@
+"""FLOW001 ok-fixture: an explicit seeded generator threads through."""
+
+import numpy as np
+
+
+def _draw(rng, n):
+    return rng.random(n)
+
+
+def run(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return _draw(rng, n)

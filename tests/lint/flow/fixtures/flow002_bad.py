@@ -1,0 +1,12 @@
+"""FLOW002 fixture: a wall-clock read on the simulation path."""
+
+import time
+
+
+def _stamp(record):
+    record["at"] = time.time()  # wall clock feeding sim state
+    return record
+
+
+def run(record):
+    return _stamp(record)

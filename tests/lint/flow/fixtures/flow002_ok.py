@@ -1,0 +1,17 @@
+"""FLOW002 ok-fixture: perf_counter is the sanctioned wall measurement.
+
+Measured wall time rides along as an attribute and never feeds simulation
+state — the repo-wide convention the pass encodes.
+"""
+
+import time
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run(fn):
+    return _timed(fn)

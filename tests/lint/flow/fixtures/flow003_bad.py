@@ -1,0 +1,12 @@
+"""FLOW003 fixture: order-unstable iteration reachable from the entry."""
+
+
+def _spread(machines):
+    out = []
+    for m in set(machines):  # lint: ok=AST001  (flow must flag this itself)
+        out.append(m)
+    return out
+
+
+def run(machines):
+    return _spread(machines)

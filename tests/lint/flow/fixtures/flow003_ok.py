@@ -1,0 +1,12 @@
+"""FLOW003 ok-fixture: sorting before iterating pins the order."""
+
+
+def _spread(machines):
+    out = []
+    for m in sorted(set(machines)):
+        out.append(m)
+    return out
+
+
+def run(machines):
+    return _spread(machines)

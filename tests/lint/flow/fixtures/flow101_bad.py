@@ -1,0 +1,28 @@
+"""FLOW101 fixture: the pre-PR-4 ``Tracer.emit`` race, distilled.
+
+A daemon worker thread (the abandoned LP-solve timeout pattern) appends to
+a shared record list while the main thread keeps emitting — the exact
+corruption :class:`repro.obs.trace.Tracer` shipped with before its lock.
+The concurrency pass must flag the unlocked write.
+"""
+
+import threading
+
+
+class Recorder:  # flow: shared
+    def __init__(self):
+        self.records = []
+
+    def emit(self, record):
+        self.records.append(record)  # unlocked shared write — the race
+
+
+def _worker(rec):
+    rec.emit({"from": "worker"})
+
+
+def run(rec):
+    t = threading.Thread(target=_worker, args=(rec,), daemon=True)
+    t.start()
+    rec.emit({"from": "main"})
+    return rec.records

@@ -1,0 +1,24 @@
+"""FLOW101 ok-fixture: the same shape, raceless — every write locked."""
+
+import threading
+
+
+class Recorder:  # flow: shared
+    def __init__(self):
+        self.records = []
+        self._lock = threading.Lock()
+
+    def emit(self, record):
+        with self._lock:
+            self.records.append(record)
+
+
+def _worker(rec):
+    rec.emit({"from": "worker"})
+
+
+def run(rec):
+    t = threading.Thread(target=_worker, args=(rec,), daemon=True)
+    t.start()
+    rec.emit({"from": "main"})
+    return rec.records

@@ -1,0 +1,19 @@
+"""FLOW102 fixture: a pool task leaning on mutable module state.
+
+Each worker process gets its own copy of ``_cache``; the parent's stays
+empty, so results silently diverge from the serial run.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_cache = {}
+
+
+def _task(x):
+    _cache[x] = x * x
+    return _cache[x]
+
+
+def sweep(xs):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_task, xs))

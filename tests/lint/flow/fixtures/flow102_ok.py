@@ -1,0 +1,12 @@
+"""FLOW102 ok-fixture: a process-pure task — args in, results out."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _task(x):
+    return x * x
+
+
+def sweep(xs):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_task, xs))

@@ -1,0 +1,19 @@
+"""FLOW103 fixture: an unseeded ``default_rng()`` inside a pool task.
+
+Worker results depend on per-process RNG state — the dataflow-backed
+upgrade of syntactic rule AST006 must flag the task at its dispatch.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def _sample(n):
+    rng = np.random.default_rng()  # lint: ok=AST002  (flow must flag this)
+    return float(rng.random(n).sum())
+
+
+def sweep(sizes):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_sample, sizes))

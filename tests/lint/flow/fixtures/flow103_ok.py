@@ -1,0 +1,15 @@
+"""FLOW103 ok-fixture: the seed travels in the task arguments."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def _sample(n, seed):
+    rng = np.random.default_rng(seed)
+    return float(rng.random(n).sum())
+
+
+def sweep(tasks):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(_sample, n, seed).result() for n, seed in tasks]

@@ -1,0 +1,24 @@
+"""FLOW201 fixture: adding seconds to dollars.
+
+``task_cost`` and ``task_time`` are annotated sources; mixing their results
+in ``+`` is exactly the plausible-nonsense arithmetic the units pass exists
+to catch.
+"""
+
+from repro.units import DOLLARS, SECONDS, returns
+
+
+@returns(DOLLARS)
+def task_cost(cpu_seconds, price):
+    return cpu_seconds * price
+
+
+@returns(SECONDS)
+def task_time(cpu_seconds, ecu):
+    return cpu_seconds / ecu
+
+
+def report(cpu_seconds, price, ecu):
+    cost = task_cost(cpu_seconds, price)
+    elapsed = task_time(cpu_seconds, ecu)
+    return cost + elapsed  # dollars + seconds

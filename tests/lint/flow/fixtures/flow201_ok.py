@@ -1,0 +1,19 @@
+"""FLOW201 ok-fixture: unit-consistent arithmetic over tagged values."""
+
+from repro.units import DOLLARS, SECONDS, returns
+
+
+@returns(DOLLARS)
+def task_cost(cpu_seconds, price):
+    return cpu_seconds * price
+
+
+@returns(SECONDS)
+def task_time(cpu_seconds, ecu):
+    return cpu_seconds / ecu
+
+
+def report(cpu_seconds, price, ecu):
+    total_cost = task_cost(cpu_seconds, price) + task_cost(cpu_seconds, price)
+    total_time = task_time(cpu_seconds, ecu) + task_time(cpu_seconds, ecu)
+    return {"dollars": total_cost, "seconds": total_time}
