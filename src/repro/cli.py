@@ -11,6 +11,7 @@ Usage::
     python -m repro report t.jsonl    # per-epoch / per-solve tables
     python -m repro lint              # static analysis: code + LP models
     python -m repro bench --quick     # incremental-LP pipeline benchmark
+    python -m repro serve --sim       # crash-tolerant service soak
     python -m repro fig5 --workers 4  # fan sweeps over worker processes
 
 ``--full`` switches to the paper's full experiment sizes (equivalent to
@@ -573,6 +574,190 @@ def _run_chaos(argv: Sequence[str]) -> int:
     return 0 if all(o.ok for o in outcomes) else 1
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser for the ``python -m repro serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Service-mode soak: run the crash-tolerant scheduling "
+        "service (admission control, health watchdog, WAL + snapshots) "
+        "against hours of simulated multi-submitter arrivals with chaos "
+        "windows and mid-run kill/recover cycles, then gate on the serve "
+        "invariant oracle and byte-identical ledger recovery.  Exits 1 on "
+        "any violation.",
+    )
+    parser.add_argument(
+        "--sim",
+        action="store_true",
+        help="run in simulated time (required: the only clock this "
+        "reproduction has)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized soak: smaller cluster/workload, same >=2h sim-time "
+        "gate (sim time is cheap; LP solves are what cost wall time)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="soak seed (default 0)")
+    parser.add_argument(
+        "--hours",
+        type=float,
+        default=None,
+        metavar="H",
+        help="simulated soak horizon in hours (default 2.5)",
+    )
+    parser.add_argument(
+        "--min-hours",
+        type=float,
+        default=2.0,
+        metavar="H",
+        help="sim-time floor the soak must sustain (default 2.0)",
+    )
+    parser.add_argument(
+        "--machines", type=int, default=None, help="cluster size (default 6; quick 4)"
+    )
+    parser.add_argument(
+        "--submitters",
+        type=int,
+        default=None,
+        help="concurrent submitters feeding the merged arrival stream "
+        "(default 3; quick 2)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="jobs per submitter (default 24; quick 10)",
+    )
+    parser.add_argument(
+        "--epoch", type=float, default=60.0, metavar="SECONDS", help="epoch length"
+    )
+    parser.add_argument(
+        "--kill",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="TICK",
+        help="kill the victim run after these cumulative scheduler ticks "
+        "(default: one kill at tick 12; quick: tick 8)",
+    )
+    parser.add_argument(
+        "--no-chaos",
+        action="store_true",
+        help="disable the chaos plan (no solver-fail or LP-lag windows)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=0.75,
+        metavar="SECONDS",
+        help="per-epoch LP deadline the watchdog enforces (default 0.75)",
+    )
+    parser.add_argument(
+        "--workdir",
+        metavar="DIR",
+        default=None,
+        help="directory for WAL, snapshots and traces (default: a fresh "
+        "temporary directory)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a JSON metrics-registry dump of the soak to PATH",
+    )
+    return parser
+
+
+def _run_serve(argv: Sequence[str]) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.experiments.report import format_table
+    from repro.serve import ServeSoakConfig, run_serve_soak
+
+    args = build_serve_parser().parse_args(argv)
+    if not args.sim:
+        print(
+            "repro serve only supports simulated time: pass --sim "
+            "(there is no real cluster behind this reproduction)",
+            file=sys.stderr,
+        )
+        return 2
+    quick = args.quick
+    config = ServeSoakConfig(
+        seed=args.seed,
+        num_machines=args.machines if args.machines is not None else (4 if quick else 6),
+        num_submitters=args.submitters
+        if args.submitters is not None
+        else (2 if quick else 3),
+        jobs_per_submitter=args.jobs if args.jobs is not None else (10 if quick else 24),
+        sim_hours=args.hours if args.hours is not None else (2.25 if quick else 2.5),
+        epoch_length=args.epoch,
+        kill_after_epochs=tuple(args.kill)
+        if args.kill is not None
+        else ((8,) if quick else (12,)),
+        chaos=not args.no_chaos,
+        epoch_deadline_s=args.deadline,
+    )
+    if args.workdir is not None:
+        work_dir = Path(args.workdir)
+    else:
+        work_dir = Path(tempfile.mkdtemp(prefix="repro-serve-"))
+    with contextlib.ExitStack() as stack:
+        registry = None
+        if args.metrics:
+            from repro.obs.registry import MetricsRegistry, use_registry
+
+            registry = MetricsRegistry()
+            stack.enter_context(use_registry(registry))
+        outcome = run_serve_soak(config, work_dir, min_sim_hours=args.min_hours)
+        if registry is not None:
+            registry.write_json(args.metrics)
+            print(f"wrote {args.metrics}")
+    rows = [
+        ("sim time", f"{outcome.sim_time_s / 3600.0:.2f} h ({outcome.epochs} epochs)"),
+        ("kill/recover cycles", str(outcome.kills)),
+        (
+            "jobs",
+            f"{outcome.submitted} submitted, {outcome.admitted} admitted, "
+            f"{outcome.shed} shed, {outcome.completed} completed",
+        ),
+        (
+            "watchdog",
+            f"{outcome.deadline_misses} deadline misses, "
+            f"{outcome.degraded_epochs} degraded epochs, "
+            f"{outcome.transitions} transitions",
+        ),
+        (
+            "recovery",
+            f"{outcome.snapshots} snapshots, {outcome.replayed_records} WAL "
+            f"records replayed, max drift {outcome.max_replay_drift:.1e}",
+        ),
+        (
+            "ledger",
+            "byte-identical to reference"
+            if outcome.ledger_identical
+            else "DIFFERS from reference",
+        ),
+        ("total cost", f"${outcome.total_cost:.4f}"),
+        ("makespan", f"{outcome.makespan:.0f} s"),
+        (
+            "invariants",
+            "OK" if outcome.ok else f"{len(outcome.violations)} VIOLATIONS",
+        ),
+    ]
+    print(
+        format_table(
+            ["stat", "value"],
+            rows,
+            title=f"serve soak — seed {outcome.seed}, workdir {work_dir}",
+        )
+    )
+    for violation in outcome.violations:
+        print(f"VIOLATION: {violation}", file=sys.stderr)
+    return 0 if outcome.ok else 1
+
+
 def build_diff_parser() -> argparse.ArgumentParser:
     """Parser for the ``python -m repro diff`` subcommand."""
     parser = argparse.ArgumentParser(
@@ -681,6 +866,7 @@ SUBCOMMANDS: Dict[str, Callable[[Sequence[str]], int]] = {
     "chaos": _run_chaos,
     "bench": _run_bench,
     "diff": _run_diff,
+    "serve": _run_serve,
 }
 
 

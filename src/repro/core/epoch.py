@@ -12,12 +12,24 @@ When a fraction of a job is parked on F, the remainder re-enters the queue
 as a *residual*: the same job scaled by the unscheduled fraction, its data
 origin updated to wherever the scheduled portion placed the data (so
 already-moved data is not re-charged).
+
+Incremental driving
+-------------------
+:meth:`EpochController.run` consumes a whole pre-materialised workload, but
+the loop body is exposed piecewise for long-running callers
+(:mod:`repro.serve`): :meth:`~EpochController.begin` opens a run,
+:meth:`~EpochController.submit` enqueues one job (with its private data
+object), :meth:`~EpochController.step` schedules exactly one epoch, and
+:meth:`~EpochController.finish` closes the run into an
+:class:`OnlineRunResult`.  ``run()`` is itself written on top of this API,
+so both paths execute identically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,6 +76,22 @@ class EpochReport:
     #: True when the LP chain failed and the greedy degraded path scheduled
     #: this epoch instead
     degraded: bool = False
+
+
+@dataclass
+class _RunState:
+    """Mutable state of one in-flight online run (incremental API)."""
+
+    tracer: object
+    ledger: CostLedger
+    store_used_mb: np.ndarray
+    machine_cpu_total: np.ndarray
+    reports: List[EpochReport] = field(default_factory=list)
+    job_completion: Dict[int, float] = field(default_factory=dict)
+    queue: List[_QueueEntry] = field(default_factory=list)
+    #: private, per-run data objects (jobs are re-pointed at these on submit)
+    data: List[DataObject] = field(default_factory=list)
+    epoch: int = 0
 
 
 @dataclass
@@ -162,6 +190,8 @@ class EpochController:
         self.incremental = incremental
         #: the IncrementalContext of the most recent run (None when off)
         self.incremental_context = None
+        #: in-flight incremental run state (None between runs)
+        self._state: Optional[_RunState] = None
 
     # -- helpers -------------------------------------------------------------
     def _build_epoch_input(
@@ -262,54 +292,127 @@ class EpochController:
                 )
         return bd
 
-    # -- main loop -----------------------------------------------------------
-    def run(self, workload: Workload) -> OnlineRunResult:
-        """Schedule an entire workload online; returns the aggregate result."""
-        # deferred: repro.resilience imports back into repro.core
-        from repro.resilience.degraded import DEGRADED_MODEL
-
-        e = self.epoch_length
+    # -- incremental API ------------------------------------------------------
+    def begin(self) -> None:
+        """Open an incremental run (resets all per-run state)."""
         tracer = self.tracer if self.tracer is not None else current_tracer()
         self.degraded_epochs = 0
         if self.incremental:
             from repro.perf import IncrementalContext
 
             self.incremental_context = IncrementalContext()
-        L = self.cluster.num_machines
-        ledger = CostLedger()
-        reports: List[EpochReport] = []
-        job_completion: Dict[int, float] = {}
-        machine_cpu_total = np.zeros(L)
-        store_used_mb = np.zeros(self.cluster.num_stores)
+        self._state: Optional[_RunState] = _RunState(
+            tracer=tracer,
+            ledger=CostLedger(),
+            store_used_mb=np.zeros(self.cluster.num_stores),
+            machine_cpu_total=np.zeros(self.cluster.num_machines),
+        )
 
-        arrivals = sorted(workload.jobs, key=lambda j: (j.arrival_time, j.job_id))
-        next_arrival = 0
-        queue: List[_QueueEntry] = []
-        epoch = 0
+    def _require_state(self) -> _RunState:
+        state = getattr(self, "_state", None)
+        if state is None:
+            raise RuntimeError("no run in progress — call begin() first")
+        return state
 
-        while next_arrival < len(arrivals) or queue:
-            if epoch >= self.max_epochs:
-                raise RuntimeError(f"exceeded max_epochs={self.max_epochs}")
-            start = epoch * e
-            # Jobs that have arrived by the start of this epoch join the queue.
-            while next_arrival < len(arrivals) and arrivals[next_arrival].arrival_time <= start:
-                job = arrivals[next_arrival]
-                origin = (
-                    workload.data[job.data_ids[0]].origin_store if job.data_ids else None
+    @property
+    def epoch_index(self) -> int:
+        """Index of the next epoch to be scheduled."""
+        return self._require_state().epoch
+
+    @property
+    def clock(self) -> float:
+        """Simulation time at the start of the next epoch."""
+        return self._require_state().epoch * self.epoch_length
+
+    @property
+    def pending(self) -> int:
+        """Queued (possibly residual) jobs waiting for the next epoch."""
+        return len(self._require_state().queue)
+
+    def submit(self, job: Job, data: Optional[DataObject] = None) -> None:
+        """Enqueue one job (with a private copy of its data object).
+
+        The job is re-pointed at a per-run data list, so callers may submit
+        jobs from unrelated workloads without index collisions; ``job_id``
+        must be unique within the run (it keys completion times).
+        """
+        state = self._require_state()
+        if data is not None:
+            obj = DataObject(
+                data_id=len(state.data),
+                name=data.name,
+                size_mb=data.size_mb,
+                origin_store=data.origin_store,
+                block_mb=data.block_mb,
+            )
+            state.data.append(obj)
+            job = dataclasses.replace(job, data_ids=[obj.data_id])
+            origin: Optional[int] = obj.origin_store
+        else:
+            if job.data_ids:
+                raise ValueError(
+                    f"job {job.job_id} references data {job.data_ids} but no "
+                    "data object was submitted with it"
                 )
-                queue.append(_QueueEntry(job=job, fraction=1.0, origin_store=origin))
-                next_arrival += 1
+            origin = None
+        state.queue.append(_QueueEntry(job=job, fraction=1.0, origin_store=origin))
 
-            if not queue:
-                epoch += 1  # idle epoch waiting for arrivals
-                continue
+    def skip_idle_to(self, time: float) -> None:
+        """Jump the idle clock so the next epoch's start covers ``time``.
 
-            inp, original_ids = self._build_epoch_input(queue, store_used_mb, workload.data)
-            remaining_cap = np.maximum(self.cluster.store_capacity_vector() - store_used_mb, 0.0)
-            epoch_span = tracer.new_span_id()
-            with lpprof.profile() as prof, lpprof.scope(
-                epoch=epoch, scheduler="epoch-controller"
-            ):
+        Equivalent to iterating empty epochs one by one (the pre-jump
+        behaviour) but O(1): the epoch index lands on the first boundary
+        ``n`` with ``n * epoch_length >= time`` — exactly where the old
+        one-epoch-at-a-time loop would have admitted the arrival.  Clamped
+        to ``max_epochs`` so an out-of-range arrival still aborts loudly.
+        """
+        state = self._require_state()
+        e = self.epoch_length
+        n = int(time // e)
+        if n * e < time:
+            n += 1
+        state.epoch = min(max(state.epoch + 1, n), self.max_epochs)
+
+    def step(self, force_degraded: bool = False) -> Optional[EpochReport]:
+        """Schedule exactly one epoch over the current queue.
+
+        Returns the epoch's report, or ``None`` when the queue is empty (the
+        clock still advances one epoch).  With ``force_degraded`` the epoch
+        bypasses the LP entirely and runs the greedy degraded path — the
+        health watchdog in :mod:`repro.serve` uses this to keep scheduling
+        ahead of real time when LP solves lag.
+        """
+        # deferred: repro.resilience imports back into repro.core
+        from repro.resilience.degraded import DEGRADED_MODEL, greedy_epoch_solution
+
+        state = self._require_state()
+        if state.epoch >= self.max_epochs:
+            raise RuntimeError(f"exceeded max_epochs={self.max_epochs}")
+        if not state.queue:
+            state.epoch += 1  # idle epoch waiting for arrivals
+            return None
+        e = self.epoch_length
+        epoch = state.epoch
+        start = epoch * e
+        tracer = state.tracer
+        queue = state.queue
+
+        inp, original_ids = self._build_epoch_input(queue, state.store_used_mb, state.data)
+        remaining_cap = np.maximum(
+            self.cluster.store_capacity_vector() - state.store_used_mb, 0.0
+        )
+        epoch_span = tracer.new_span_id()
+        with lpprof.profile() as prof, lpprof.scope(
+            epoch=epoch, scheduler="epoch-controller"
+        ):
+            if force_degraded:
+                sol = greedy_epoch_solution(
+                    inp,
+                    e,
+                    store_capacity=remaining_cap,
+                    enforce_bandwidth=self.enforce_bandwidth,
+                )
+            else:
                 sol = solve_co_online(
                     inp,
                     OnlineModelConfig(epoch_length=e, enforce_bandwidth=self.enforce_bandwidth),
@@ -321,127 +424,167 @@ class EpochController:
                     incremental=self.incremental_context,
                     job_keys=original_ids,
                 )
-            if tracer.enabled:
-                for rec in prof.records:
-                    tracer.lp_solve(
-                        rec, ts=start, span_id=tracer.new_span_id(), parent=epoch_span
-                    )
-            degraded = sol.model == DEGRADED_MODEL
-            if degraded:
-                self.degraded_epochs += 1
-                registry = current_registry()
-                if registry is not None:
-                    registry.counter(
-                        "epochs_degraded_total",
-                        help="epochs scheduled by the greedy degraded path",
-                    ).inc(scheduler="epoch-controller")
-                if tracer.enabled:
-                    tracer.event(
-                        "epoch", "degraded", start, index=epoch, queued=len(original_ids)
-                    )
-            bd = self._charge(ledger, inp, sol, original_ids)
-
-            # machine CPU time this epoch (wall seconds of busy CPU)
-            cpu_l = sol.machine_cpu_load(inp)
-            machine_cpu_total += cpu_l
-            busy_l = cpu_l / self.cluster.throughput_vector()
-
-            # account placed data: every placed fraction occupies its store
-            if inp.num_data:
-                store_used_mb += sol.xd.T @ inp.data_size_mb
-
-            # requeue residuals, complete the rest
-            new_queue: List[_QueueEntry] = []
-            scheduled = 0
-            requeued = 0
-            residual_total = 0.0
-            for pos, entry in enumerate(queue):
-                fake_frac = float(sol.fake[pos])
-                done_frac = entry.fraction * (1.0 - fake_frac)
-                residual = entry.fraction * fake_frac
-                residual_total += residual if residual > MIN_RESIDUAL else 0.0
-                if residual > MIN_RESIDUAL:
-                    origin = entry.origin_store
-                    if inp.job_data[pos] >= 0:
-                        i = inp.job_data[pos]
-                        placed = sol.xd[i]
-                        if placed.max() > 0:
-                            origin = int(np.argmax(placed))
-                    new_queue.append(
-                        _QueueEntry(job=entry.job, fraction=residual, origin_store=origin)
-                    )
-                    requeued += 1
-                else:
-                    # job finishes this epoch; completion = epoch start + the
-                    # busy time of the busiest machine running it
-                    if inp.job_data[pos] >= 0:
-                        used = np.nonzero(sol.xt_data[pos].sum(axis=1) > MIN_RESIDUAL)[0]
-                    else:
-                        used = np.nonzero(sol.xt_free[pos] > MIN_RESIDUAL)[0]
-                    finish_offset = float(busy_l[used].max()) if len(used) else 0.0
-                    completion = start + min(e, finish_offset) if len(used) else start
-                    job_completion[entry.job.job_id] = max(
-                        completion - entry.job.arrival_time, 0.0
-                    )
-                if done_frac > MIN_RESIDUAL:
-                    scheduled += 1
-            queue = new_queue
-
-            if tracer.enabled:
-                tracer.span(
-                    "epoch",
-                    "controller-epoch",
-                    start,
-                    e,
-                    index=epoch,
-                    queued=len(original_ids),
-                    scheduled=scheduled,
-                    requeued=requeued,
-                    residual=residual_total,
-                    cost_delta=bd.real_total,
-                    lp_solves=prof.solves,
-                    lp_wall_s=prof.wall_seconds,
-                    span_id=epoch_span,
-                )
-            reports.append(
-                EpochReport(
-                    index=epoch,
-                    start_time=start,
-                    num_queued=len(original_ids),
-                    num_scheduled=scheduled,
-                    num_requeued=requeued,
-                    cost=bd,
-                    machine_cpu_seconds=cpu_l,
-                    solution=sol if self.keep_solutions else None,
-                    lp_solves=prof.solves,
-                    lp_wall_seconds=prof.wall_seconds,
-                    degraded=degraded,
-                )
-            )
-            epoch += 1
-
-        makespan = 0.0
-        for job in workload.jobs:
-            makespan = max(makespan, job.arrival_time + job_completion.get(job.job_id, 0.0))
         if tracer.enabled:
-            dollars = DollarLedger.from_cost_ledger(ledger)
-            dollars.reconcile(ledger.total)
+            for rec in prof.records:
+                tracer.lp_solve(
+                    rec, ts=start, span_id=tracer.new_span_id(), parent=epoch_span
+                )
+        degraded = sol.model == DEGRADED_MODEL
+        if degraded:
+            self.degraded_epochs += 1
+            registry = current_registry()
+            if registry is not None:
+                registry.counter(
+                    "epochs_degraded_total",
+                    help="epochs scheduled by the greedy degraded path",
+                ).inc(scheduler="epoch-controller")
+            if tracer.enabled:
+                tracer.event(
+                    "epoch", "degraded", start, index=epoch, queued=len(original_ids)
+                )
+        bd = self._charge(state.ledger, inp, sol, original_ids)
+
+        # machine CPU time this epoch (wall seconds of busy CPU)
+        cpu_l = sol.machine_cpu_load(inp)
+        state.machine_cpu_total += cpu_l
+        busy_l = cpu_l / self.cluster.throughput_vector()
+
+        # account placed data: every placed fraction occupies its store
+        if inp.num_data:
+            state.store_used_mb += sol.xd.T @ inp.data_size_mb
+
+        # requeue residuals, complete the rest
+        new_queue: List[_QueueEntry] = []
+        scheduled = 0
+        requeued = 0
+        residual_total = 0.0
+        for pos, entry in enumerate(queue):
+            fake_frac = float(sol.fake[pos])
+            done_frac = entry.fraction * (1.0 - fake_frac)
+            residual = entry.fraction * fake_frac
+            residual_total += residual if residual > MIN_RESIDUAL else 0.0
+            if residual > MIN_RESIDUAL:
+                origin = entry.origin_store
+                if inp.job_data[pos] >= 0:
+                    i = inp.job_data[pos]
+                    placed = sol.xd[i]
+                    if placed.max() > 0:
+                        origin = int(np.argmax(placed))
+                new_queue.append(
+                    _QueueEntry(job=entry.job, fraction=residual, origin_store=origin)
+                )
+                requeued += 1
+            else:
+                # job finishes this epoch; completion = epoch start + the
+                # busy time of the busiest machine running it
+                if inp.job_data[pos] >= 0:
+                    used = np.nonzero(sol.xt_data[pos].sum(axis=1) > MIN_RESIDUAL)[0]
+                else:
+                    used = np.nonzero(sol.xt_free[pos] > MIN_RESIDUAL)[0]
+                finish_offset = float(busy_l[used].max()) if len(used) else 0.0
+                completion = start + min(e, finish_offset) if len(used) else start
+                state.job_completion[entry.job.job_id] = max(
+                    completion - entry.job.arrival_time, 0.0
+                )
+            if done_frac > MIN_RESIDUAL:
+                scheduled += 1
+        state.queue = new_queue
+
+        if tracer.enabled:
+            tracer.span(
+                "epoch",
+                "controller-epoch",
+                start,
+                e,
+                index=epoch,
+                queued=len(original_ids),
+                scheduled=scheduled,
+                requeued=requeued,
+                residual=residual_total,
+                cost_delta=bd.real_total,
+                lp_solves=prof.solves,
+                lp_wall_s=prof.wall_seconds,
+                span_id=epoch_span,
+            )
+        report = EpochReport(
+            index=epoch,
+            start_time=start,
+            num_queued=len(original_ids),
+            num_scheduled=scheduled,
+            num_requeued=requeued,
+            cost=bd,
+            machine_cpu_seconds=cpu_l,
+            solution=sol if self.keep_solutions else None,
+            lp_solves=prof.solves,
+            lp_wall_seconds=prof.wall_seconds,
+            degraded=degraded,
+        )
+        state.reports.append(report)
+        state.epoch += 1
+        return report
+
+    def finish(self, jobs: Sequence[Job] = ()) -> OnlineRunResult:
+        """Close the run: emit the run summary and return the aggregate.
+
+        ``jobs`` supplies arrival times for the makespan (pass every job
+        submitted during the run); the incremental state is discarded.
+        """
+        state = self._require_state()
+        makespan = 0.0
+        for job in jobs:
+            makespan = max(
+                makespan, job.arrival_time + state.job_completion.get(job.job_id, 0.0)
+            )
+        tracer = state.tracer
+        if tracer.enabled:
+            dollars = DollarLedger.from_cost_ledger(state.ledger)
+            dollars.reconcile(state.ledger.total)
             dollars.emit(tracer, makespan)
             emit_run_summary(
                 tracer,
                 ts=makespan,
                 scheduler="epoch-controller",
-                total_cost=ledger.total,
+                total_cost=state.ledger.total,
                 makespan=makespan,
-                epochs=len(reports),
-                jobs=len(job_completion),
-                lp_solves=sum(r.lp_solves for r in reports),
-                lp_wall_s=sum(r.lp_wall_seconds for r in reports),
+                epochs=len(state.reports),
+                jobs=len(state.job_completion),
+                lp_solves=sum(r.lp_solves for r in state.reports),
+                lp_wall_s=sum(r.lp_wall_seconds for r in state.reports),
             )
-        return OnlineRunResult(
-            reports=reports,
-            ledger=ledger,
-            job_completion=job_completion,
+        result = OnlineRunResult(
+            reports=state.reports,
+            ledger=state.ledger,
+            job_completion=state.job_completion,
             makespan=makespan,
-            machine_cpu_seconds=machine_cpu_total,
+            machine_cpu_seconds=state.machine_cpu_total,
         )
+        self._state = None
+        return result
+
+    # -- main loop -----------------------------------------------------------
+    def run(self, workload: Workload) -> OnlineRunResult:
+        """Schedule an entire workload online; returns the aggregate result."""
+        self.begin()
+        state = self._require_state()
+        arrivals = sorted(workload.jobs, key=lambda j: (j.arrival_time, j.job_id))
+        next_arrival = 0
+
+        while next_arrival < len(arrivals) or state.queue:
+            if state.epoch >= self.max_epochs:
+                raise RuntimeError(f"exceeded max_epochs={self.max_epochs}")
+            start = state.epoch * self.epoch_length
+            # Jobs that have arrived by the start of this epoch join the queue.
+            while next_arrival < len(arrivals) and arrivals[next_arrival].arrival_time <= start:
+                job = arrivals[next_arrival]
+                self.submit(
+                    job, workload.data[job.data_ids[0]] if job.data_ids else None
+                )
+                next_arrival += 1
+
+            if not state.queue:
+                # sparse arrivals: jump straight to the next arrival's epoch
+                # instead of spinning through empty epochs one at a time
+                self.skip_idle_to(arrivals[next_arrival].arrival_time)
+                continue
+            self.step()
+        return self.finish(workload.jobs)

@@ -582,7 +582,7 @@ class HadoopSimulator:
             # back off past the fault window's hot edge, then retry wherever
             # the scheduler next places it
             task.earliest_start = max(
-                task.earliest_start, self.now + self.chaos.retry_backoff_s
+                task.earliest_start, self.now + self.chaos.next_backoff()
             )
             if task.is_reduce:
                 if task not in job.reduce_pending:

@@ -1,4 +1,4 @@
-"""Concurrency pass (``FLOW101-103``): races and impure process fan-out.
+"""Concurrency pass (``FLOW101-104``): races and impure process fan-out.
 
 The one real race this repo has shipped — ``Tracer.emit`` corruption from
 abandoned ``ResilientSolver`` timeout threads writing the shared record
@@ -27,6 +27,15 @@ after the fact.  This pass finds the pattern statically:
     draws from ambient/unseeded RNG (``np.random.*``, unseeded
     ``default_rng()``), so worker results depend on per-process RNG state
     instead of explicit seed parameters carried in the task tuple.
+``FLOW104``
+    **shared-state writes from asyncio tasks/service callbacks without a
+    lock** — the event-loop twin of ``FLOW101``.  The *task side* is
+    everything reachable from an ``asyncio.create_task``/``ensure_future``/
+    ``call_soon``/``call_later``/``call_at``/``run_coroutine_threadsafe``
+    spawn site; any ``await`` inside the main path is a point where a
+    scheduled task interleaves, so unlocked writes visible from both sides
+    corrupt state exactly like the thread case (and the lock that fixes it
+    is ``asyncio.Lock`` under ``async with``).
 
 Soundness limits are documented in DESIGN.md §11: lock detection is lexical
 (``with`` statements naming something lock-ish), receiver types resolve by
@@ -265,76 +274,125 @@ def _closure(graph: CallGraph, roots: Iterable[str], kinds: Set[EdgeKind]) -> Se
     return set(graph.reachable(roots, kinds=kinds))
 
 
+def _race_findings(
+    graph: CallGraph,
+    entry_points: Dict[str, List[str]],
+    accesses_by_fn: Dict[str, List[Access]],
+    rule: str,
+    spawns: List,
+    spawn_kind: EdgeKind,
+    worker_label: str,
+    hint: str,
+) -> List[Finding]:
+    """Shared-state race detection between one spawn kind and the main path.
+
+    FLOW101 (threads) and FLOW104 (asyncio tasks) are the same analysis with
+    a different worker side: the *worker side* is everything reachable from
+    a spawn site of ``spawn_kind``; the *main side* is everything reachable
+    from the entry points (plus the spawners themselves — the race partner
+    is whatever the spawner does after, or instead of, joining) via plain
+    calls.  Tracked state with an unlocked write visible from both sides is
+    a finding.
+    """
+    table = graph.table
+    findings: List[Finding] = []
+    worker_roots = [e.dst for e in spawns]
+    if not worker_roots:
+        return findings
+    worker_side = _closure(graph, worker_roots, {EdgeKind.CALL, spawn_kind})
+    main_roots = [q for qs in entry_points.values() for q in qs]
+    main_roots += [e.src for e in spawns]
+    main_side = _closure(graph, main_roots, {EdgeKind.CALL})
+
+    by_state: Dict[StateKey, Dict[str, List[Access]]] = {}
+    for qname, accesses in accesses_by_fn.items():
+        on_worker = qname in worker_side
+        on_main = qname in main_side
+        if not (on_worker or on_main):
+            continue
+        for access in accesses:
+            sides = by_state.setdefault(access.state, {"worker": [], "main": []})
+            if on_worker:
+                sides["worker"].append(access)
+            if on_main:
+                sides["main"].append(access)
+
+    for state in sorted(by_state):
+        sides = by_state[state]
+        if not sides["worker"] or not sides["main"]:
+            continue
+        writes = [a for a in sides["worker"] + sides["main"] if a.write]
+        if not writes:
+            continue
+        unlocked_writes = sorted(
+            {a for a in writes if not a.locked}, key=lambda a: (a.fn, a.lineno)
+        )
+        if not unlocked_writes:
+            continue
+        anchor = unlocked_writes[0]
+        module = table.module_of(anchor.fn)
+        if module is None:
+            continue
+        if rule in suppressed_rules(module.line(anchor.lineno)):
+            continue
+        kind, owner, name = state
+        target = f"{owner}.{name}" if kind == "attr" else f"{owner}:{name}"
+        worker_fns = sorted({a.fn.split(":")[-1] for a in sides["worker"]})
+        main_fns = sorted({a.fn.split(":")[-1] for a in sides["main"]})
+        findings.append(
+            Finding(
+                rule=rule,
+                severity=Severity.ERROR,
+                message=(
+                    f"shared mutable state {target} is written without a "
+                    f"lock ({anchor.describe()} in {anchor.fn.split(':')[-1]}) "
+                    f"and is reachable from both {worker_label} "
+                    f"(via {', '.join(worker_fns[:3])}) and the main path "
+                    f"(via {', '.join(main_fns[:3])}); {hint}"
+                ),
+                location=str(module.path),
+                line=anchor.lineno,
+                symbol=target,
+            )
+        )
+    return findings
+
+
 def run_concurrency_pass(
     graph: CallGraph, entry_points: Dict[str, List[str]]
 ) -> List[Finding]:
-    """FLOW101 shared-state races + FLOW102/103 pool-task checks."""
+    """FLOW101/104 shared-state races + FLOW102/103 pool-task checks."""
     table = graph.table
     findings: List[Finding] = []
     accesses_by_fn = _collect_all_accesses(table)
 
     # -- FLOW101: thread/main shared state -------------------------------
-    thread_roots = [e.dst for e in graph.thread_spawns]
-    if thread_roots:
-        thread_side = _closure(graph, thread_roots, {EdgeKind.CALL, EdgeKind.THREAD})
-        main_roots = [q for qs in entry_points.values() for q in qs]
-        # spawning functions belong to the main side too: the race partner
-        # is whatever the spawner does after (or instead of) joining
-        main_roots += [e.src for e in graph.thread_spawns]
-        main_side = _closure(graph, main_roots, {EdgeKind.CALL})
+    findings.extend(
+        _race_findings(
+            graph,
+            entry_points,
+            accesses_by_fn,
+            rule="FLOW101",
+            spawns=graph.thread_spawns,
+            spawn_kind=EdgeKind.THREAD,
+            worker_label="a Thread target",
+            hint="guard every access with one lock",
+        )
+    )
 
-        by_state: Dict[StateKey, Dict[str, List[Access]]] = {}
-        for qname, accesses in accesses_by_fn.items():
-            on_thread = qname in thread_side
-            on_main = qname in main_side
-            if not (on_thread or on_main):
-                continue
-            for access in accesses:
-                sides = by_state.setdefault(access.state, {"thread": [], "main": []})
-                if on_thread:
-                    sides["thread"].append(access)
-                if on_main:
-                    sides["main"].append(access)
-
-        for state in sorted(by_state):
-            sides = by_state[state]
-            if not sides["thread"] or not sides["main"]:
-                continue
-            writes = [a for a in sides["thread"] + sides["main"] if a.write]
-            if not writes:
-                continue
-            unlocked_writes = sorted(
-                {a for a in writes if not a.locked}, key=lambda a: (a.fn, a.lineno)
-            )
-            if not unlocked_writes:
-                continue
-            anchor = unlocked_writes[0]
-            module = table.module_of(anchor.fn)
-            if module is None:
-                continue
-            if "FLOW101" in suppressed_rules(module.line(anchor.lineno)):
-                continue
-            kind, owner, name = state
-            target = f"{owner}.{name}" if kind == "attr" else f"{owner}:{name}"
-            thread_fns = sorted({a.fn.split(":")[-1] for a in sides["thread"]})
-            main_fns = sorted({a.fn.split(":")[-1] for a in sides["main"]})
-            findings.append(
-                Finding(
-                    rule="FLOW101",
-                    severity=Severity.ERROR,
-                    message=(
-                        f"shared mutable state {target} is written without a "
-                        f"lock ({anchor.describe()} in {anchor.fn.split(':')[-1]}) "
-                        f"and is reachable from both a Thread target "
-                        f"(via {', '.join(thread_fns[:3])}) and the main path "
-                        f"(via {', '.join(main_fns[:3])}); guard every access "
-                        "with one lock"
-                    ),
-                    location=str(module.path),
-                    line=anchor.lineno,
-                    symbol=target,
-                )
-            )
+    # -- FLOW104: asyncio-task/main shared state --------------------------
+    findings.extend(
+        _race_findings(
+            graph,
+            entry_points,
+            accesses_by_fn,
+            rule="FLOW104",
+            spawns=graph.async_spawns,
+            spawn_kind=EdgeKind.ASYNC,
+            worker_label="an asyncio task",
+            hint="guard every access with one asyncio.Lock under async with",
+        )
+    )
 
     # -- FLOW102/103: pool task purity ------------------------------------
     seen: Set[Tuple[str, str]] = set()

@@ -23,13 +23,17 @@ from repro.lint.flow.determinism import run_determinism_pass
 from repro.lint.flow.symbols import SymbolTable, build_symbol_table
 from repro.lint.flow.units import run_units_pass
 
-#: The three simulation/solve roots whose transitive closure must be
+#: The simulation/solve/service roots whose transitive closure must be
 #: deterministic.  Specs are dotted suffixes resolved against the symbol
-#: table (see :meth:`SymbolTable.resolve_suffix`).
+#: table (see :meth:`SymbolTable.resolve_suffix`).  ``run_serve_soak``
+#: covers the whole service path — admission, ticks, WAL replay — so any
+#: ambient RNG or wall-clock read there breaks crash-recovery replay and
+#: must surface as FLOW001/002.
 DEFAULT_ENTRY_POINTS: Tuple[str, ...] = (
     "HadoopSimulator.run",
     "solve_co_online",
     "EpochController.run",
+    "run_serve_soak",
 )
 
 

@@ -163,6 +163,51 @@ def resilience_table(records: List[dict]) -> Optional[str]:
     return format_table(["event", "detail", "count"], rows, title="Resilience")
 
 
+def service_table(records: List[dict]) -> Optional[str]:
+    """Service-mode activity: health transitions, sheds, recoveries.
+
+    Returns None for traces without ``cat="service"`` events, so batch-run
+    reports stay unchanged.
+    """
+    transitions: List[dict] = []
+    sheds: Dict[str, int] = {}
+    recoveries: List[dict] = []
+    for r in records:
+        if r.get("cat") != "service":
+            continue
+        name = r.get("name")
+        if name == "transition":
+            transitions.append(r)
+        elif name == "shed":
+            reason = str(r.get("reason", "?"))
+            sheds[reason] = sheds.get(reason, 0) + 1
+        elif name == "recovered":
+            recoveries.append(r)
+    if not (transitions or sheds or recoveries):
+        return None
+    rows = []
+    for t in transitions:
+        rows.append(
+            (
+                "transition",
+                f"{t.get('src', '?')} -> {t.get('dst', '?')} "
+                f"@ epoch {t.get('epoch', '?')}",
+                str(t.get("reason", "")),
+            )
+        )
+    for reason, n in sorted(sheds.items()):
+        rows.append(("shed", reason, f"{n} job(s)"))
+    for r in recoveries:
+        rows.append(
+            (
+                "recovered",
+                f"snapshot seq {r.get('snapshot_seq', '?')}",
+                f"{r.get('replayed', '?')} WAL record(s) replayed",
+            )
+        )
+    return format_table(["event", "detail", "note"], rows, title="Service")
+
+
 def cost_table(records: List[dict]) -> Optional[str]:
     """Dollar-attribution table from the trace's ledger cells.
 
@@ -219,7 +264,12 @@ def render(path, limit: Optional[int] = 40) -> str:
         "",
         machine_table(records),
     ]
-    for extra in (cost_table(records), critpath_section(records), resilience_table(records)):
+    for extra in (
+        cost_table(records),
+        critpath_section(records),
+        resilience_table(records),
+        service_table(records),
+    ):
         if extra is not None:
             parts.extend(["", extra])
     return "\n".join(parts)

@@ -101,6 +101,13 @@ class ChaosPlan:
     time.  ``retry_backoff_s`` is the earliest-start penalty a task gets
     after a chaos-failed read, guaranteeing forward progress once the fault
     window closes instead of a hot retry loop inside it.
+
+    ``backoff_jitter`` spreads retries so simultaneous victims of one fault
+    window do not re-offer in lockstep: each backoff is stretched by up to
+    that fraction, drawn from a private ``numpy.Generator`` seeded with
+    ``backoff_seed`` — never from ambient RNG — so the whole retry schedule
+    is a pure function of the plan (the FLOW001 determinism pass stays
+    clean and a soak replays byte-identically from its seed).
     """
 
     failures: FailurePlan = field(default_factory=FailurePlan)
@@ -108,6 +115,23 @@ class ChaosPlan:
     partitions: List[PartitionEvent] = field(default_factory=list)
     read_faults: List[ReadFaultEvent] = field(default_factory=list)
     retry_backoff_s: float = 30.0
+    #: max extra backoff as a fraction of ``retry_backoff_s`` (0 = fixed)
+    backoff_jitter: float = 0.0
+    #: seed of the private jitter Generator (ignored when jitter is 0)
+    backoff_seed: int = 0
+
+    def next_backoff(self) -> float:
+        """The next retry backoff: base plus seeded jitter, in seconds.
+
+        Draws advance a plan-private Generator, so two runs injecting the
+        same fault sequence see identical backoffs.
+        """
+        if self.backoff_jitter <= 0.0:
+            return self.retry_backoff_s
+        rng = self.__dict__.get("_backoff_rng")
+        if rng is None:
+            rng = self.__dict__["_backoff_rng"] = np.random.default_rng(self.backoff_seed)
+        return self.retry_backoff_s * (1.0 + self.backoff_jitter * float(rng.random()))
 
     def validate(self, cluster) -> None:
         """Check every referenced machine/store/zone exists."""
@@ -165,17 +189,22 @@ def random_chaos_plan(
     partition_mean_s: float = 300.0,
     read_fault_prob: float = 0.2,
     read_fault_mean_s: float = 120.0,
+    backoff_jitter: float = 0.25,
 ) -> ChaosPlan:
     """Draw a seeded chaos plan for ``cluster`` over ``horizon_s`` seconds.
 
     All draws come from the caller's ``rng`` — pass
     ``numpy.random.default_rng(seed)`` and the entire plan (machine
-    outages included) is a pure function of that seed.  Set
-    ``mean_time_to_failure_s`` to 0 to skip machine outages.
+    outages included, retry-backoff jitter schedule included) is a pure
+    function of that seed.  Set ``mean_time_to_failure_s`` to 0 to skip
+    machine outages.
     """
     if horizon_s <= 0:
         raise ValueError("horizon_s must be positive")
-    plan = ChaosPlan()
+    plan = ChaosPlan(
+        backoff_jitter=backoff_jitter,
+        backoff_seed=int(rng.integers(0, 2**31)),
+    )
     if mean_time_to_failure_s > 0:
         plan.failures = random_failure_plan(
             cluster.num_machines,
@@ -237,6 +266,12 @@ class FaultInjectingBackend:
         Raise ``RuntimeError`` instead of returning a failed result —
         exercises the :class:`~repro.resilience.ResilientSolver`'s
         exception-classification path.
+    delay_s:
+        Instead of failing, *stall* the scheduled solves by this many
+        wall-clock seconds before delegating — the "LP falls behind real
+        time" failure mode.  The solve still succeeds, but its profiled
+        wall time blows the epoch deadline, which is what drives the
+        :mod:`repro.serve` watchdog into degraded mode.
     """
 
     def __init__(
@@ -245,11 +280,13 @@ class FaultInjectingBackend:
         fail_first: Optional[int] = None,
         status: LPStatus = LPStatus.NUMERICAL,
         raise_exception: bool = False,
+        delay_s: float = 0.0,
     ) -> None:
         self.inner = inner
         self.fail_first = fail_first
         self.status = status
         self.raise_exception = raise_exception
+        self.delay_s = delay_s
         self.solves_seen = 0
         self.faults_injected = 0
         self.name = f"chaos({getattr(inner, 'name', type(inner).__name__)})"
@@ -265,7 +302,7 @@ class FaultInjectingBackend:
         return result
 
     def solve_assembled(self, asm) -> LPResult:  # lint: ok=AST005
-        """Fail if this solve index is scheduled to; else delegate."""
+        """Fail (or stall) if this solve index is scheduled to; else delegate."""
         self.solves_seen += 1
         if self._should_fail():
             self.faults_injected += 1
@@ -273,7 +310,12 @@ class FaultInjectingBackend:
             if registry is not None:
                 registry.counter(
                     "chaos_faults_injected_total", help="chaos faults injected by kind"
-                ).inc(kind="solver")
+                ).inc(kind="solver-lag" if self.delay_s > 0 else "solver")
+            if self.delay_s > 0:
+                import time
+
+                time.sleep(self.delay_s)
+                return self.inner.solve_assembled(asm)
             if self.raise_exception:
                 raise RuntimeError("injected solver fault")
             return LPResult(

@@ -1,0 +1,194 @@
+"""Admission control: bounded queue, token-bucket rate limit, shed accounting.
+
+Every job offered to the service passes through one
+:class:`AdmissionController` before it may reach the epoch controller's
+queue.  A job is *shed* — deterministically, with an explicit reason — when:
+
+``queue_full``
+    the controller backlog has reached ``max_pending`` (bounded queue:
+    the memory-safety backstop);
+``rate_limit``
+    the sim-time token bucket is empty (sustained arrival rate above
+    ``rate_per_s`` with bursts above ``burst``);
+``shedding``
+    the health state machine is in SHEDDING and admission is closed
+    entirely (see :mod:`repro.serve.health`).
+
+Checks run in that order, so each shed has exactly one reason and the
+counters partition: ``jobs_submitted_total == jobs_admitted_total +
+sum(jobs_shed_total{reason=*})`` — the first serve invariant.  The bucket
+refills from the *simulation* clock (``now`` is passed in; nothing here
+reads wall time), so every decision is a pure function of (config, offered
+sequence) and replays byte-identically during recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.obs.registry import current_registry
+from repro.workload.job import Job
+
+#: Shed reasons (the label values of ``jobs_shed_total``).
+SHED_QUEUE_FULL = "queue_full"
+SHED_RATE_LIMIT = "rate_limit"
+SHED_SHEDDING = "shedding"
+SHED_REASONS: Tuple[str, ...] = (SHED_QUEUE_FULL, SHED_RATE_LIMIT, SHED_SHEDDING)
+
+
+@dataclass
+class TokenBucket:
+    """A sim-time token bucket: ``rate_per_s`` refill, ``burst`` capacity.
+
+    ``rate_per_s <= 0`` disables the limiter (always admits).  Tokens are
+    floats so fractional rates work; the clock may only move forward.
+    """
+
+    rate_per_s: float = 0.0
+    burst: float = 1.0
+    tokens: float = 1.0
+    last_refill: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s > 0 and self.burst <= 0:
+            raise ValueError("burst must be positive when rate limiting")
+        self.tokens = min(self.tokens, self.burst)
+
+    def try_take(self, now: float) -> bool:
+        """Refill to ``now`` then take one token; False when empty."""
+        if self.rate_per_s <= 0:
+            return True
+        if now > self.last_refill:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self.last_refill) * self.rate_per_s
+            )
+            self.last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def to_dict(self) -> dict:
+        """Snapshot form (floats round-trip exactly through JSON repr)."""
+        return {
+            "rate_per_s": self.rate_per_s,
+            "burst": self.burst,
+            "tokens": self.tokens,
+            "last_refill": self.last_refill,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TokenBucket":
+        """Rebuild bucket state from a snapshot."""
+        return cls(
+            rate_per_s=float(payload["rate_per_s"]),
+            burst=float(payload["burst"]),
+            tokens=float(payload["tokens"]),
+            last_refill=float(payload["last_refill"]),
+        )
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of offering one job: admitted, or shed with a reason."""
+
+    job_id: int
+    admitted: bool
+    reason: Optional[str] = None  # a SHED_* constant when not admitted
+    ts: float = 0.0
+
+
+@dataclass
+class AdmissionController:
+    """Applies the admission policy and keeps the shed ledger.
+
+    ``max_pending`` bounds the *scheduler* backlog (current queue depth is
+    passed to :meth:`offer` by the service, which owns the controller);
+    the bucket and counters live here so snapshot/restore is one call.
+    """
+
+    max_pending: int = 256
+    bucket: TokenBucket = field(default_factory=TokenBucket)
+    submitted: int = 0
+    admitted: int = 0
+    shed: dict = field(default_factory=dict)  # reason -> count
+    decisions: List[AdmissionDecision] = field(default_factory=list)
+    keep_decisions: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+
+    @property
+    def shed_total(self) -> int:
+        """Jobs shed across all reasons."""
+        return sum(self.shed.values())
+
+    def offer(
+        self, job: Job, now: float, backlog: int, shedding: bool, tracer=None
+    ) -> AdmissionDecision:
+        """Decide one job's admission at sim time ``now``.
+
+        ``backlog`` is the scheduler's current pending count; ``shedding``
+        is the health machine's hard-shed flag.  Counters and (optional)
+        trace events are emitted here; journaling is the service's job.
+        """
+        self.submitted += 1
+        reason: Optional[str] = None
+        if backlog >= self.max_pending:
+            reason = SHED_QUEUE_FULL
+        elif not self.bucket.try_take(now):
+            reason = SHED_RATE_LIMIT
+        elif shedding:
+            reason = SHED_SHEDDING
+        decision = AdmissionDecision(
+            job_id=job.job_id, admitted=reason is None, reason=reason, ts=now
+        )
+        if self.keep_decisions:
+            self.decisions.append(decision)
+        registry = current_registry()
+        if registry is not None:
+            registry.counter(
+                "jobs_submitted_total", help="jobs offered to the service"
+            ).inc()
+            if decision.admitted:
+                registry.counter(
+                    "jobs_admitted_total", help="jobs accepted into the scheduler queue"
+                ).inc()
+            else:
+                registry.counter(
+                    "jobs_shed_total", help="jobs shed by admission, by reason"
+                ).inc(reason=reason)
+        if decision.admitted:
+            self.admitted += 1
+        else:
+            self.shed[reason] = self.shed.get(reason, 0) + 1
+            if tracer is not None and tracer.enabled:
+                tracer.event(
+                    "service", "shed", now, job_id=job.job_id, reason=reason
+                )
+        return decision
+
+    # -- snapshot round-trip -------------------------------------------------
+    def to_dict(self) -> dict:
+        """Snapshot form (decision log lives in the WAL, not here)."""
+        return {
+            "max_pending": self.max_pending,
+            "bucket": self.bucket.to_dict(),
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "shed": dict(self.shed),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AdmissionController":
+        """Rebuild admission state from a snapshot."""
+        ctrl = cls(
+            max_pending=int(payload["max_pending"]),
+            bucket=TokenBucket.from_dict(payload["bucket"]),
+        )
+        ctrl.submitted = int(payload["submitted"])
+        ctrl.admitted = int(payload["admitted"])
+        ctrl.shed = {str(k): int(v) for k, v in payload["shed"].items()}
+        return ctrl

@@ -1,0 +1,201 @@
+"""The service health state machine and its watchdog.
+
+The continuous scheduler must never fall behind real time: an epoch plan
+that arrives after the epoch it plans is worthless.  The watchdog therefore
+tracks two signals per epoch — *LP-solve lag* (profiled solve wall seconds,
+plus any injected lag, against the epoch deadline budget) and *backlog*
+(jobs queued for the next epoch against the shed watermarks) — and drives a
+four-state machine:
+
+``HEALTHY``
+    LP scheduling, full admission.
+``DEGRADED``
+    The LP missed its deadline ``miss_threshold`` epochs in a row; epochs
+    are scheduled by the greedy path (:func:`repro.resilience.degraded.
+    greedy_epoch_solution`) which needs no solver at all.  Every
+    ``probe_every``-th epoch still runs the LP as a probe; an on-time probe
+    moves to ``RECOVERING``.
+``SHEDDING``
+    Backlog crossed ``shed_high`` — even greedy scheduling is not draining
+    the queue, so admission rejects everything (deterministic hard shed,
+    fully accounted) until backlog falls to ``shed_low`` (hysteresis).
+``RECOVERING``
+    LP scheduling again, but on probation: ``recover_after`` consecutive
+    on-time epochs promote to ``HEALTHY``; one miss demotes straight back
+    to ``DEGRADED``.
+
+Every transition is a pure function of (state, miss, backlog), so a
+recovered service replaying its journal reproduces the exact decision
+sequence; transitions are journaled, traced (``service.transition`` events)
+and counted (``service_transitions_total``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.obs.registry import current_registry
+
+
+class ServiceState(enum.Enum):
+    """Operating mode of the scheduling service."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    SHEDDING = "shedding"
+    RECOVERING = "recovering"
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Watchdog thresholds (all deterministic; no wall-clock reads)."""
+
+    #: wall-clock budget for one epoch's LP solves; beyond it the epoch
+    #: counts as a deadline miss
+    epoch_deadline_s: float = 1.0
+    #: consecutive misses before HEALTHY degrades
+    miss_threshold: int = 2
+    #: in DEGRADED, probe the LP every Nth epoch
+    probe_every: int = 4
+    #: consecutive on-time LP epochs before RECOVERING promotes
+    recover_after: int = 3
+    #: backlog (queued jobs) entering SHEDDING
+    shed_high: int = 48
+    #: backlog at which SHEDDING hands back to RECOVERING
+    shed_low: int = 16
+
+    def __post_init__(self) -> None:
+        if self.epoch_deadline_s <= 0:
+            raise ValueError("epoch_deadline_s must be positive")
+        if self.miss_threshold < 1 or self.recover_after < 1 or self.probe_every < 1:
+            raise ValueError("miss_threshold/recover_after/probe_every must be >= 1")
+        if not 0 <= self.shed_low < self.shed_high:
+            raise ValueError("need 0 <= shed_low < shed_high")
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One state change with its trigger, for auditing and tracing."""
+
+    epoch: int
+    src: ServiceState
+    dst: ServiceState
+    reason: str
+
+
+@dataclass
+class HealthMonitor:
+    """Tracks service health across epochs; see the module docstring."""
+
+    config: HealthConfig = field(default_factory=HealthConfig)
+    state: ServiceState = ServiceState.HEALTHY
+    consecutive_misses: int = 0
+    consecutive_ok: int = 0
+    #: epochs spent in the current state (drives DEGRADED probing)
+    epochs_in_state: int = 0
+    transitions: List[Transition] = field(default_factory=list)
+
+    def plan_epoch(self) -> bool:
+        """Decide whether the *next* epoch uses the LP (True) or greedy."""
+        if self.state in (ServiceState.HEALTHY, ServiceState.RECOVERING):
+            return True
+        if self.state is ServiceState.DEGRADED:
+            # periodic probe: the only way to observe the LP getting faster
+            return (self.epochs_in_state + 1) % self.config.probe_every == 0
+        return False  # SHEDDING: cheapest possible scheduling
+
+    @property
+    def shedding(self) -> bool:
+        """True while admission must hard-shed."""
+        return self.state is ServiceState.SHEDDING
+
+    def observe_epoch(
+        self, epoch: int, used_lp: bool, missed: bool, backlog: int,
+        tracer=None, ts: float = 0.0,
+    ) -> Optional[Transition]:
+        """Fold one finished epoch into the machine; returns any transition.
+
+        ``missed`` is meaningful only when ``used_lp`` (greedy epochs cannot
+        miss — that is the point of degrading).  At most one transition
+        happens per epoch; backlog pressure outranks lag recovery.
+        """
+        cfg = self.config
+        self.epochs_in_state += 1
+        if used_lp:
+            if missed:
+                self.consecutive_misses += 1
+                self.consecutive_ok = 0
+            else:
+                self.consecutive_ok += 1
+                self.consecutive_misses = 0
+
+        dst: Optional[Tuple[ServiceState, str]] = None
+        if self.state is not ServiceState.SHEDDING and backlog >= cfg.shed_high:
+            dst = (ServiceState.SHEDDING, f"backlog {backlog} >= {cfg.shed_high}")
+        elif self.state is ServiceState.SHEDDING:
+            if backlog <= cfg.shed_low:
+                dst = (ServiceState.RECOVERING, f"backlog {backlog} <= {cfg.shed_low}")
+        elif self.state is ServiceState.HEALTHY:
+            if self.consecutive_misses >= cfg.miss_threshold:
+                dst = (
+                    ServiceState.DEGRADED,
+                    f"{self.consecutive_misses} consecutive deadline misses",
+                )
+        elif self.state is ServiceState.DEGRADED:
+            if used_lp and not missed:
+                dst = (ServiceState.RECOVERING, "probe solve met its deadline")
+        elif self.state is ServiceState.RECOVERING:
+            if used_lp and missed:
+                dst = (ServiceState.DEGRADED, "probation miss")
+            elif self.consecutive_ok >= cfg.recover_after:
+                dst = (
+                    ServiceState.HEALTHY,
+                    f"{self.consecutive_ok} consecutive on-time epochs",
+                )
+        if dst is None:
+            return None
+        return self._transition(epoch, dst[0], dst[1], tracer=tracer, ts=ts)
+
+    def _transition(
+        self, epoch: int, dst: ServiceState, reason: str, tracer=None, ts: float = 0.0
+    ) -> Transition:
+        transition = Transition(epoch=epoch, src=self.state, dst=dst, reason=reason)
+        self.transitions.append(transition)
+        self.state = dst
+        self.epochs_in_state = 0
+        self.consecutive_misses = 0
+        self.consecutive_ok = 0
+        registry = current_registry()
+        if registry is not None:
+            registry.counter(
+                "service_transitions_total",
+                help="health state-machine transitions by edge",
+            ).inc(src=transition.src.value, dst=dst.value)
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                "service", "transition", ts,
+                epoch=epoch, src=transition.src.value, dst=dst.value, reason=reason,
+            )
+        return transition
+
+    # -- snapshot round-trip -------------------------------------------------
+    def to_dict(self) -> dict:
+        """Snapshot form (transitions kept as counts; full list is in WAL)."""
+        return {
+            "state": self.state.value,
+            "consecutive_misses": self.consecutive_misses,
+            "consecutive_ok": self.consecutive_ok,
+            "epochs_in_state": self.epochs_in_state,
+            "num_transitions": len(self.transitions),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, config: HealthConfig) -> "HealthMonitor":
+        """Rebuild monitor state from a snapshot."""
+        monitor = cls(config=config, state=ServiceState(payload["state"]))
+        monitor.consecutive_misses = int(payload["consecutive_misses"])
+        monitor.consecutive_ok = int(payload["consecutive_ok"])
+        monitor.epochs_in_state = int(payload["epochs_in_state"])
+        return monitor

@@ -1,0 +1,115 @@
+"""The serve invariant oracle: what must hold after any service run.
+
+Extends the :mod:`repro.resilience.invariants` oracle with the properties
+the service layer adds on top of the online controller:
+
+* **admission partition** — every offered job is accounted exactly once:
+  ``submitted == admitted + shed`` and the per-reason shed counts sum to
+  the shed total (no silent job loss; the only way to lose a job is an
+  explicit, reasoned shed);
+* **completion accounting** — every admitted job either completed or is
+  still pending in the final backlog (``admitted == completed + pending``);
+* **billing consistency** — the shared ledger checks, reused verbatim;
+* **degraded accounting** — the controller's degraded-epoch counter equals
+  the number of degraded epoch reports;
+* **watchdog engagement** — when any LP epoch missed its deadline at least
+  ``miss_threshold`` times consecutively, the health machine must have left
+  HEALTHY at least once (the watchdog may never sleep through its pager).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.resilience.invariants import InvariantViolation, _check_ledger
+from repro.serve.health import ServiceState
+from repro.serve.service import SchedulingService
+
+
+def check_service_invariants(
+    service: SchedulingService, result=None, expected_misses: Optional[int] = None
+) -> List[InvariantViolation]:
+    """Check a finished (or recovered) service against the serve oracle.
+
+    ``result`` is the :class:`~repro.core.epoch.OnlineRunResult` from
+    :meth:`SchedulingService.result` when the run was closed; pass ``None``
+    to check a still-open service (completion accounting then uses the live
+    controller state).  ``expected_misses`` > 0 additionally requires the
+    watchdog to have engaged (used by lag-injection soaks).
+    """
+    out: List[InvariantViolation] = []
+    admission = service.admission
+
+    shed_by_reason = sum(admission.shed.values())
+    if shed_by_reason != admission.shed_total:
+        out.append(
+            InvariantViolation(
+                "admission_partition",
+                f"per-reason shed counts sum to {shed_by_reason}, "
+                f"shed_total says {admission.shed_total}",
+            )
+        )
+    if admission.submitted != admission.admitted + admission.shed_total:
+        out.append(
+            InvariantViolation(
+                "admission_partition",
+                f"submitted {admission.submitted} != admitted {admission.admitted} "
+                f"+ shed {admission.shed_total}",
+            )
+        )
+    if admission.admitted != len(service.admitted_arrivals):
+        out.append(
+            InvariantViolation(
+                "admission_partition",
+                f"admission counted {admission.admitted} admitted jobs but the "
+                f"service tracked {len(service.admitted_arrivals)}",
+            )
+        )
+
+    if result is not None:
+        completed = len(result.job_completion)
+        pending = 0
+        ledger = result.ledger
+        reports = result.reports
+        degraded_seen = sum(1 for r in reports if r.degraded)
+    else:
+        state = service.controller._require_state()
+        completed = len(state.job_completion)
+        pending = len(state.queue)
+        ledger = state.ledger
+        reports = state.reports
+        degraded_seen = sum(1 for r in reports if r.degraded)
+    if admission.admitted != completed + pending:
+        out.append(
+            InvariantViolation(
+                "completion_accounting",
+                f"admitted {admission.admitted} != completed {completed} "
+                f"+ pending {pending}",
+            )
+        )
+
+    out.extend(_check_ledger(ledger))
+
+    if degraded_seen != service.controller.degraded_epochs:
+        out.append(
+            InvariantViolation(
+                "degraded_accounting",
+                f"{degraded_seen} degraded reports vs counter "
+                f"{service.controller.degraded_epochs}",
+            )
+        )
+
+    if expected_misses is not None and expected_misses >= service.config.health.miss_threshold:
+        engaged = any(
+            t.dst in (ServiceState.DEGRADED, ServiceState.SHEDDING)
+            for t in service.health.transitions
+        )
+        if not engaged:
+            out.append(
+                InvariantViolation(
+                    "watchdog_engagement",
+                    f"{expected_misses} deadline misses but the health machine "
+                    "never left HEALTHY",
+                )
+            )
+    return out

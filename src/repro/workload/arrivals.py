@@ -1,14 +1,17 @@
 """Arrival processes for the online scheduling setting.
 
 The epoch controller (:mod:`repro.core.epoch`) consumes any
-:class:`ArrivalProcess`; two implementations cover the evaluation needs:
-Poisson arrivals for synthetic experiments and trace-driven arrivals for
-SWIM-style replays.
+:class:`ArrivalProcess`; Poisson arrivals cover synthetic experiments,
+trace-driven arrivals cover SWIM-style replays, and
+:class:`MergedArrivals` interleaves several independent processes into one
+time-ordered stream — the service layer (:mod:`repro.serve`) uses it to
+model concurrent submitters hammering one scheduler.
 """
 
 from __future__ import annotations
 
 import abc
+import heapq
 from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
@@ -56,6 +59,36 @@ class PoissonArrivals(ArrivalProcess):
         self._schedule: List[Tuple[float, Job]] = [
             (float(t), j) for t, j in zip(times, jobs)
         ]
+
+    def __iter__(self) -> Iterator[Tuple[float, Job]]:
+        yield from self._schedule
+
+
+class MergedArrivals(ArrivalProcess):
+    """Merges several arrival processes into one nondecreasing stream.
+
+    Models N concurrent submitters against a single scheduler: each source
+    keeps its own rate/seed, and the merge is a stable k-way heap merge
+    (ties broken by source index, then job_id), so iteration order is a
+    pure function of the sources.  Duplicate ``job_id`` values across
+    sources are rejected up front — downstream accounting keys on them.
+    """
+
+    def __init__(self, sources: Sequence[ArrivalProcess]) -> None:
+        if not sources:
+            raise ValueError("MergedArrivals needs at least one source")
+        streams = [
+            [(t, idx, job) for t, job in source] for idx, source in enumerate(sources)
+        ]
+        merged = list(heapq.merge(*streams, key=lambda rec: (rec[0], rec[1], rec[2].job_id)))
+        seen = {}
+        for _, idx, job in merged:
+            if job.job_id in seen and seen[job.job_id] != idx:
+                raise ValueError(
+                    f"job_id {job.job_id} appears in sources {seen[job.job_id]} and {idx}"
+                )
+            seen[job.job_id] = idx
+        self._schedule: List[Tuple[float, Job]] = [(t, job) for t, _, job in merged]
 
     def __iter__(self) -> Iterator[Tuple[float, Job]]:
         yield from self._schedule

@@ -114,3 +114,81 @@ def test_fairness_config_threads_through(two_zone_cluster):
     gap_plain = abs(plain.job_completion[0] - plain.job_completion[1])
     gap_fair = abs(fair.job_completion[0] - fair.job_completion[1])
     assert gap_fair <= gap_plain + 1e-6
+
+
+# -- idle-skip (sparse arrivals) ---------------------------------------------
+
+
+def test_skip_idle_to_lands_on_the_covering_boundary(two_zone_cluster):
+    c = EpochController(two_zone_cluster, epoch_length=60.0)
+    c.begin()
+    c.skip_idle_to(120.0)  # exact boundary: epoch 2 starts at 120s
+    assert c.epoch_index == 2
+    c.skip_idle_to(121.0)  # just past it: next boundary is 180s
+    assert c.epoch_index == 3
+    # always advances at least one epoch, even for an already-covered time
+    c.skip_idle_to(0.0)
+    assert c.epoch_index == 4
+
+
+def test_skip_idle_to_clamps_at_max_epochs(two_zone_cluster):
+    c = EpochController(two_zone_cluster, epoch_length=60.0, max_epochs=10)
+    c.begin()
+    c.skip_idle_to(1e12)
+    assert c.epoch_index == 10
+
+
+def test_sparse_arrivals_jump_instead_of_spinning(two_zone_cluster, monkeypatch):
+    """Regression: a long idle gap must not be walked one empty epoch at a
+    time — run() jumps straight to the next arrival's epoch."""
+    data = [DataObject(data_id=0, name="d0", size_mb=64.0, origin_store=0)]
+    jobs = [
+        Job(job_id=0, name="early", tcp=1.0, data_ids=[0], num_tasks=1),
+        Job(
+            job_id=1,
+            name="late",
+            tcp=0.0,
+            num_tasks=1,
+            cpu_seconds_noinput=50.0,
+            arrival_time=59_940.0,  # epoch 999 at 60s epochs
+        ),
+    ]
+    c = EpochController(two_zone_cluster, epoch_length=60.0, max_epochs=2000)
+    steps = 0
+    original = EpochController.step
+
+    def counting_step(self, *args, **kwargs):
+        nonlocal steps
+        steps += 1
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(EpochController, "step", counting_step)
+    res = c.run(Workload(jobs=jobs, data=data))
+    assert set(res.job_completion) == {0, 1}
+    # without the jump this loop would step ~1000 times
+    assert steps < 20
+    assert res.makespan >= 59_940.0
+
+
+def test_incremental_api_matches_run(two_zone_cluster, workload):
+    """begin/submit/step/finish drives the identical schedule run() does."""
+    ref = EpochController(two_zone_cluster, epoch_length=600.0).run(workload)
+
+    c = EpochController(two_zone_cluster, epoch_length=600.0)
+    c.begin()
+    arrivals = sorted(workload.jobs, key=lambda j: (j.arrival_time, j.job_id))
+    pending = list(arrivals)
+    while pending or c.pending:
+        start = c.epoch_index * c.epoch_length
+        while pending and pending[0].arrival_time <= start:
+            job = pending.pop(0)
+            c.submit(job, workload.data[job.data_ids[0]] if job.data_ids else None)
+        if not c.pending:
+            c.skip_idle_to(pending[0].arrival_time)
+            continue
+        c.step()
+    res = c.finish(workload.jobs)
+
+    assert res.job_completion == ref.job_completion
+    assert res.ledger.total == ref.ledger.total
+    assert res.makespan == ref.makespan

@@ -1,0 +1,28 @@
+"""FLOW104 fixture: a service callback mutating shared state unlocked.
+
+The serve-layer shape: a watchdog coroutine scheduled with
+``asyncio.create_task`` appends to the same metrics buffer the request
+path writes — every ``await`` on the main path is a point where the task
+interleaves, so the unlocked writes corrupt the buffer just like the
+thread race in ``flow101_bad.py``.
+"""
+
+import asyncio
+
+
+class Gauge:  # flow: shared
+    def __init__(self):
+        self.samples = []
+
+    def record(self, value):
+        self.samples.append(value)  # unlocked shared write — the race
+
+
+async def _watchdog(gauge):
+    gauge.record(1)
+
+
+async def run(gauge):
+    asyncio.create_task(_watchdog(gauge))
+    gauge.record(0)
+    return gauge.samples

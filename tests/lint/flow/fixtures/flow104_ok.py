@@ -1,0 +1,23 @@
+"""FLOW104 ok-fixture: the same shape, every mutation under the lock."""
+
+import asyncio
+
+
+class Gauge:  # flow: shared
+    def __init__(self):
+        self.samples = []
+        self._lock = asyncio.Lock()
+
+    async def record(self, value):
+        async with self._lock:
+            self.samples.append(value)
+
+
+async def _watchdog(gauge):
+    await gauge.record(1)
+
+
+async def run(gauge):
+    asyncio.create_task(_watchdog(gauge))
+    await gauge.record(0)
+    return gauge.samples

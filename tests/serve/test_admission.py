@@ -1,0 +1,127 @@
+"""Admission control: token bucket, bounded queue, shed accounting."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry, use_registry
+from repro.serve.admission import (
+    SHED_QUEUE_FULL,
+    SHED_RATE_LIMIT,
+    SHED_SHEDDING,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.workload.job import Job
+
+
+def _job(job_id: int) -> Job:
+    return Job(job_id=job_id, name=f"j{job_id}", tcp=0.0, cpu_seconds_noinput=10.0)
+
+
+class TestTokenBucket:
+    def test_rate_zero_always_admits(self):
+        bucket = TokenBucket(rate_per_s=0.0, burst=1.0, tokens=0.0)
+        assert all(bucket.try_take(0.0) for _ in range(100))
+
+    def test_burst_depletes_then_blocks(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=3.0, tokens=3.0)
+        assert [bucket.try_take(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_sim_time_refill(self):
+        bucket = TokenBucket(rate_per_s=0.5, burst=2.0, tokens=0.0)
+        assert not bucket.try_take(0.0)
+        # 2 seconds at 0.5 tokens/s = 1 token
+        assert bucket.try_take(2.0)
+        assert not bucket.try_take(2.0)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=2.0, tokens=0.0)
+        bucket.try_take(1000.0)
+        assert bucket.tokens == pytest.approx(1.0)  # capped at 2, one taken
+
+    def test_clock_never_runs_backwards(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=5.0, tokens=0.0)
+        assert bucket.try_take(3.0)
+        before = bucket.tokens
+        bucket.try_take(1.0)  # stale timestamp must not refill again
+        assert bucket.tokens <= before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=1.0, burst=0.0)
+
+    def test_snapshot_round_trip(self):
+        bucket = TokenBucket(rate_per_s=0.3, burst=4.0, tokens=1.25, last_refill=17.5)
+        clone = TokenBucket.from_dict(bucket.to_dict())
+        assert clone.to_dict() == bucket.to_dict()
+        # the clone continues the exact decision sequence
+        assert [bucket.try_take(20.0), bucket.try_take(20.0)] == [
+            clone.try_take(20.0),
+            clone.try_take(20.0),
+        ]
+
+
+class TestAdmissionController:
+    def test_admits_below_all_limits(self):
+        ctrl = AdmissionController(max_pending=4)
+        decision = ctrl.offer(_job(0), now=0.0, backlog=0, shedding=False)
+        assert decision.admitted and decision.reason is None
+        assert (ctrl.submitted, ctrl.admitted, ctrl.shed_total) == (1, 1, 0)
+
+    def test_queue_full_outranks_other_reasons(self):
+        # full backlog AND empty bucket AND shedding: queue_full wins, and
+        # the bucket is not even consulted (no token consumed)
+        ctrl = AdmissionController(
+            max_pending=2, bucket=TokenBucket(rate_per_s=1.0, burst=1.0, tokens=1.0)
+        )
+        decision = ctrl.offer(_job(0), now=0.0, backlog=2, shedding=True)
+        assert decision.reason == SHED_QUEUE_FULL
+        assert ctrl.bucket.tokens == pytest.approx(1.0)
+
+    def test_rate_limit_outranks_shedding(self):
+        ctrl = AdmissionController(
+            max_pending=8, bucket=TokenBucket(rate_per_s=1.0, burst=1.0, tokens=0.0)
+        )
+        decision = ctrl.offer(_job(0), now=0.0, backlog=0, shedding=True)
+        assert decision.reason == SHED_RATE_LIMIT
+
+    def test_shedding_rejects_everything_else(self):
+        ctrl = AdmissionController(max_pending=8)
+        decision = ctrl.offer(_job(0), now=0.0, backlog=0, shedding=True)
+        assert decision.reason == SHED_SHEDDING
+
+    def test_partition_invariant_under_mixed_traffic(self):
+        ctrl = AdmissionController(
+            max_pending=3, bucket=TokenBucket(rate_per_s=0.1, burst=2.0, tokens=2.0)
+        )
+        backlog = 0
+        for i in range(20):
+            decision = ctrl.offer(
+                _job(i), now=float(i) * 0.5, backlog=backlog, shedding=i % 7 == 0
+            )
+            if decision.admitted:
+                backlog = min(backlog + 1, 3)
+        assert ctrl.submitted == 20
+        assert ctrl.submitted == ctrl.admitted + ctrl.shed_total
+        assert sum(ctrl.shed.values()) == ctrl.shed_total
+        assert set(ctrl.shed) <= {SHED_QUEUE_FULL, SHED_RATE_LIMIT, SHED_SHEDDING}
+
+    def test_metrics_reconcile_with_counters(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            ctrl = AdmissionController(max_pending=1)
+            ctrl.offer(_job(0), now=0.0, backlog=0, shedding=False)
+            ctrl.offer(_job(1), now=0.0, backlog=1, shedding=False)
+        assert registry.counter("jobs_submitted_total").total() == 2
+        assert registry.counter("jobs_admitted_total").total() == 1
+        assert registry.counter("jobs_shed_total").value(reason=SHED_QUEUE_FULL) == 1
+
+    def test_snapshot_round_trip(self):
+        ctrl = AdmissionController(max_pending=2)
+        ctrl.offer(_job(0), now=0.0, backlog=0, shedding=False)
+        ctrl.offer(_job(1), now=0.0, backlog=2, shedding=False)
+        clone = AdmissionController.from_dict(ctrl.to_dict())
+        assert clone.to_dict() == ctrl.to_dict()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=0)

@@ -1,0 +1,138 @@
+"""WAL and snapshot durability: torn tails, gaps, atomic snapshots."""
+
+import json
+
+import pytest
+
+from repro.cost.accounting import CostLedger
+from repro.serve.journal import (
+    REC_ADMISSION,
+    REC_START,
+    WriteAheadLog,
+    data_from_dict,
+    data_to_dict,
+    job_from_dict,
+    job_to_dict,
+    ledger_from_dicts,
+    ledger_to_dicts,
+    load_latest_snapshot,
+    read_wal,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.workload.job import DataObject, Job
+
+
+class TestWriteAheadLog:
+    def test_append_read_round_trip(self, tmp_path):
+        path = tmp_path / "service.wal"
+        with WriteAheadLog(path, fsync=False) as wal:
+            assert wal.append(REC_START, clock=0.0) == 0
+            assert wal.append(REC_ADMISSION, job_id=3, admitted=True) == 1
+        records = read_wal(path)
+        assert [r["type"] for r in records] == [REC_START, REC_ADMISSION]
+        assert records[1]["job_id"] == 3 and records[1]["admitted"] is True
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        path = tmp_path / "service.wal"
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append(REC_START, clock=0.0)
+            wal.append(REC_ADMISSION, job_id=0, admitted=True)
+        with WriteAheadLog(path, fsync=False) as wal:
+            assert wal.append(REC_ADMISSION, job_id=1, admitted=True) == 2
+        assert [r["seq"] for r in read_wal(path)] == [0, 1, 2]
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "service.wal"
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append(REC_START, clock=0.0)
+            wal.append(REC_ADMISSION, job_id=0, admitted=True)
+        with path.open("a") as handle:
+            handle.write('{"seq": 2, "type": "adm')  # crash mid-write
+        records = read_wal(path)
+        assert len(records) == 2
+        # and a reopened WAL keeps numbering from the surviving prefix
+        with WriteAheadLog(path, fsync=False) as wal:
+            assert wal.append(REC_ADMISSION, job_id=1, admitted=False) == 2
+
+    def test_mid_file_corruption_is_loud(self, tmp_path):
+        path = tmp_path / "service.wal"
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append(REC_START, clock=0.0)
+            wal.append(REC_ADMISSION, job_id=0, admitted=True)
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-4]  # corrupt a non-tail record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt WAL record"):
+            read_wal(path)
+
+    def test_sequence_gap_is_loud(self, tmp_path):
+        path = tmp_path / "service.wal"
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append(REC_START, clock=0.0)
+        record = {"seq": 5, "type": REC_ADMISSION, "job_id": 0, "admitted": True}
+        with path.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        with pytest.raises(ValueError, match="sequence gap"):
+            read_wal(path)
+
+
+class TestSnapshots:
+    def test_write_then_load_newest(self, tmp_path):
+        write_snapshot(tmp_path, 4, {"clock": 60.0})
+        write_snapshot(tmp_path, 9, {"clock": 120.0})
+        loaded = load_latest_snapshot(tmp_path)
+        assert loaded is not None
+        state, path = loaded
+        assert state["clock"] == 120.0 and state["wal_seq"] == 9
+        assert path == snapshot_path(tmp_path, 9)
+
+    def test_half_written_snapshot_is_skipped(self, tmp_path):
+        write_snapshot(tmp_path, 4, {"clock": 60.0})
+        snapshot_path(tmp_path, 9).write_text('{"truncated')
+        state, path = load_latest_snapshot(tmp_path)
+        assert state["wal_seq"] == 4 and path == snapshot_path(tmp_path, 4)
+
+    def test_empty_dir_returns_none(self, tmp_path):
+        assert load_latest_snapshot(tmp_path) is None
+
+    def test_foreign_format_is_loud(self, tmp_path):
+        snapshot_path(tmp_path, 2).write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValueError, match="not a serve snapshot"):
+            load_latest_snapshot(tmp_path)
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        write_snapshot(tmp_path, 1, {"clock": 0.0})
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".json"]
+        assert leftovers == []
+
+
+class TestStateCodecs:
+    def test_job_round_trip_is_exact(self):
+        job = Job(
+            job_id=7,
+            name="grep",
+            tcp=0.125,
+            data_ids=[0, 2],
+            num_tasks=5,
+            arrival_time=312.5,
+            pool="etl",
+            num_reduces=2,
+            shuffle_ratio=0.4,
+            reduce_cpu_per_mb=0.01,
+            read_fraction=0.75,
+        )
+        assert job_from_dict(job_to_dict(job)) == job
+
+    def test_data_round_trip_is_exact(self):
+        obj = DataObject(data_id=1, name="logs", size_mb=96.5, origin_store=2)
+        assert data_from_dict(data_to_dict(obj)) == obj
+
+    def test_ledger_round_trip_is_float_exact(self):
+        ledger = CostLedger()
+        ledger.charge_cpu(0.1 + 0.2, job_id=1, machine_id=0, detail="epoch 3")
+        ledger.charge_placement_transfer(1.0 / 3.0, store_id=1, job_id=1)
+        ledger.charge_runtime_transfer(7.0 / 11.0, job_id=1, machine_id=0, store_id=1)
+        clone = ledger_from_dicts(ledger_to_dicts(ledger))
+        assert clone.total == ledger.total
+        assert ledger_to_dicts(clone) == ledger_to_dicts(ledger)
