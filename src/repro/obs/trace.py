@@ -232,7 +232,69 @@ class Tracer:  # flow: shared
         self.close()
 
 
-AnyTracer = Union[Tracer, NullTracer]
+class BufferedTracer:
+    """Defers emission to an inner tracer until :meth:`flush`.
+
+    Lets a caller make a block of trace output all-or-nothing relative to
+    some other durable action: collect the block's records here, perform
+    the action (e.g. a write-ahead-log append), then :meth:`flush` — if
+    the action never completes, :meth:`discard` (or simply dropping the
+    buffer) leaves the inner tracer untouched.  ``repro.serve`` uses this
+    to keep the trace file free of epoch spans the journal does not have.
+
+    Span ids are allocated from the inner tracer *eagerly* — the same
+    sequence as unbuffered emission, so seeded runs trace identically —
+    and category filtering is applied at buffering time, so a record the
+    inner tracer would drop is never queued.
+    """
+
+    def __init__(self, inner: "AnyTracer") -> None:
+        self.inner = inner
+        self._pending: List[tuple] = []
+
+    @property
+    def enabled(self) -> bool:
+        """Mirrors the inner tracer (call sites guard on this)."""
+        return self.inner.enabled
+
+    def wants(self, cat: str) -> bool:
+        """Delegates to the inner tracer's category filter."""
+        return self.inner.wants(cat)
+
+    def new_span_id(self):
+        """Allocate from the inner tracer (ids stay globally sequential)."""
+        return self.inner.new_span_id()
+
+    def event(self, cat: str, name: str, ts: float, **attrs) -> None:
+        """Queue an instant event for the next :meth:`flush`."""
+        if self.inner.wants(cat):
+            self._pending.append(("event", (cat, name, ts), attrs))
+
+    def span(self, cat: str, name: str, ts: float, dur: float, **attrs) -> None:
+        """Queue an interval record for the next :meth:`flush`."""
+        if self.inner.wants(cat):
+            self._pending.append(("span", (cat, name, ts, dur), attrs))
+
+    def lp_solve(self, record, ts: float = 0.0, **attrs) -> None:
+        """Queue an LP solve record for the next :meth:`flush`."""
+        if self.inner.wants("lp"):
+            self._pending.append(("lp_solve", (record, ts), attrs))
+
+    def flush(self) -> None:
+        """Emit every queued record to the inner tracer, in order."""
+        for kind, args, attrs in self._pending:
+            getattr(self.inner, kind)(*args, **attrs)
+        self._pending.clear()
+
+    def discard(self) -> None:
+        """Drop every queued record without emitting."""
+        self._pending.clear()
+
+    def close(self) -> None:
+        """No-op: the inner tracer's owner closes it."""
+
+
+AnyTracer = Union[Tracer, NullTracer, BufferedTracer]
 
 #: The ambient tracer components fall back to when none is passed
 #: explicitly.  Defaults to the null tracer; the CLI installs a real one

@@ -7,16 +7,21 @@ queue.  A job is *shed* — deterministically, with an explicit reason — when:
 ``queue_full``
     the controller backlog has reached ``max_pending`` (bounded queue:
     the memory-safety backstop);
-``rate_limit``
-    the sim-time token bucket is empty (sustained arrival rate above
-    ``rate_per_s`` with bursts above ``burst``);
 ``shedding``
     the health state machine is in SHEDDING and admission is closed
-    entirely (see :mod:`repro.serve.health`).
+    entirely (see :mod:`repro.serve.health`);
+``rate_limit``
+    the sim-time token bucket is empty (sustained arrival rate above
+    ``rate_per_s`` with bursts above ``burst``).
 
 Checks run in that order, so each shed has exactly one reason and the
 counters partition: ``jobs_submitted_total == jobs_admitted_total +
-sum(jobs_shed_total{reason=*})`` — the first serve invariant.  The bucket
+sum(jobs_shed_total{reason=*})`` — the first serve invariant.  The
+bucket is consulted last, after both hard-shed checks: a job the service
+was going to refuse anyway must not consume a token, or sustained offers
+during SHEDDING would drain the bucket, misattribute those sheds to
+``rate_limit`` and keep throttling admissions after SHEDDING ends.  The
+bucket
 refills from the *simulation* clock (``now`` is passed in; nothing here
 reads wall time), so every decision is a pure function of (config, offered
 sequence) and replays byte-identically during recovery.
@@ -138,10 +143,10 @@ class AdmissionController:
         reason: Optional[str] = None
         if backlog >= self.max_pending:
             reason = SHED_QUEUE_FULL
-        elif not self.bucket.try_take(now):
-            reason = SHED_RATE_LIMIT
         elif shedding:
             reason = SHED_SHEDDING
+        elif not self.bucket.try_take(now):
+            reason = SHED_RATE_LIMIT
         decision = AdmissionDecision(
             job_id=job.job_id, admitted=reason is None, reason=reason, ts=now
         )

@@ -118,17 +118,21 @@ class WriteAheadLog:
     Each :meth:`append` assigns the next sequence number, writes one line
     and flushes it (fsync by default) before returning — by the time the
     caller acts on a decision, the decision is on disk.  A torn final line
-    (crash mid-write) is dropped on read; a gap in sequence numbers is
-    corruption and fails loudly.
+    (crash mid-write) is dropped on read *and truncated on reopen* — the
+    next append must start on a fresh line, never concatenate onto a
+    fragment and corrupt the record mid-file.  A gap in sequence numbers
+    is corruption and fails loudly.
     """
 
     def __init__(self, path: PathLike, fsync: bool = True) -> None:
         self.path = Path(path)
         self.fsync = fsync
         self.seq = -1
-        existing = read_wal(self.path) if self.path.exists() else []
-        if existing:
-            self.seq = int(existing[-1]["seq"])
+        if self.path.exists():
+            _repair_torn_tail(self.path)
+            existing = read_wal(self.path)
+            if existing:
+                self.seq = int(existing[-1]["seq"])
         self._fh = open(self.path, "a", encoding="utf-8")
 
     def append(self, rec_type: str, **payload: Any) -> int:
@@ -152,6 +156,56 @@ class WriteAheadLog:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+def _repair_torn_tail(path: Path) -> None:
+    """Make a crashed WAL safe to append to again.
+
+    :func:`read_wal` merely *skips* a torn tail; the fragment's bytes stay
+    on disk, and appending after them would weld the next record onto the
+    fragment — one unparseable line mid-file, bricking every later read.
+    So before reopening for append: truncate an unparseable tail fragment,
+    and newline-terminate a final record whose JSON survived the crash but
+    whose terminator did not.  Mid-file corruption is left untouched for
+    :func:`read_wal` to reject loudly — that is damage, not a crash.
+    """
+    data = path.read_bytes()
+    keep = 0  # byte length of the newline-terminated parseable prefix
+    pos = 0
+    while True:
+        nl = data.find(b"\n", pos)
+        if nl == -1:
+            break
+        line = data[pos:nl]
+        if line.strip():
+            try:
+                json.loads(line)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                if data[nl + 1 :].strip():
+                    return  # corrupt mid-file: read_wal raises, not us
+                break
+        keep = nl + 1
+        pos = nl + 1
+    tail = data[keep:]
+    if not tail:
+        return
+    if tail.strip():
+        try:
+            json.loads(tail)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            pass
+        else:
+            # complete record, lost terminator: finish the line instead of
+            # dropping a decision that did reach the disk
+            with open(path, "ab") as fh:
+                fh.write(b"\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            return
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+        fh.flush()
+        os.fsync(fh.fileno())
 
 
 def read_wal(path: PathLike) -> List[Dict[str, Any]]:
@@ -185,13 +239,26 @@ def snapshot_path(wal_dir: PathLike, seq: int) -> Path:
 
 
 def write_snapshot(wal_dir: PathLike, seq: int, state: Dict[str, Any]) -> Path:
-    """Atomically write a snapshot of service ``state`` as of WAL ``seq``."""
+    """Atomically and durably write a snapshot of ``state`` as of WAL ``seq``.
+
+    Same durability rigor as the per-record-fsync WAL: the tmp file is
+    fsynced before the rename and the directory after it, so a power loss
+    never persists the rename ahead of the content (or silently loses it).
+    """
     payload = {"format": FORMAT_SNAPSHOT, "version": VERSION, "wal_seq": seq}
     payload.update(state)
     path = snapshot_path(wal_dir, seq)
     tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(payload), encoding="utf-8")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(payload))
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, path)
+    dir_fd = os.open(str(path.parent), os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
     return path
 
 

@@ -38,8 +38,8 @@ import numpy as np
 from repro.cluster.builder import Cluster
 from repro.core.epoch import EpochController, EpochReport, OnlineRunResult, _QueueEntry
 from repro.core.solution import CostBreakdown
-from repro.obs.registry import current_registry
-from repro.obs.trace import NULL_TRACER, current_tracer
+from repro.obs.registry import MetricsRegistry, current_registry, use_registry
+from repro.obs.trace import NULL_TRACER, BufferedTracer, current_tracer
 from repro.serve.admission import AdmissionController, AdmissionDecision, TokenBucket
 from repro.serve.health import HealthConfig, HealthMonitor
 from repro.serve.journal import (
@@ -271,10 +271,25 @@ class SchedulingService:
 
     # -- the tick ------------------------------------------------------------
     def tick(self) -> Optional[EpochReport]:
-        """Schedule one epoch under watchdog control; returns its report."""
+        """Schedule one epoch under watchdog control; returns its report.
+
+        The epoch's trace spans are buffered during ``step()`` and only
+        hit the trace sink *after* the ``epoch`` WAL record is durable:
+        the journal-before-acting contract extends to the trace file, so
+        a crash inside the tick never leaves a span in the pre-crash
+        trace that recovery (which replays the WAL under a null tracer)
+        would re-execute and re-emit as a duplicate.
+        """
         epoch = self.controller.epoch_index
         use_lp = self.health.plan_epoch()
-        report = self.controller.step(force_degraded=not use_lp)
+        state = self.controller._require_state()
+        live_tracer = state.tracer
+        buffer = BufferedTracer(live_tracer)
+        state.tracer = buffer
+        try:
+            report = self.controller.step(force_degraded=not use_lp)
+        finally:
+            state.tracer = live_tracer
         lag = 0.0
         if report is not None:
             lag = report.lp_wall_seconds
@@ -295,6 +310,8 @@ class SchedulingService:
             lag_s=lag,
             backlog=self.controller.pending,
         )
+        # the epoch record is on disk: its trace spans may now be emitted
+        buffer.flush()
         self._observe(epoch, used_lp=attempted_lp, missed=missed)
         self.epochs_ticked += 1
         if (
@@ -450,10 +467,16 @@ class SchedulingService:
             stats.snapshot_seq = int(payload["wal_seq"])
         service._replaying = True
         try:
-            for record in records:
-                if int(record["seq"]) <= stats.snapshot_seq:
-                    continue
-                service._replay_record(record, stats)
+            # like the tracer, the live metrics registry must see the
+            # replayed suffix exactly zero times — the pre-crash process
+            # already counted it (and the snapshot restores the admission
+            # counters) — so replay observes into a discarded scratch
+            # registry instead of incrementing the ambient one again
+            with use_registry(MetricsRegistry()):
+                for record in records:
+                    if int(record["seq"]) <= stats.snapshot_seq:
+                        continue
+                    service._replay_record(record, stats)
         finally:
             service._replaying = False
         service.tracer = live_tracer

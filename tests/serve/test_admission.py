@@ -77,12 +77,26 @@ class TestAdmissionController:
         assert decision.reason == SHED_QUEUE_FULL
         assert ctrl.bucket.tokens == pytest.approx(1.0)
 
-    def test_rate_limit_outranks_shedding(self):
+    def test_shedding_outranks_rate_limit(self):
+        # a job SHEDDING was going to refuse anyway must not be charged to
+        # the rate limiter (wrong reason) nor consume a token
         ctrl = AdmissionController(
             max_pending=8, bucket=TokenBucket(rate_per_s=1.0, burst=1.0, tokens=0.0)
         )
         decision = ctrl.offer(_job(0), now=0.0, backlog=0, shedding=True)
-        assert decision.reason == SHED_RATE_LIMIT
+        assert decision.reason == SHED_SHEDDING
+
+    def test_shedding_does_not_drain_the_bucket(self):
+        ctrl = AdmissionController(
+            max_pending=8, bucket=TokenBucket(rate_per_s=0.001, burst=2.0, tokens=2.0)
+        )
+        for i in range(10):  # sustained offers while SHEDDING
+            ctrl.offer(_job(i), now=0.0, backlog=0, shedding=True)
+        assert ctrl.shed == {SHED_SHEDDING: 10}
+        assert ctrl.bucket.tokens == pytest.approx(2.0)
+        # burst capacity is intact the instant SHEDDING ends
+        assert ctrl.offer(_job(10), now=0.0, backlog=0, shedding=False).admitted
+        assert ctrl.offer(_job(11), now=0.0, backlog=0, shedding=False).admitted
 
     def test_shedding_rejects_everything_else(self):
         ctrl = AdmissionController(max_pending=8)

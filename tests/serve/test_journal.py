@@ -54,6 +54,60 @@ class TestWriteAheadLog:
         # and a reopened WAL keeps numbering from the surviving prefix
         with WriteAheadLog(path, fsync=False) as wal:
             assert wal.append(REC_ADMISSION, job_id=1, admitted=False) == 2
+        # reopening truncated the fragment, so the post-crash append landed
+        # on a fresh line — the WAL must stay fully readable forever after
+        records = read_wal(path)
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert records[2] == {
+            "seq": 2,
+            "type": REC_ADMISSION,
+            "job_id": 1,
+            "admitted": False,
+        }
+
+    def test_double_crash_after_torn_tail_recovery(self, tmp_path):
+        # crash -> recover (append) -> crash again mid-write -> recover:
+        # each reopen must repair the tail the previous crash left behind
+        path = tmp_path / "service.wal"
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append(REC_START, clock=0.0)
+        with path.open("a") as handle:
+            handle.write('{"seq": 1, "ty')
+        with WriteAheadLog(path, fsync=False) as wal:
+            assert wal.append(REC_ADMISSION, job_id=0, admitted=True) == 1
+        with path.open("a") as handle:
+            handle.write('{"seq": 2')
+        with WriteAheadLog(path, fsync=False) as wal:
+            assert wal.append(REC_ADMISSION, job_id=1, admitted=True) == 2
+        assert [r["seq"] for r in read_wal(path)] == [0, 1, 2]
+
+    def test_complete_record_with_lost_newline_is_kept(self, tmp_path):
+        # the crash persisted the full JSON but not the terminator: the
+        # record reached the disk, so reopen finishes the line instead of
+        # dropping the decision
+        path = tmp_path / "service.wal"
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append(REC_START, clock=0.0)
+        with path.open("a") as handle:
+            handle.write(json.dumps({"seq": 1, "type": REC_ADMISSION, "job_id": 0}))
+        with WriteAheadLog(path, fsync=False) as wal:
+            assert wal.append(REC_ADMISSION, job_id=1, admitted=True) == 2
+        records = read_wal(path)
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert records[1]["job_id"] == 0 and records[2]["job_id"] == 1
+
+    def test_repair_leaves_mid_file_corruption_for_read_wal(self, tmp_path):
+        path = tmp_path / "service.wal"
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append(REC_START, clock=0.0)
+            wal.append(REC_ADMISSION, job_id=0, admitted=True)
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-4]  # damage, not a crash
+        path.write_text("\n".join(lines) + "\n")
+        before = path.read_text()
+        with pytest.raises(ValueError, match="corrupt WAL record"):
+            WriteAheadLog(path, fsync=False)
+        assert path.read_text() == before  # repair did not touch the damage
 
     def test_mid_file_corruption_is_loud(self, tmp_path):
         path = tmp_path / "service.wal"

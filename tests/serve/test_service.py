@@ -162,6 +162,74 @@ class TestCrashRecovery:
         assert epochs and min(epochs) >= 1
         assert any(r.get("name") == "recovered" for r in lines)
 
+    def test_epoch_span_never_precedes_its_wal_record(
+        self, two_zone_cluster, tmp_path
+    ):
+        """A crash between step() and the WAL append must not leave an epoch
+        span in the trace: recovery would re-execute that epoch live and
+        emit it again, breaking the pure-suffix trace contract."""
+        config = _config()
+        trace_path = tmp_path / "trace.jsonl"
+        with Tracer.to_path(trace_path) as tracer:
+            service = SchedulingService(
+                two_zone_cluster, config, wal_dir=tmp_path / "wal", tracer=tracer
+            )
+            service.start()
+            for job, data in _workload(num_jobs=2):
+                service.submit(job, data)
+            original_append = service.wal.append
+
+            def crashing_append(rec_type, **payload):
+                if rec_type == REC_EPOCH:
+                    raise OSError("disk died before the epoch was journaled")
+                return original_append(rec_type, **payload)
+
+            service.wal.append = crashing_append
+            with pytest.raises(OSError):
+                service.tick()
+        lines = [json.loads(ln) for ln in trace_path.read_text().splitlines()]
+        assert not any(r.get("name") == "controller-epoch" for r in lines)
+        assert not any(
+            r["type"] == REC_EPOCH for r in read_wal(tmp_path / "wal" / "wal.jsonl")
+        )
+
+    def test_replay_does_not_double_count_metrics(self, two_zone_cluster, tmp_path):
+        """The registry survives an in-process kill (as in the soak), so
+        replay must observe into a scratch registry: counters reflect each
+        admission/epoch exactly once across crash and recovery."""
+        pairs = _workload(num_jobs=4)
+        config = _config()
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            victim = SchedulingService(
+                two_zone_cluster, config, wal_dir=tmp_path / "victim"
+            )
+            victim.start()
+            for job, data in pairs:
+                victim.submit(job, data)
+            for _ in range(3):
+                victim.tick()
+            del victim  # crash: same process, registry keeps its counts
+
+            recovered, stats = SchedulingService.recover(
+                two_zone_cluster, config, tmp_path / "victim"
+            )
+            assert stats.records_replayed > 0
+            while recovered.backlog:
+                recovered.tick()
+        assert (
+            registry.counter("jobs_submitted_total").total()
+            == recovered.admission.submitted
+        )
+        assert (
+            registry.counter("jobs_admitted_total").total()
+            == recovered.admission.admitted
+        )
+        assert (
+            registry.counter("service_epochs_total").total()
+            == recovered.epochs_ticked
+        )
+
     def test_tampered_wal_is_rejected(self, two_zone_cluster, tmp_path):
         pairs = _workload(num_jobs=2)
         config = _config()
