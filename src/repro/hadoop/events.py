@@ -3,6 +3,12 @@
 Events are ``(time, priority, seq, callback)`` heap entries; ``seq`` breaks
 ties so same-time events fire in scheduling order, keeping runs fully
 deterministic for a given seed.
+
+Cancellation is lazy — a cancelled entry stays in the heap and is skipped
+when popped — but not leaky: the queue counts cancelled residents and
+compacts the heap in place once they outnumber the live entries (beyond a
+small floor), so a workload that schedules and cancels aggressively (e.g.
+speculative retries) holds O(live) memory, not O(ever-scheduled).
 """
 
 from __future__ import annotations
@@ -15,6 +21,10 @@ from typing import Callable, List, Optional
 from repro.obs.trace import NULL_TRACER
 
 Callback = Callable[[], None]
+
+#: compaction triggers only above this many cancelled residents (tiny heaps
+#: are cheaper to scan lazily than to rebuild)
+COMPACT_MIN_CANCELLED = 64
 
 
 @dataclass(order=True)
@@ -29,14 +39,17 @@ class _Entry:
 class EventHandle:
     """Returned by :meth:`EventQueue.schedule`; allows cancellation."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_queue")
 
-    def __init__(self, entry: _Entry) -> None:
+    def __init__(self, entry: _Entry, queue: "EventQueue") -> None:
         self._entry = entry
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event cancelled; it will not fire."""
-        self._entry.cancelled = True
+        """Mark the event cancelled; it will not fire.  Idempotent."""
+        if not self._entry.cancelled:
+            self._entry.cancelled = True
+            self._queue._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -63,6 +76,10 @@ class EventQueue:
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
+        #: cancelled entries still resident in the heap
+        self._cancelled = 0
+        #: heap rebuilds performed to evict cancelled entries
+        self._compactions = 0
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
@@ -75,6 +92,11 @@ class EventQueue:
         """Number of events executed so far."""
         return self._processed
 
+    @property
+    def compactions(self) -> int:
+        """Heap compactions performed (observability for soak tests)."""
+        return self._compactions
+
     def schedule(self, time: float, callback: Callback, priority: int = 0) -> EventHandle:
         """Schedule ``callback`` at absolute simulation ``time``.
 
@@ -85,7 +107,7 @@ class EventQueue:
             raise ValueError(f"cannot schedule at {time} before now={self._now}")
         entry = _Entry(time=max(time, self._now), priority=priority, seq=next(self._seq), callback=callback)
         heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        return EventHandle(entry, self)
 
     def schedule_in(self, delay: float, callback: Callback, priority: int = 0) -> EventHandle:
         """Schedule relative to the current clock."""
@@ -93,11 +115,28 @@ class EventQueue:
             raise ValueError("delay must be >= 0")
         return self.schedule(self._now + delay, callback, priority)
 
+    def _note_cancelled(self) -> None:
+        """Account one newly cancelled resident; compact when they dominate."""
+        self._cancelled += 1
+        if (
+            self._cancelled > COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its cancelled entries, O(live)."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self._compactions += 1
+
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
         while self._heap:
             entry = heapq.heappop(self._heap)
             if entry.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = entry.time
             self._processed += 1
@@ -131,7 +170,9 @@ class EventQueue:
         """Time of the next (non-cancelled) event, or None."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         return self._heap[0].time if self._heap else None
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled) events — O(1) via the cancellation count."""
+        return len(self._heap) - self._cancelled

@@ -1,0 +1,198 @@
+"""Structural block detection over an :class:`~repro.lp.problem.AssembledLP`.
+
+The LiPS epoch model is *almost* block-separable: every job brings its own
+coverage/coupling/data rows and its own ``xt``/``xtn``/``fake``/``xd``
+columns, and the only rows tying jobs together are shared **capacity** rows
+(machine CPU, store capacity, epoch bandwidth) — all-nonnegative rows with a
+nonnegative budget on the right-hand side.  This module recovers that
+structure directly from the COO pattern:
+
+1. Classify each ``<=`` row as *capacity-like* (every coefficient >= 0 and
+   rhs >= 0) or *structural* (anything else).
+2. Union-find the columns of every structural row — structural rows must be
+   wholly owned by one block, so their columns merge.
+3. Columns now partition into connected components (**blocks**).  A
+   capacity-like row touching a single block is owned by it; one spanning
+   several blocks becomes a **coupling row** of the decomposition.
+
+Capacity-like rows are safe to treat as coupling because they admit the
+relaxation argument :mod:`repro.lp.sharded` relies on: with all
+coefficients and all participating variables nonnegative, any one block's
+usage of the row is bounded by the joint usage, so granting each shard the
+*full* budget is a relaxation of the joint problem and the sum of shard
+optima is a certified lower bound.  Rows with negative coefficients (job
+coverage, xt<=xd coupling, fairness floors) never span blocks — step 2
+merges their columns — so the argument never has to cover them.
+
+``detect_blocks`` returns ``None`` whenever the model does not decompose
+(equality rows, a single block, structure that breaks the relaxation
+argument); callers then solve monolithically.  Fairness rows, for example,
+span every job's columns and collapse the model to one block — sharding
+silently degrades to the exact monolithic solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.lp.problem import AssembledLP
+
+
+@dataclass(frozen=True)
+class Block:
+    """One independent sub-problem of the decomposition.
+
+    ``cols``/``rows`` are sorted original column / ``<=``-row indices (rows
+    exclude the shared coupling rows).  ``key`` is a stable, hashable
+    identity derived from the column labels — per-shard warm-start bases are
+    keyed on it so a block whose membership survives to the next epoch can
+    reuse its basis even as positional indices shift.
+    """
+
+    cols: np.ndarray
+    rows: np.ndarray
+    key: Optional[Tuple[str, ...]]
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """The decomposition of one assembled model."""
+
+    blocks: Tuple[Block, ...]
+    #: ``<=`` rows shared by two or more blocks (always capacity-like)
+    coupling_rows: np.ndarray
+    #: empty rows with rhs >= 0 — trivially satisfied, owned by no shard
+    trivial_rows: np.ndarray
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of independent blocks in the partition."""
+        return len(self.blocks)
+
+
+def _find(parent: np.ndarray, i: int) -> int:
+    """Union-find root with path compression."""
+    root = i
+    while parent[root] != root:
+        root = parent[root]
+    while parent[i] != root:
+        parent[i], i = root, parent[i]
+    return root
+
+
+def _block_key(asm: AssembledLP, cols: np.ndarray) -> Optional[Tuple[str, ...]]:
+    """Stable identity of a block: the sorted set of label *subjects*.
+
+    Column labels are ``(kind, subject, ...)`` tuples — ``("xt", job_key,
+    l, m)``, ``("fake", job_key)``, ``("xd", data_key, j)`` — where the
+    subject (job or data identity) is the part that survives across epochs
+    while positions and machine indices shift.  ``repr`` makes mixed-type
+    subjects sortable.
+    """
+    labels = getattr(asm, "col_labels", None)
+    if labels is None or len(labels) != asm.num_variables:
+        return None
+    subjects = set()
+    for j in cols:
+        label = labels[int(j)]
+        if isinstance(label, tuple) and len(label) >= 2:
+            subjects.add(repr(label[1]))
+        else:
+            subjects.add(repr(label))
+    return tuple(sorted(subjects))
+
+
+def detect_blocks(asm: AssembledLP, min_blocks: int = 2) -> Optional[BlockPartition]:
+    """Partition ``asm`` into independent blocks joined by capacity rows.
+
+    Returns ``None`` when the model does not decompose into at least
+    ``min_blocks`` blocks under the rules above — including any structure
+    that would invalidate the shard relaxation bound (equality rows, an
+    empty infeasible row, negative lower bounds on coupled columns).
+    """
+    n = asm.num_variables
+    m_ub = asm.a_ub.shape[0]
+    if n == 0 or m_ub == 0 or asm.a_eq.shape[0] > 0:
+        return None
+
+    a = asm.a_ub.tocsr()
+    indptr, indices, data = a.indptr, a.indices, a.data
+    counts = np.diff(indptr)
+
+    # row classification (vectorised): min coefficient per non-empty row
+    row_min = np.full(m_ub, np.inf)
+    nonempty = counts > 0
+    if data.shape[0]:
+        row_min[nonempty] = np.minimum.reduceat(data, indptr[:-1][nonempty])
+    b_ub = np.asarray(asm.b_ub, dtype=float)
+    capacity_like = nonempty & (row_min >= 0.0) & (b_ub >= 0.0)
+    empty_rows = ~nonempty
+    if np.any(empty_rows & (b_ub < 0.0)):
+        return None  # an empty row with b < 0 is infeasible; don't shard
+
+    # union columns of every structural (non-capacity) row
+    parent = np.arange(n)
+    for r in np.nonzero(nonempty & ~capacity_like)[0]:
+        cols = indices[indptr[r] : indptr[r + 1]]
+        root = _find(parent, int(cols[0]))
+        for j in cols[1:]:
+            other = _find(parent, int(j))
+            if other != root:
+                # keep the smaller root for deterministic block ordering
+                if other < root:
+                    root, other = other, root
+                parent[other] = root
+
+    roots = np.fromiter((_find(parent, j) for j in range(n)), dtype=np.int64, count=n)
+    unique_roots = np.unique(roots)
+    if unique_roots.shape[0] < min_blocks:
+        return None
+    block_of_root = {int(r): i for i, r in enumerate(unique_roots)}
+    block_of_col = np.fromiter(
+        (block_of_root[int(r)] for r in roots), dtype=np.int64, count=n
+    )
+
+    # assign rows: owned by their single block, or coupling when spanning
+    own_rows: List[List[int]] = [[] for _ in unique_roots]
+    coupling: List[int] = []
+    trivial: List[int] = []
+    for r in range(m_ub):
+        cols = indices[indptr[r] : indptr[r + 1]]
+        if cols.shape[0] == 0:
+            trivial.append(r)
+            continue
+        touched = np.unique(block_of_col[cols])
+        if touched.shape[0] == 1:
+            own_rows[int(touched[0])].append(r)
+        else:
+            # only capacity-like rows can span (structural rows were merged)
+            coupling.append(r)
+
+    # the relaxation bound needs coupled columns to be nonnegative: a shard
+    # variable that may go negative could *reduce* a coupling row's usage,
+    # breaking "per-shard usage <= joint usage <= budget"
+    if coupling:
+        coupled_cols = np.unique(
+            np.concatenate([indices[indptr[r] : indptr[r + 1]] for r in coupling])
+        )
+        if np.any(asm.bounds[coupled_cols, 0] < 0.0):
+            return None
+
+    blocks = []
+    for i in range(unique_roots.shape[0]):
+        cols = np.nonzero(block_of_col == i)[0]
+        blocks.append(
+            Block(
+                cols=cols,
+                rows=np.asarray(sorted(own_rows[i]), dtype=np.int64),
+                key=_block_key(asm, cols),
+            )
+        )
+    return BlockPartition(
+        blocks=tuple(blocks),
+        coupling_rows=np.asarray(coupling, dtype=np.int64),
+        trivial_rows=np.asarray(trivial, dtype=np.int64),
+    )

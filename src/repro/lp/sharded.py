@@ -1,0 +1,681 @@
+"""Sharded LP solving: partition, solve concurrently, reconcile exactly.
+
+:func:`solve_sharded` decomposes an epoch model along the block structure
+recovered by :func:`repro.lp.blocks.detect_blocks` and solves the shards
+over :func:`repro.experiments.parallel.run_tasks` — the same process-pool
+primitive the experiment sweeps use.  Reconciliation is *certified*, never
+assumed, via resource-directive decomposition:
+
+**Round 0 (optimistic).**  Every shard receives the *full* budget of each
+coupling (capacity-like) row it touches.  Because coupling rows have
+nonnegative coefficients over nonnegative variables, each shard's problem
+is a relaxation of its slice of the joint problem, so the summed shard
+optima are a certified **lower bound** on the joint optimum.  If the
+merged solution also respects the shared budgets it is feasible — and a
+feasible lower bound *is* the optimum, so the solve is exact.
+
+**Reconcile loop (Benders over budget allocations).**  When shards
+oversubscribe a shared row, the joint LP is rewritten as
+``min_alloc sum_k phi_k(alloc_k)  s.t.  sum_k alloc_rk <= b_r`` where
+``phi_k`` is shard ``k``'s optimal value as a function of its slice of the
+shared budgets — convex piecewise-linear, with the shard's dual prices on
+its coupling rows as subgradients.  The first budget proposal splits each
+oversubscribed row proportionally to the shards' round-0 appetites (a
+near-feasible point straight away, seeding a tight upper bound); each
+round then solves a small in-parent **master LP** built from the
+accumulated cutting planes and re-solves only the shards whose budgets
+actually moved (warm-started from their own previous basis).  That
+tightens two certified bounds: the best *feasible* merged solution
+(upper) and the master value (lower).  The loop accepts
+as soon as ``UB - LB`` is within ``1e-7`` relative — the returned
+objective is then equal to the monolithic optimum within that tolerance,
+by construction.
+
+**Fallback.**  Anything else — a gap the loop cannot close within its
+round budget, a non-optimal shard, absent duals, a model that does not
+decompose — falls through to the monolithic backend solve, so sharding
+never changes *what* is computed, only how fast.
+
+Determinism: shard construction and the reconcile loop depend only on the
+model (never on the worker count), tasks carry everything they need (see
+the determinism contract in :mod:`repro.experiments.parallel`), and
+per-shard solves are hidden from :mod:`repro.obs.lpprof` collectors and
+the metrics registry in favour of one aggregate record emitted by the
+parent — which is why runs with ``shards=1`` (in process) and
+``shards=8`` (pool) produce byte-identical traces and ledgers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.lp.blocks import BlockPartition, detect_blocks
+from repro.lp.problem import AssembledLP
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.standard_form import BasisSnapshot
+from repro.lp.warmstart import WarmStartContext
+from repro.obs import lpprof
+from repro.obs.registry import MetricsRegistry, use_registry
+
+#: environment variable consulted when ``shards`` is not given explicitly
+SHARDS_ENV = "REPRO_SHARDS"
+
+#: relative ``UB - LB`` tolerance for accepting a reconciled solution
+GAP_RTOL = 1e-7
+
+#: reconcile rounds (shard re-solve + master) before giving up.  Rounds
+#: after the first are warm-started and cheap, while the fallback pays a
+#: cold monolithic solve — so the budget is deliberately generous.
+MAX_ROUNDS = 25
+
+#: deterministic ceiling on shard count — independent of worker count, so
+#: the same model always produces the same shard LPs (see module docstring)
+MAX_SHARDS = 32
+
+
+def resolve_shards(shards: Optional[int] = None) -> int:
+    """The effective shard count: argument, else ``REPRO_SHARDS``, else 0.
+
+    ``0`` disables sharding (monolithic solve); ``1`` shards but solves in
+    process; ``>= 2`` shards and solves over a process pool of that size.
+    """
+    if shards is not None:
+        return max(0, int(shards))
+    raw = os.environ.get(SHARDS_ENV, "").strip()
+    if not raw:
+        return 0
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 0
+
+
+def _backend_spec(backend) -> Optional[Tuple[str, dict]]:
+    """A picklable recipe for rebuilding ``backend`` inside a pool worker."""
+    from repro.lp.scipy_backend import HighsBackend
+    from repro.lp.simplex import SimplexBackend
+
+    if type(backend) is SimplexBackend and not backend.presolve:
+        return (
+            "simplex",
+            {
+                "max_iterations": backend.max_iterations,
+                "tol": backend.tol,
+                "bland_after": backend.bland_after,
+                "presolve": False,
+                "refactor_every": backend.refactor_every,
+                "dense_engine_max_rows": backend.dense_engine_max_rows,
+            },
+        )
+    if type(backend) is HighsBackend and not backend.presolve:
+        # presolve'd backends drop duals, which the reconcile cuts need
+        return ("highs", {"method": backend.method, "presolve": False})
+    return None
+
+
+def _build_backend(spec: Tuple[str, dict]):
+    kind, params = spec
+    if kind == "simplex":
+        from repro.lp.simplex import SimplexBackend
+
+        return SimplexBackend(**params)
+    from repro.lp.scipy_backend import HighsBackend
+
+    return HighsBackend(**params)
+
+
+def _solve_shard_task(task):
+    """Pool worker: solve one shard LP, warm-started when a basis rides in.
+
+    Runs identically in process and in a pool worker: solve records are
+    suppressed and metrics go to a scratch registry in both cases, so the
+    execution mode leaves no observable trace (the determinism contract of
+    :mod:`repro.experiments.parallel`).
+
+    ``task`` is ``(spec, sub_asm, snapshot, cpl_pos, cpl_ids, n_cpl)``
+    where ``cpl_pos[i]`` is the sub-LP row of the coupling row whose index
+    into the partition's coupling-row list is ``cpl_ids[i]``.  Returns
+    ``(status, objective, x, iterations, snapshot, v)`` with ``v`` the
+    shard's nonnegative marginal value per unit budget of every coupling
+    row (``-dual``), or None when the backend reported no duals.
+    """
+    spec, sub_asm, snapshot, cpl_pos, cpl_ids, n_cpl = task
+    backend = _build_backend(spec)
+    warm: Optional[WarmStartContext] = None
+    with lpprof.suppress(), use_registry(MetricsRegistry()):
+        if getattr(backend, "supports_warm_start", False):
+            warm = WarmStartContext(snapshot=snapshot)
+            result = backend.solve_assembled(sub_asm, warm=warm)
+        else:
+            result = backend.solve_assembled(sub_asm)
+    v = None
+    if result.dual_ub is not None and cpl_pos.shape[0]:
+        v = np.zeros(n_cpl)
+        v[cpl_ids] = np.maximum(0.0, -result.dual_ub[cpl_pos])
+    elif result.dual_ub is not None:
+        v = np.zeros(n_cpl)
+    return (
+        result.status,
+        float(result.objective),
+        result.x,
+        int(result.iterations),
+        warm.snapshot if warm is not None else None,
+        v,
+    )
+
+
+class _Shard:
+    """One shard: a deterministic group of blocks plus its row slices."""
+
+    __slots__ = ("index", "cols", "rows", "key", "touched", "cpl_pos", "cpl_ids")
+
+    def __init__(
+        self,
+        index: int,
+        cols: np.ndarray,
+        own_rows: np.ndarray,
+        key: Optional[tuple],
+        coupling_rows: np.ndarray,
+        touched: np.ndarray,
+    ) -> None:
+        self.index = index
+        self.cols = cols
+        self.key = key
+        #: boolean mask over the partition's coupling rows: touches shard?
+        self.touched = touched
+        cpl = coupling_rows[touched]
+        #: sub-LP rows: owned rows plus the shard's coupling rows, in
+        #: original relative order (stable structure across rounds/epochs)
+        self.rows = np.sort(np.concatenate([own_rows, cpl]))
+        pos_of = {int(r): i for i, r in enumerate(self.rows)}
+        #: positions of the touched coupling rows inside :attr:`rows`
+        self.cpl_pos = np.asarray([pos_of[int(r)] for r in cpl], dtype=np.int64)
+        #: their indices into the partition's coupling-row list
+        self.cpl_ids = np.nonzero(touched)[0]
+
+
+def _group_blocks(
+    asm: AssembledLP, partition: BlockPartition, max_shards: int = MAX_SHARDS
+) -> List[_Shard]:
+    """Merge blocks into at most ``max_shards`` column-balanced shards.
+
+    Grouping assigns blocks (largest first) to the currently lightest
+    shard — a deterministic function of the model alone, so serial and
+    pooled runs see identical shard LPs.
+    """
+    n_blocks = partition.num_blocks
+    n_shards = min(n_blocks, max_shards)
+    loads = [0] * n_shards
+    members: List[List[int]] = [[] for _ in range(n_shards)]
+    order = sorted(
+        range(n_blocks),
+        key=lambda i: (-partition.blocks[i].cols.shape[0], i),
+    )
+    for i in order:
+        k = min(range(n_shards), key=lambda s: (loads[s], s))
+        members[k].append(i)
+        loads[k] += partition.blocks[i].cols.shape[0]
+
+    a = asm.a_ub.tocsr()
+    indptr, indices = a.indptr, a.indices
+    col_to_shard = np.empty(asm.num_variables, dtype=np.int64)
+    for k, blocks in enumerate(members):
+        for i in blocks:
+            col_to_shard[partition.blocks[i].cols] = k
+
+    shards = []
+    for k, blocks in enumerate(members):
+        cols = np.sort(np.concatenate([partition.blocks[i].cols for i in blocks]))
+        own = np.sort(np.concatenate([partition.blocks[i].rows for i in blocks]))
+        touched = np.zeros(partition.coupling_rows.shape[0], dtype=bool)
+        for pos, r in enumerate(partition.coupling_rows):
+            rcols = indices[indptr[r] : indptr[r + 1]]
+            if np.any(col_to_shard[rcols] == k):
+                touched[pos] = True
+        keys = [partition.blocks[i].key for i in blocks]
+        key = None
+        if all(key_i is not None for key_i in keys):
+            key = tuple(sorted(subject for key_i in keys for subject in key_i))
+        shards.append(_Shard(k, cols, own, key, partition.coupling_rows, touched))
+    return shards
+
+
+def _sub_assembled(
+    asm: AssembledLP,
+    a_csr: sparse.csr_matrix,
+    shard: _Shard,
+    coupling_rows: np.ndarray,
+    coupling_rhs: np.ndarray,
+    c_local: Optional[np.ndarray] = None,
+) -> AssembledLP:
+    """The shard's sub-LP with this round's coupling budgets.
+
+    ``coupling_rhs`` is indexed like the partition's coupling-row list —
+    the full ``b_ub`` values in the optimistic round, the shard's
+    allocation afterwards.  ``c_local`` overrides the objective slice
+    (used by the Lagrangian bound, which prices coupling rows into the
+    costs while keeping the sub-LP's structure — and hence its warm
+    basis — unchanged).
+    """
+    rows = shard.rows
+    b_local = np.asarray(asm.b_ub, dtype=float)[rows].copy()
+    b_local[shard.cpl_pos] = coupling_rhs[shard.cpl_ids]
+    cols = shard.cols
+    sub_a = a_csr[rows][:, cols].tocsr()
+    col_labels = None
+    if asm.col_labels is not None:
+        col_labels = [asm.col_labels[int(j)] for j in cols]
+    row_labels = None
+    if asm.row_labels_ub is not None:
+        row_labels = [asm.row_labels_ub[int(r)] for r in rows]
+    return AssembledLP(
+        c=asm.c[cols] if c_local is None else c_local,
+        a_ub=sub_a,
+        b_ub=b_local,
+        a_eq=sparse.csr_matrix((0, cols.shape[0])),
+        b_eq=np.zeros(0),
+        bounds=asm.bounds[cols],
+        objective_constant=0.0,
+        name=f"{asm.name}#s{shard.index}",
+        col_labels=col_labels,
+        row_labels_ub=row_labels,
+    )
+
+
+class _Cut:
+    """One Benders cut: ``phi_k(alloc) >= value + g @ (alloc - point)``.
+
+    ``g`` (the shard's coupling-row duals, ``<= 0``) and ``point`` span the
+    full coupling-row list, so cuts stay valid as the master's active row
+    set grows.
+    """
+
+    __slots__ = ("shard", "value", "g", "point")
+
+    def __init__(self, shard: int, value: float, g: np.ndarray, point: np.ndarray):
+        self.shard = shard
+        self.value = value
+        self.g = g
+        self.point = point
+
+
+def _solve_master(
+    shards: List[_Shard],
+    cuts: List[_Cut],
+    active: np.ndarray,
+    b_cpl: np.ndarray,
+    theta_lb: np.ndarray,
+) -> Optional[Tuple[float, np.ndarray, Optional[np.ndarray]]]:
+    """Minimise the cut model over feasible budget allocations.
+
+    Returns ``(master_objective, alloc, prices)`` with ``alloc`` shaped
+    ``(n_coupling, n_shards)`` (full budget outside the active set) and
+    ``prices`` the nonnegative duals of the budget rows spread over the
+    full coupling-row list (None when the backend reported no duals), or
+    None when the master cannot be solved.  The master objective is a
+    certified lower bound on the joint optimum: the cuts underestimate the
+    true per-shard value functions and non-active budgets are granted in
+    full to every shard (a relaxation).
+
+    The master is internal bookkeeping of the reconcile loop — not part of
+    the user's model solve — so it always runs on the fast HiGHS backend
+    regardless of which backend the shards use: its solution is the next
+    budget proposal and its value the lower bound either way, and it runs
+    identically in serial and pooled modes (the determinism contract).
+    """
+    from repro.lp.scipy_backend import HighsBackend
+
+    n_shards = len(shards)
+    active_list = [int(r) for r in np.nonzero(active)[0]]
+    # variable layout: theta_k, then alloc_(r,k) for active r touched by k
+    alloc_vars: Dict[Tuple[int, int], int] = {}
+    n_vars = n_shards
+    for k, s in enumerate(shards):
+        for r in active_list:
+            if s.touched[r]:
+                alloc_vars[(r, k)] = n_vars
+                n_vars += 1
+
+    c = np.zeros(n_vars)
+    c[:n_shards] = 1.0
+    bounds = np.zeros((n_vars, 2))
+    bounds[:n_shards, 0] = theta_lb
+    bounds[:n_shards, 1] = np.inf
+    for (r, _k), j in alloc_vars.items():
+        bounds[j] = (0.0, b_cpl[r])
+
+    rows_i: List[int] = []
+    cols_i: List[int] = []
+    vals: List[float] = []
+    rhs: List[float] = []
+
+    def add(row: int, col: int, val: float) -> None:
+        rows_i.append(row)
+        cols_i.append(col)
+        vals.append(val)
+
+    row = 0
+    for cut in cuts:
+        # -theta_k + sum_active g_r alloc_rk <= sum_active g_r point_r - value
+        add(row, cut.shard, -1.0)
+        rhs_val = -cut.value
+        for r in active_list:
+            if shards[cut.shard].touched[r] and cut.g[r] != 0.0:
+                add(row, alloc_vars[(r, cut.shard)], float(cut.g[r]))
+                rhs_val += float(cut.g[r]) * float(cut.point[r])
+        rhs.append(rhs_val)
+        row += 1
+    for r in active_list:
+        for k, s in enumerate(shards):
+            if s.touched[r]:
+                add(row, alloc_vars[(r, k)], 1.0)
+        rhs.append(float(b_cpl[r]))
+        row += 1
+
+    a_ub = sparse.csr_matrix(
+        (np.asarray(vals), (np.asarray(rows_i), np.asarray(cols_i))),
+        shape=(row, n_vars),
+    )
+    master = AssembledLP(
+        c=c,
+        a_ub=a_ub,
+        b_ub=np.asarray(rhs),
+        a_eq=sparse.csr_matrix((0, n_vars)),
+        b_eq=np.zeros(0),
+        bounds=bounds,
+        name="shard-master",
+    )
+    res = HighsBackend().solve_assembled(master)
+    if res.status is not LPStatus.OPTIMAL or res.x is None:
+        return None
+    alloc = np.tile(b_cpl[:, None], (1, n_shards)).astype(float)
+    for (r, k), j in alloc_vars.items():
+        alloc[r, k] = res.x[j]
+    # hand non-participating shards a zero budget on active rows so the
+    # printed allocation sums stay <= b even though they cannot use it
+    for k, s in enumerate(shards):
+        for r in active_list:
+            if not s.touched[r]:
+                alloc[r, k] = 0.0
+    prices = None
+    if res.dual_ub is not None:
+        # budget rows sit after the cut rows, in active_list order
+        prices = np.zeros(b_cpl.shape[0])
+        prices[active_list] = np.maximum(
+            0.0, -res.dual_ub[len(cuts) : len(cuts) + len(active_list)]
+        )
+    return float(res.objective), alloc, prices
+
+
+def _shard_snapshot(
+    warm: Optional[WarmStartContext], key: Optional[tuple]
+) -> Optional[BasisSnapshot]:
+    if warm is None or key is None:
+        return None
+    return warm.shard_basis.get(key)
+
+
+def _store_snapshot(
+    warm: Optional[WarmStartContext],
+    key: Optional[tuple],
+    snapshot: Optional[BasisSnapshot],
+) -> None:
+    if warm is not None and key is not None and snapshot is not None:
+        warm.shard_basis[key] = snapshot
+
+
+def solve_sharded(
+    asm: AssembledLP,
+    backend=None,
+    shards: Optional[int] = None,
+    warm: Optional[WarmStartContext] = None,
+) -> LPResult:
+    """Solve ``asm``, decomposed into shards when its structure allows.
+
+    With ``shards`` resolved to 0 this is exactly
+    ``backend.solve_assembled(asm, warm=warm)``.  Otherwise the model is
+    partitioned, shard LPs are solved via
+    :func:`repro.experiments.parallel.run_tasks` with ``workers=shards``
+    and reconciled per the module docstring; any shape this machinery
+    cannot certify falls back to the monolithic solve.  Duals are not
+    reported on a sharded solve (row identities are split across shards —
+    same caveat as presolve).
+    """
+    if backend is None:
+        from repro.lp import DEFAULT_BACKEND
+
+        backend = DEFAULT_BACKEND
+    n_shards = resolve_shards(shards)
+    supports_warm = getattr(backend, "supports_warm_start", False)
+
+    def monolithic() -> LPResult:
+        if supports_warm:
+            return backend.solve_assembled(asm, warm=warm)
+        return backend.solve_assembled(asm)
+
+    if n_shards <= 0:
+        return monolithic()
+
+    if not lpprof.active():
+        result, _, _ = _solve_sharded_info(asm, backend, n_shards, warm, monolithic)
+        return result
+
+    # one aggregate record for the whole decomposition; sub-solves (and the
+    # monolithic fallback, if taken) run suppressed
+    t0 = time.perf_counter()
+    with lpprof.suppress():
+        result, shard_count, sharded = _solve_sharded_info(
+            asm, backend, n_shards, warm, monolithic
+        )
+    lpprof.observe(
+        lpprof.LPSolveRecord(
+            name=getattr(asm, "name", "lp"),
+            backend=f"{backend.name}+sharded" if sharded else backend.name,
+            wall_seconds=time.perf_counter() - t0,
+            iterations=result.iterations,
+            status=result.status.value,
+            meta={**lpprof.current_scope(), "shard_count": shard_count},
+            **lpprof.describe_assembled(asm),
+        )
+    )
+    return result
+
+
+def _solve_sharded_info(
+    asm: AssembledLP,
+    backend,
+    n_shards: int,
+    warm: Optional[WarmStartContext],
+    monolithic,
+) -> Tuple[LPResult, int, bool]:
+    """Partition + reconcile loop; returns ``(result, shards, sharded)``."""
+    from repro.experiments.parallel import run_tasks
+
+    spec = _backend_spec(backend)
+    partition = detect_blocks(asm) if spec is not None else None
+    if partition is None:
+        if warm is not None:
+            warm.sharded_fallbacks += 1
+        return monolithic(), 0, False
+
+    shards = _group_blocks(asm, partition)
+    a_csr = asm.a_ub.tocsr()
+    coupling = partition.coupling_rows
+    n_cpl = coupling.shape[0]
+    b_ub = np.asarray(asm.b_ub, dtype=float)
+    b_cpl = b_ub[coupling]
+    cpl_mat = a_csr[coupling] if n_cpl else None
+    feas_tol = 1e-9 * np.maximum(1.0, np.abs(b_cpl))
+
+    def fallback() -> Tuple[LPResult, int, bool]:
+        if warm is not None:
+            warm.sharded_fallbacks += 1
+        return monolithic(), len(shards), False
+
+    def solve_round(
+        targets: List[_Shard],
+        alloc: np.ndarray,
+        costs: Optional[List[np.ndarray]] = None,
+        store: bool = True,
+    ) -> Optional[list]:
+        tasks = [
+            (
+                spec,
+                _sub_assembled(
+                    asm,
+                    a_csr,
+                    s,
+                    coupling,
+                    alloc[:, s.index],
+                    c_local=None if costs is None else costs[i],
+                ),
+                _shard_snapshot(warm, s.key),
+                s.cpl_pos,
+                s.cpl_ids,
+                n_cpl,
+            )
+            for i, s in enumerate(targets)
+        ]
+        outs = run_tasks(_solve_shard_task, tasks, workers=n_shards)
+        for s, out in zip(targets, outs):
+            if store:
+                _store_snapshot(warm, s.key, out[4])
+            if warm is not None:
+                warm.shard_solves += 1
+        if any(out[0] is not LPStatus.OPTIMAL for out in outs):
+            return None
+        return outs
+
+    # -- round 0: every shard sees the full coupling budgets ---------------
+    alloc = np.tile(b_cpl[:, None], (1, len(shards))).astype(float)
+    outs = solve_round(shards, alloc)
+    if outs is None:
+        return fallback()
+    current = list(outs)  # latest (status, obj, x, iters, snap, v) per shard
+    solved_alloc = alloc.copy()  # the allocation each shard last solved with
+    total_iters = sum(out[3] for out in outs)
+    relax_lb = sum(out[1] for out in outs)  # certified: sum of relaxations
+    theta_lb = np.asarray([out[1] for out in outs])
+    cuts: List[_Cut] = []
+    for s, out in zip(shards, outs):
+        if out[5] is not None:
+            cuts.append(_Cut(s.index, out[1], -out[5], alloc[:, s.index].copy()))
+
+    def usage_matrix() -> np.ndarray:
+        u = np.zeros((n_cpl, len(shards)))
+        if n_cpl:
+            for s, out in zip(shards, current):
+                u[:, s.index] = cpl_mat[:, s.cols] @ out[2]
+        return u
+
+    def accept(objective: float) -> Tuple[LPResult, int, bool]:
+        x_full = np.zeros(asm.num_variables)
+        for s, out in zip(shards, current):
+            x_full[s.cols] = out[2]
+        if warm is not None:
+            warm.sharded_solves += 1
+        return (
+            LPResult(
+                status=LPStatus.OPTIMAL,
+                objective=float(objective + asm.objective_constant),
+                x=x_full,
+                by_name={},
+                iterations=total_iters,
+                backend=f"{backend.name}+sharded",
+                dual_ub=None,
+                dual_eq=None,
+            ),
+            len(shards),
+            True,
+        )
+
+    usage = usage_matrix()
+    violated = usage.sum(axis=1) > b_cpl + feas_tol
+    if not np.any(violated):
+        # the relaxation's solution is jointly feasible: exact optimum
+        return accept(relax_lb)
+
+    if any(out[5] is None for out in outs):
+        return fallback()  # no duals -> no cuts -> cannot certify
+
+    lower = relax_lb
+    best_ub = np.inf
+    best_solution: Optional[list] = None
+    active = violated.copy()
+
+    def try_proposal(prop: np.ndarray) -> bool:
+        """Solve the shards whose budgets moved; harvest cuts and bounds."""
+        nonlocal best_ub, best_solution, active, total_iters, usage
+        moved = [
+            s
+            for s in shards
+            if np.any(
+                np.abs(prop[:, s.index] - solved_alloc[:, s.index])
+                > 1e-12 * np.maximum(1.0, np.abs(b_cpl))
+            )
+        ]
+        if warm is not None:
+            warm.shard_resolves += len(moved)
+        outs2 = solve_round(moved, prop)
+        if outs2 is None or any(out[5] is None for out in outs2):
+            return False
+        for s, out in zip(moved, outs2):
+            current[s.index] = out
+            solved_alloc[:, s.index] = prop[:, s.index]
+            total_iters += out[3]
+            cuts.append(_Cut(s.index, out[1], -out[5], prop[:, s.index].copy()))
+        usage = usage_matrix()
+        over = usage.sum(axis=1) > b_cpl + len(shards) * feas_tol
+        active |= over
+        if not np.any(over):
+            ub = sum(out[1] for out in current)
+            if ub < best_ub:
+                best_ub = ub
+                best_solution = list(current)
+        return True
+
+    # Seed the upper bound before any master round: split each
+    # oversubscribed row's budget proportionally to the shards' round-0
+    # appetites.  That usually lands at (or next to) a jointly feasible
+    # point straight away, so the loop starts with a tight upper bound and
+    # only has to drive the lower bound up to it.
+    proposal = alloc.copy()
+    totals = usage.sum(axis=1)
+    for r in np.nonzero(violated)[0]:
+        proposal[r] = b_cpl[r] * usage[r] / totals[r]
+    if not try_proposal(proposal):
+        return fallback()
+
+    def gap_closed() -> bool:
+        return best_solution is not None and best_ub - lower <= GAP_RTOL * max(
+            1.0, abs(best_ub)
+        )
+
+    for _round in range(MAX_ROUNDS):
+        master = _solve_master(shards, cuts, active, b_cpl, theta_lb)
+        if master is None:
+            return fallback()
+        master_obj, alloc, _prices = master
+        lower = max(lower, master_obj)
+        if gap_closed():
+            current = best_solution
+            return accept(best_ub)
+        if not try_proposal(alloc):
+            return fallback()
+
+    return fallback()
+
+
+__all__ = [
+    "SHARDS_ENV",
+    "GAP_RTOL",
+    "MAX_ROUNDS",
+    "MAX_SHARDS",
+    "resolve_shards",
+    "solve_sharded",
+]

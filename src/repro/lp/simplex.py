@@ -1,23 +1,27 @@
 """From-scratch two-phase revised simplex solver.
 
 The paper solves its scheduling LPs with GLPK's simplex; this module is an
-independent, dependency-free (NumPy only) reference implementation used to
-cross-validate the HiGHS backend in the test suite and in the LP-backend
-ablation benchmark.
+independent, dependency-free (NumPy/SciPy only) reference implementation used
+to cross-validate the HiGHS backend in the test suite, in the LP-backend
+ablation benchmark, and as the engine behind the sharded epoch-LP
+decomposition (:mod:`repro.lp.sharded`).
 
 Implementation notes
 --------------------
 * Operates on :class:`~repro.lp.standard_form.StandardFormLP`
-  (``min c@y, A@y == b, y >= 0, b >= 0``).
+  (``min c@y, A@y == b, y >= 0, b >= 0``) whose matrix is sparse CSC.
 * Phase 1 minimises the sum of artificial variables to find a basic feasible
   solution; phase 2 optimises the true objective from there.
 * Pricing uses Dantzig's rule (most negative reduced cost) with an automatic
   switch to Bland's rule after a stall to guarantee termination under
   degeneracy.
-* The basis inverse is maintained explicitly (dense) via product-form
-  (eta) rank-one updates — one pivot costs O(m^2), not an O(m^3)
-  re-inversion — with a periodic full refactorisation
-  (``refactor_every``) bounding numerical drift.
+* The basis factorisation lives behind the engine interface of
+  :mod:`repro.lp.sparse_core`: small bases keep the classic explicit dense
+  inverse (rank-one product-form updates), large bases use a sparse LU
+  factorisation plus an eta file whose per-pivot cost tracks basis fill-in
+  instead of m^2.  Basic values are maintained incrementally across pivots
+  and recomputed at each periodic refactorisation (``refactor_every``),
+  which bounds both numerical drift and the eta-file length.
 * **Warm starts**: ``solve_assembled(asm, warm=ctx)`` threads a
   :class:`~repro.lp.warmstart.WarmStartContext` through a stream of related
   models.  The previous epoch's optimal basis is repaired onto the new
@@ -36,9 +40,16 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+from scipy import sparse
 
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult, LPStatus
+from repro.lp.sparse_core import (
+    DENSE_ENGINE_MAX_ROWS,
+    BasisSingularError,
+    dense_column,
+    make_engine,
+)
 from repro.lp.standard_form import StandardFormLP, to_standard_form
 from repro.lp.warmstart import WarmStartContext
 from repro.obs import lpprof
@@ -61,20 +72,21 @@ class SimplexError(RuntimeError):
 
 @dataclass
 class _Tableau:
-    """Mutable simplex state: basis indices and the dense basis inverse."""
+    """Mutable simplex state: basis indices, factorisation engine, values."""
 
-    a: np.ndarray
+    a: sparse.csc_matrix
     b: np.ndarray
     basis: np.ndarray  # column index of each basic variable, len m
-    b_inv: np.ndarray  # (m, m) inverse of the basis matrix
+    engine: object  # sparse_core engine: ftran/btran/unit_btran/update/refactor
+    xb_val: np.ndarray  # current basic values B^-1 b, maintained incrementally
     pivots_since_refactor: int = 0
 
     def xb(self) -> np.ndarray:
-        return self.b_inv @ self.b
+        return self.xb_val
 
 
 class SimplexBackend:
-    """Dense two-phase revised simplex.
+    """Two-phase revised simplex over a sparse basis factorisation.
 
     Parameters
     ----------
@@ -86,10 +98,13 @@ class SimplexBackend:
         Number of non-improving pivots after which pricing switches from
         Dantzig to Bland's anti-cycling rule.
     refactor_every:
-        Recompute the basis inverse from scratch after this many eta
-        updates (0 disables).  Product-form updates accumulate rounding;
-        periodic refactorisation keeps long solves and warm-started chains
-        well conditioned.
+        Refactorise the basis after this many eta updates (0 disables).
+        Eta files accumulate rounding and length; periodic refactorisation
+        keeps long solves and warm-started chains well conditioned.
+    dense_engine_max_rows:
+        Bases with at most this many rows use the explicit dense inverse
+        engine; larger bases use the sparse LU + eta-file engine (see
+        :mod:`repro.lp.sparse_core`).  ``0`` forces sparse everywhere.
     """
 
     name = "simplex"
@@ -103,6 +118,7 @@ class SimplexBackend:
         bland_after: int = 50,
         presolve: bool = False,
         refactor_every: int = 256,
+        dense_engine_max_rows: int = DENSE_ENGINE_MAX_ROWS,
     ) -> None:
         self.max_iterations = max_iterations
         self.tol = tol
@@ -111,6 +127,7 @@ class SimplexBackend:
         #: reported (row identities change under row elimination)
         self.presolve = presolve
         self.refactor_every = refactor_every
+        self.dense_engine_max_rows = dense_engine_max_rows
         #: (fixed_vars, dropped_rows) of the most recent presolve, for the
         #: profiling wrapper
         self._last_presolve = None
@@ -124,7 +141,7 @@ class SimplexBackend:
         return result
 
     def solve_assembled(self, asm, warm: Optional[WarmStartContext] = None) -> LPResult:
-        """Solve a pre-assembled LP (kept dense internally — test scale only).
+        """Solve a pre-assembled LP.
 
         When an :mod:`repro.obs.lpprof` collector is installed the solve is
         profiled (shape, presolve reductions, wall time, iterations,
@@ -176,6 +193,7 @@ class SimplexBackend:
                 bland_after=self.bland_after,
                 presolve=False,
                 refactor_every=self.refactor_every,
+                dense_engine_max_rows=self.dense_engine_max_rows,
             )._solve_assembled(pre.reduced)
             if inner.x is not None:
                 inner.x = pre.restore(inner.x)
@@ -258,6 +276,14 @@ class SimplexBackend:
                 dual_eq[idx] = value
         return dual_ub, dual_eq
 
+    # -- tableau helpers --------------------------------------------------------
+    def _make_tableau(
+        self, a: sparse.csc_matrix, b: np.ndarray, basis: np.ndarray
+    ) -> _Tableau:
+        """Factorise ``basis`` and seed the incremental basic values."""
+        engine = make_engine(a, basis, self.dense_engine_max_rows)
+        return _Tableau(a=a, b=b, basis=basis, engine=engine, xb_val=engine.ftran(b))
+
     # -- warm start -------------------------------------------------------------
     def _try_warm(self, std: StandardFormLP, warm: WarmStartContext):
         """Attempt a warm solve from the context's repaired basis.
@@ -276,22 +302,21 @@ class SimplexBackend:
         if m == 0 or basis.shape[0] != m:
             return None
         try:
-            b_inv = np.linalg.inv(a[:, basis])
-        except np.linalg.LinAlgError:
+            tab = self._make_tableau(a, b, basis.copy())
+        except BasisSingularError:
             return None
-        if not np.all(np.isfinite(b_inv)):
+        if not np.all(np.isfinite(tab.xb_val)):
             return None
-        tab = _Tableau(a=a, b=b, basis=basis.copy(), b_inv=b_inv)
+        at = a.T  # CSR view: reduced-cost products are row-major
         scale_b = max(1.0, float(np.max(np.abs(b), initial=0.0)))
         scale_c = max(1.0, float(np.max(np.abs(c), initial=0.0)))
         feas_tol = 1e-9 * scale_b
         try:
             iters_repair = 0
-            xb = tab.xb()
-            if float(np.min(xb, initial=0.0)) < -feas_tol:
+            if float(np.min(tab.xb(), initial=0.0)) < -feas_tol:
                 # primal-infeasible start: dual simplex repair is only valid
                 # from a dual-feasible basis
-                reduced = c - (c[tab.basis] @ tab.b_inv) @ a
+                reduced = c - at @ tab.engine.btran(c[tab.basis])
                 reduced[tab.basis] = 0.0
                 if float(np.min(reduced)) < -1e-7 * scale_c:
                     return None
@@ -313,7 +338,7 @@ class SimplexBackend:
             return None
         y = np.zeros(a.shape[1])
         y[tab.basis] = xb
-        pi = c[tab.basis] @ tab.b_inv
+        pi = tab.engine.btran(c[tab.basis])
         return LPStatus.OPTIMAL, y, iters_repair + iters_opt, pi, tab
 
     # -- standard form driver ---------------------------------------------------
@@ -329,9 +354,12 @@ class SimplexBackend:
             return LPStatus.OPTIMAL, np.zeros(n), 0, np.zeros(0), None
 
         # ---- phase 1: artificial basis ----
-        a1 = np.hstack([a, np.eye(m)])
+        a1 = sparse.hstack([a, sparse.identity(m, format="csc")], format="csc")
         c1 = np.concatenate([np.zeros(n), np.ones(m)])
-        tab = _Tableau(a=a1, b=b, basis=np.arange(n, n + m), b_inv=np.eye(m))
+        try:
+            tab = self._make_tableau(a1, b, np.arange(n, n + m))
+        except BasisSingularError as exc:
+            raise SimplexError(str(exc)) from None
         status, iters1 = self._iterate(tab, c1)
         if status is not LPStatus.OPTIMAL:
             raise SimplexError("phase 1 did not converge")
@@ -343,14 +371,18 @@ class SimplexBackend:
         self._purge_artificials(tab, n)
 
         # ---- phase 2 ----
-        tab.a = tab.a[:, :n]
+        # Narrowing to the structural columns does not disturb the engine:
+        # only column *indices* are renamed, the basis matrix itself (and
+        # hence its factorisation) is unchanged.
+        tab.a = tab.a[:, :n].tocsc()
         c2 = c
         # Rows whose basic variable is an un-purgeable artificial correspond
         # to redundant constraints; freeze them by keeping the artificial at
         # zero with zero cost.
         art_rows = tab.basis >= n
         if np.any(art_rows):
-            tab.a = np.hstack([tab.a, np.eye(m)[:, np.where(art_rows)[0]]])
+            keep = sparse.identity(m, format="csc")[:, np.where(art_rows)[0]]
+            tab.a = sparse.hstack([tab.a, keep], format="csc")
             c2 = np.concatenate([c, np.zeros(int(art_rows.sum()))])
             remap = {}
             for new_j, row in enumerate(np.where(art_rows)[0]):
@@ -363,12 +395,13 @@ class SimplexBackend:
             raise SimplexError("phase 2 did not converge")
         y = np.zeros(tab.a.shape[1])
         y[tab.basis] = tab.xb()
-        pi = c2[tab.basis] @ tab.b_inv  # row prices: d(obj)/d(b)
+        pi = tab.engine.btran(c2[tab.basis])  # row prices: d(obj)/d(b)
         return LPStatus.OPTIMAL, y[:n], iters1 + iters2, pi, tab
 
     # -- pivoting ---------------------------------------------------------------
     def _iterate(self, tab: _Tableau, c: np.ndarray) -> tuple[LPStatus, int]:
-        m, n_tot = tab.a.shape
+        m = tab.b.shape[0]
+        at = tab.a.T  # CSR view of the transpose, shared data
         stall = 0
         last_obj = np.inf
         for it in range(self.max_iterations):
@@ -382,8 +415,8 @@ class SimplexBackend:
             use_bland = stall > self.bland_after
 
             # reduced costs: r = c - (c_B B^-1) A
-            y_dual = c[tab.basis] @ tab.b_inv
-            reduced = c - y_dual @ tab.a
+            y_dual = tab.engine.btran(c[tab.basis])
+            reduced = c - at @ y_dual
             reduced[tab.basis] = 0.0  # numerical exactness for basics
 
             if use_bland:
@@ -396,7 +429,7 @@ class SimplexBackend:
                 if reduced[entering] >= -self.tol:
                     return LPStatus.OPTIMAL, it
 
-            direction = tab.b_inv @ tab.a[:, entering]
+            direction = tab.engine.ftran(dense_column(tab.a, entering))
             positive = direction > self.tol
             if not np.any(positive):
                 return LPStatus.UNBOUNDED, it
@@ -426,7 +459,7 @@ class SimplexBackend:
         Returns ``OPTIMAL`` once no basic variable is negative (the basis is
         then primal feasible *and* dual feasible, i.e. optimal).
         """
-        m, n_tot = tab.a.shape
+        at = tab.a.T
         feas_tol = 1e-9 * max(1.0, float(np.max(np.abs(tab.b), initial=0.0)))
         for it in range(self.max_iterations):
             xb = tab.xb()
@@ -434,10 +467,10 @@ class SimplexBackend:
             if violated.size == 0:
                 return LPStatus.OPTIMAL, it
             leaving = int(violated[np.argmin(xb[violated])])
-            y_dual = c[tab.basis] @ tab.b_inv
-            reduced = c - y_dual @ tab.a
+            y_dual = tab.engine.btran(c[tab.basis])
+            reduced = c - at @ y_dual
             reduced[tab.basis] = 0.0
-            row = tab.b_inv[leaving] @ tab.a
+            row = at @ tab.engine.unit_btran(leaving)
             row[tab.basis] = 0.0  # basic columns never re-enter on their own row
             candidates = np.where(row < -self.tol)[0]
             if candidates.size == 0:
@@ -449,24 +482,25 @@ class SimplexBackend:
                 )
             ratios = reduced[candidates] / (-row[candidates])
             entering = int(candidates[np.argmin(ratios)])
-            direction = tab.b_inv @ tab.a[:, entering]
+            direction = tab.engine.ftran(dense_column(tab.a, entering))
             self._pivot(tab, entering, leaving, direction)
         raise SimplexError(
             "dual simplex iteration cap reached", status=LPStatus.ITERATION_LIMIT
         )
 
     def _pivot(self, tab: _Tableau, entering: int, leaving: int, direction: np.ndarray) -> None:
-        """Product-form (eta) basis-inverse update for one pivot, O(m^2)."""
+        """One basis exchange: engine eta update plus incremental values.
+
+        The same value update serves primal and dual pivots — the new basic
+        values are ``E @ xb`` for the eta matrix ``E`` of this pivot.
+        """
         pivot = direction[leaving]
         if abs(pivot) < 1e-12:
             raise SimplexError("numerically singular pivot")
-        # B_new^-1 = E @ B^-1 with E = I except column `leaving`; expanding
-        # the product gives a rank-one update plus a scaled pivot row.
-        coef = direction / (-pivot)
-        coef[leaving] = 0.0
-        pivot_row = tab.b_inv[leaving].copy()
-        tab.b_inv += np.outer(coef, pivot_row)
-        tab.b_inv[leaving] = pivot_row / pivot
+        tab.engine.update(leaving, direction)
+        t = tab.xb_val[leaving] / pivot
+        tab.xb_val -= t * direction
+        tab.xb_val[leaving] = t
         tab.basis[leaving] = entering
         tab.pivots_since_refactor += 1
         if self.refactor_every and tab.pivots_since_refactor >= self.refactor_every:
@@ -474,24 +508,26 @@ class SimplexBackend:
 
     @staticmethod
     def _refactor(tab: _Tableau) -> None:
-        """Recompute the basis inverse from scratch (drift control)."""
+        """Refactorise the basis and refresh the basic values (drift control)."""
         try:
-            tab.b_inv = np.linalg.inv(tab.a[:, tab.basis])
-        except np.linalg.LinAlgError:
+            tab.engine.refactor(tab.a, tab.basis)
+        except BasisSingularError:
             raise SimplexError("singular basis at refactorisation") from None
+        tab.xb_val = tab.engine.ftran(tab.b)
         tab.pivots_since_refactor = 0
 
     def _purge_artificials(self, tab: _Tableau, n: int) -> None:
         """Pivot basic artificial variables out where a real column can enter."""
-        m = tab.b_inv.shape[0]
+        m = tab.b.shape[0]
+        struct_t = tab.a[:, :n].T.tocsr()
         for row in range(m):
             if tab.basis[row] < n:
                 continue
-            row_vec = tab.b_inv[row] @ tab.a[:, :n]
+            row_vec = struct_t @ tab.engine.unit_btran(row)
             candidates = np.where(np.abs(row_vec) > 1e-9)[0]
             if candidates.size == 0:
                 continue  # redundant row; handled in phase 2
             entering = int(candidates[0])
-            direction = tab.b_inv @ tab.a[:, entering]
+            direction = tab.engine.ftran(dense_column(tab.a, entering))
             self._pivot(tab, entering, row, direction)
         tab.pivots_since_refactor = 0

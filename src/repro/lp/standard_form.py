@@ -15,10 +15,14 @@ into that form:
 :func:`StandardFormLP.recover` maps a standard-form solution vector back to
 the original variable space.
 
-The conversion is fully vectorised (one sparse expansion product plus dense
-scatters — no per-row Python loops) and the *structure* of the rewrite (the
-column mapping, row layout, slack positions and warm-start labels) can be
-cached across repeated conversions of structurally identical models via
+The conversion is fully vectorised (one sparse expansion product plus COO
+scatters — no per-row Python loops), the output matrix is **sparse CSC**
+(the revised simplex consumes column views and hands the basis to a sparse
+LU factorisation, so the dense ``(m, n)`` intermediate the old pipeline
+materialised would dominate memory at production scale), and the
+*structure* of the rewrite (the column mapping, row layout, slack positions
+and warm-start labels) can be cached across repeated conversions of
+structurally identical models via
 :class:`StandardFormCache`; only the value-dependent parts (coefficients,
 right-hand sides, equilibration and sign normalisation) are recomputed per
 call.  That is what makes per-epoch re-solves cheap in the incremental
@@ -41,7 +45,7 @@ class StandardFormLP:
     """``min c @ y  s.t.  A @ y == b, y >= 0`` plus the recovery recipe."""
 
     c: np.ndarray
-    a: np.ndarray  # dense (m, n) — the simplex backend is dense
+    a: sparse.csc_matrix  # (m, n) CSC — the simplex backend works on column views
     b: np.ndarray
     objective_constant: float
     #: per original variable: (kind, data)
@@ -260,26 +264,52 @@ def to_standard_form(
     b_eq = asm.b_eq - (asm.a_eq @ plan.finite_lo) if m_eq else asm.b_eq.copy()
     b_ub = asm.b_ub - (asm.a_ub @ plan.finite_lo) if m_ub else asm.b_ub.copy()
 
-    a = np.zeros((total_rows, n_std + slack_count))
-    if plan.expand is None:
-        if m_eq:
-            a[:m_eq, :n_std] = asm.a_eq.toarray()
-        if m_ub:
-            a[m_eq : m_eq + m_ub, :n_std] = asm.a_ub.toarray()
-    else:
-        if m_eq:
-            a[:m_eq, :n_std] = (asm.a_eq @ plan.expand).toarray()
-        if m_ub:
-            a[m_eq : m_eq + m_ub, :n_std] = (asm.a_ub @ plan.expand).toarray()
+    # Assemble the standard-form matrix as COO triplets: the eq/ub blocks
+    # (expanded over split columns when needed), the bound rows, and the
+    # slack identity — never materialising a dense (m, n) intermediate.
+    n_cols = n_std + slack_count
+    rows_parts: List[np.ndarray] = []
+    cols_parts: List[np.ndarray] = []
+    vals_parts: List[np.ndarray] = []
+
+    def _add_block(block, row_offset: int) -> None:
+        coo = block.tocoo()
+        rows_parts.append(coo.row.astype(np.int64) + row_offset)
+        cols_parts.append(coo.col.astype(np.int64))
+        vals_parts.append(coo.data.astype(float))
+
+    if m_eq:
+        _add_block(asm.a_eq if plan.expand is None else asm.a_eq @ plan.expand, 0)
+    if m_ub:
+        _add_block(asm.a_ub if plan.expand is None else asm.a_ub @ plan.expand, m_eq)
     # upper bounds become <= rows in shifted space: y <= upper - lower
     if nb:
         rb = m_eq + m_ub + np.arange(nb)
-        a[rb, plan.bound_cols[:, 0]] = 1.0
+        rows_parts.append(rb)
+        cols_parts.append(plan.bound_cols[:, 0].astype(np.int64))
+        vals_parts.append(np.ones(nb))
         has_neg = plan.bound_cols[:, 1] >= 0
-        a[rb[has_neg], plan.bound_cols[has_neg, 1]] = -1.0
+        if np.any(has_neg):
+            rows_parts.append(rb[has_neg])
+            cols_parts.append(plan.bound_cols[has_neg, 1].astype(np.int64))
+            vals_parts.append(-np.ones(int(has_neg.sum())))
+    # count structural entries before the slack identity joins: equilibration
+    # scales by the largest *structural* coefficient of each row
+    n_struct_entries = sum(v.shape[0] for v in vals_parts)
     # slack columns: one per <= row (ub rows, then bound rows)
     if slack_count:
-        a[m_eq + np.arange(slack_count), n_std + np.arange(slack_count)] = 1.0
+        rows_parts.append(m_eq + np.arange(slack_count))
+        cols_parts.append(n_std + np.arange(slack_count))
+        vals_parts.append(np.ones(slack_count))
+
+    if rows_parts:
+        rows_idx = np.concatenate(rows_parts)
+        cols_idx = np.concatenate(cols_parts)
+        vals = np.concatenate(vals_parts)
+    else:
+        rows_idx = np.zeros(0, dtype=np.int64)
+        cols_idx = np.zeros(0, dtype=np.int64)
+        vals = np.zeros(0)
 
     c_full = np.concatenate([c, np.zeros(slack_count)])
     uppers = asm.bounds[:, 1] if n else np.zeros(0)
@@ -296,18 +326,24 @@ def to_standard_form(
     # (a row like 1e-8*x <= -1e-8 is a *100%* violation of x >= 1 even
     # though its absolute residual is tiny)
     if total_rows:
-        struct = np.abs(a[:, :n_std])
-        scale = struct.max(axis=1)
+        scale = np.zeros(total_rows)
+        np.maximum.at(
+            scale,
+            rows_idx[:n_struct_entries],
+            np.abs(vals[:n_struct_entries]),
+        )
         scale[scale < 1e-300] = 1.0
-        a /= scale[:, None]
+        vals /= scale[rows_idx]
         b_full /= scale
     else:
         scale = np.ones(0)
 
     # normalise rows to b >= 0 (phase-1 requirement)
     neg = b_full < 0
-    a[neg] *= -1.0
-    b_full[neg] *= -1.0
+    if np.any(neg):
+        vals[neg[rows_idx]] *= -1.0
+        b_full[neg] *= -1.0
+    a = sparse.csc_matrix((vals, (rows_idx, cols_idx)), shape=(total_rows, n_cols))
     origins = [
         (kind, idx, -1.0 if neg[r] else 1.0)
         for r, (kind, idx) in enumerate(plan.origins_base)

@@ -12,7 +12,17 @@ testbed shape: paper machines, two long jobs sized to span several epochs):
   pattern cache (reported, not gated: HiGHS is already fast here);
 * **sweep throughput** — a small figure-5 grid run serially and through
   the process-pool path (reported, not gated: single-core CI boxes show
-  no speedup by construction).
+  no speedup by construction);
+* **sharded decomposition** (``--shards``) — the incremental non-sharded
+  epoch loop vs the same loop routed through
+  :func:`repro.lp.sharded.solve_sharded` on a 100-machine, 8-job profile
+  whose epoch LPs decompose into per-job blocks.  Gated: the sharded loop
+  must be at least ``SHARDED_MIN_SPEEDUP``x faster and every captured
+  epoch model must re-solve sharded to the monolithic objective within
+  ``REL_TOL``;
+* **scaling sweep** (``--scaling``) — epoch solve time and simulator
+  event throughput at 20/100/500/1000 machines, appended as one
+  ``repro.bench-history/1`` row per size (reported, not gated).
 
 The regression gate requires the incremental loop to be no slower than the
 cold loop and every per-epoch objective to agree within ``REL_TOL``.
@@ -25,13 +35,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.builder import build_paper_testbed
+from repro.cluster.builder import ClusterBuilder, build_paper_testbed, paper_topology
+from repro.cluster.ec2 import ec2_instance
 from repro.core.epoch import EpochController
 from repro.obs.registry import current_registry
 from repro.workload.job import DataObject, Job, Workload
@@ -44,6 +56,13 @@ SCHEMA = "repro.bench/1"
 
 #: JSONL schema identifier for the append-only history file
 HISTORY_SCHEMA = "repro.bench-history/1"
+
+#: the sharded epoch loop must beat the incremental non-sharded loop by
+#: this factor on the 100-machine profile (the ``--shards`` gate)
+SHARDED_MIN_SPEEDUP = 2.0
+
+#: machine counts of the ``--scaling`` sweep
+SCALING_MACHINES = (20, 100, 500, 1000)
 
 
 def history_row(doc: dict) -> dict:
@@ -60,6 +79,7 @@ def history_row(doc: dict) -> dict:
         "ts": datetime.datetime.now(datetime.timezone.utc).isoformat(
             timespec="seconds"
         ),
+        "kind": "bench",
         "quick": doc["quick"],
         "machines": doc["scenario"]["machines"],
         "epochs": doc["cold"]["epochs"],
@@ -70,15 +90,38 @@ def history_row(doc: dict) -> dict:
         "highs_presolve_wall_s": doc["highs"]["presolve_wall_s"],
         "sweep_serial_points_per_s": doc["sweep"]["serial_points_per_s"],
         "sweep_parallel_points_per_s": doc["sweep"]["parallel_points_per_s"],
+        "sharded_speedup": (doc.get("sharded") or {}).get("speedup"),
         "gate_ok": doc["gate"]["ok"],
     }
 
 
+def scaling_history_rows(doc: dict) -> list:
+    """One ``kind: "scaling"`` history row per cluster size measured.
+
+    Scaling runs chart a curve rather than a headline number, so each
+    size gets its own timestamped row alongside the main ``kind: "bench"``
+    row — consumers filter on ``kind``.
+    """
+    import datetime
+
+    ts = datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")
+    return [
+        {"schema": HISTORY_SCHEMA, "ts": ts, "kind": "scaling", **row}
+        for row in doc.get("scaling") or ()
+    ]
+
+
 def append_history(doc: dict, path) -> dict:
-    """Append the document's history row to the JSONL file at ``path``."""
+    """Append the document's history row(s) to the JSONL file at ``path``.
+
+    Always appends the flattened headline row; when the document carries a
+    scaling sweep, one ``kind: "scaling"`` row per cluster size follows.
+    """
     row = history_row(doc)
     with open(path, "a", encoding="utf-8") as fh:
         fh.write(json.dumps(row, separators=(",", ":")) + "\n")
+        for extra in scaling_history_rows(doc):
+            fh.write(json.dumps(extra, separators=(",", ":")) + "\n")
     return row
 
 
@@ -119,7 +162,85 @@ def build_scenario(quick: bool = False) -> Tuple[object, Workload, float, dict]:
     return cluster, Workload(jobs=jobs, data=data), epoch_length, meta
 
 
-def _timed_epoch_loop(cluster, workload, epoch_length, backend, incremental):
+def _block_testbed(machines: int, n_stores: int, seed: int = 0):
+    """A paper-style testbed whose data stores sit on only ``n_stores`` nodes.
+
+    ``build_paper_testbed`` co-locates a store with *every* machine, which
+    makes the online model's transfer-variable count grow with
+    ``machines**2`` — fine at testbed sizes, needlessly huge for the
+    sharded and scaling profiles.  Concentrating the stores keeps the
+    model at ``O(stores * machines)`` while preserving the block
+    structure the decomposition exploits (one block per job when each job
+    reads its own data object).
+    """
+    rng = np.random.default_rng(seed)
+    builder = ClusterBuilder(topology=paper_topology())
+    zones = builder.topology.zone_names()
+    kinds = ["c1.medium"] * (machines // 2) + ["m1.medium"] * (machines - machines // 2)
+    rng.shuffle(kinds)
+    for i, kind in enumerate(kinds):
+        it = ec2_instance(kind)
+        builder.add_machine(
+            name=f"{it.name}-{i:03d}",
+            ecu=it.ecu,
+            cpu_cost=it.cpu_cost_per_ecu_second(float(rng.uniform())),
+            zone=zones[i % len(zones)],
+            map_slots=max(1, it.cpus * 2),
+            reduce_slots=max(1, it.cpus),
+            memory_gb=it.memory_gb,
+            instance_type=it.name,
+            with_store=(i < n_stores),
+            store_capacity_mb=it.storage_gb * 1024,
+        )
+    return builder.build()
+
+
+def build_block_scenario(
+    machines: int, n_jobs: int = 8, epochs_target: int = 3, util: float = 0.9
+) -> Tuple[object, Workload, float, dict]:
+    """A block-decomposable epoch scenario at ``machines`` nodes.
+
+    ``n_jobs`` jobs each read their own data object, so the epoch LP
+    splits into one block per job coupled only through machine capacity —
+    the shape :func:`repro.lp.sharded.solve_sharded` decomposes.  Total
+    work is ``util`` of cluster capacity over ``epochs_target`` epochs.
+    """
+    epoch_length = 60.0
+    cluster = _block_testbed(machines, n_stores=n_jobs)
+    capacity = float(np.sum(cluster.throughput_vector())) * epoch_length
+    total_cpu = capacity * epochs_target * util
+    jobs, data = [], []
+    for i in range(n_jobs):
+        size_mb = 200.0
+        data.append(
+            DataObject(
+                data_id=i,
+                name=f"d{i}",
+                size_mb=size_mb,
+                origin_store=i % cluster.num_stores,
+            )
+        )
+        jobs.append(
+            Job(
+                job_id=i,
+                name=f"j{i}",
+                tcp=(total_cpu / n_jobs) / size_mb,
+                data_ids=[i],
+                num_tasks=32,
+            )
+        )
+    meta = {
+        "machines": machines,
+        "jobs": n_jobs,
+        "stores": n_jobs,
+        "epoch_length_s": epoch_length,
+        "epochs_target": epochs_target,
+        "utilization": util,
+    }
+    return cluster, Workload(jobs=jobs, data=data), epoch_length, meta
+
+
+def _timed_epoch_loop(cluster, workload, epoch_length, backend, incremental, shards=0):
     """Run the epoch loop once; returns (wall_s, objectives, controller)."""
     controller = EpochController(
         cluster,
@@ -127,6 +248,7 @@ def _timed_epoch_loop(cluster, workload, epoch_length, backend, incremental):
         backend=backend,
         keep_solutions=True,
         incremental=incremental,
+        shards=shards,
     )
     t0 = time.perf_counter()
     result = controller.run(workload)
@@ -222,17 +344,159 @@ def _bench_sweep(quick: bool, workers: Optional[int]) -> dict:
     }
 
 
-def run_bench(quick: bool = False, workers: Optional[int] = None) -> dict:
-    """Run the full benchmark; returns the ``repro.bench/1`` document."""
+def resolve_bench_shards(shards: int) -> int:
+    """The shard count the ``--shards`` section runs with (0 = auto).
+
+    Auto picks ``min(8, cpu count)`` — a process pool when cores are
+    available, the in-process sharded path on single-core boxes where a
+    pool is pure overhead.
+    """
+    if shards >= 1:
+        return shards
+    return min(8, os.cpu_count() or 1)
+
+
+def _bench_sharded(quick: bool, shards: int) -> dict:
+    """Incremental non-sharded vs sharded epoch loops at 100 machines.
+
+    Wall-clock speedup comes from two full controller runs.  Objective
+    equivalence is then checked per *model*, not per trajectory: the
+    non-sharded run's epoch LPs are captured and each is re-solved through
+    :func:`~repro.lp.sharded.solve_sharded`, so alternative optima feeding
+    back into later epochs cannot masquerade as solver disagreement.
+    """
+    from repro.lp.sharded import solve_sharded
+    from repro.lp.simplex import SimplexBackend
+    from repro.lp.warmstart import WarmStartContext
+
+    n = resolve_bench_shards(shards)
+    cluster, workload, epoch_length, meta = build_block_scenario(
+        machines=100, n_jobs=8, epochs_target=3 if quick else 5
+    )
+
+    captured = []
+
+    class _CapturingSimplex(SimplexBackend):
+        def solve_assembled(self, asm, warm=None):  # lint: ok=AST005 (delegates)
+            if getattr(asm, "name", "") == "co-online":
+                captured.append(asm)
+            return super().solve_assembled(asm, warm=warm)
+
+    plain_wall, plain_obj, _ = _timed_epoch_loop(
+        cluster, workload, epoch_length, _CapturingSimplex(), incremental=True
+    )
+    sharded_wall, sharded_obj, controller = _timed_epoch_loop(
+        cluster, workload, epoch_length, SimplexBackend(), incremental=True, shards=n
+    )
+    loop_stats = controller.incremental_context.warm.stats()
+
+    # per-model equivalence over the captured epoch LPs
+    warm = WarmStartContext()
+    resolved = [
+        solve_sharded(asm, backend=SimplexBackend(), shards=n, warm=warm).objective
+        for asm in captured
+    ]
+    delta = _rel_delta(plain_obj, resolved)
+    speedup = plain_wall / sharded_wall if sharded_wall > 0 else float("inf")
+    return {
+        "scenario": meta,
+        "shards": n,
+        "non_sharded": {"wall_s": plain_wall, "epochs": len(plain_obj)},
+        "sharded": {
+            "wall_s": sharded_wall,
+            "epochs": len(sharded_obj),
+            "stats": {
+                k: v
+                for k, v in loop_stats.items()
+                if k.startswith(("shard", "sharded"))
+            },
+        },
+        "speedup": speedup,
+        "min_speedup": SHARDED_MIN_SPEEDUP,
+        "equivalence": {
+            "max_rel_objective_delta": delta,
+            "tolerance": REL_TOL,
+            "ok": bool(delta <= REL_TOL),
+            "models_decomposed": warm.sharded_solves,
+            "models_fallback": warm.sharded_fallbacks,
+        },
+    }
+
+
+def _bench_scaling(sizes: Sequence[int] = SCALING_MACHINES) -> list:
+    """Epoch solve time and simulator event throughput per cluster size.
+
+    Each size runs the block scenario's epoch loop on the production
+    HiGHS backend, then the block-level Hadoop simulator under LiPS, and
+    reports seconds per epoch solve plus simulator events per wall second.
+    """
+    from repro.hadoop.sim import HadoopSimulator, SimConfig
+    from repro.lp.scipy_backend import HighsBackend
+    from repro.schedulers.lips import LipsScheduler
+
+    rows = []
+    for machines in sizes:
+        cluster, workload, epoch_length, _meta = build_block_scenario(
+            machines, n_jobs=8, epochs_target=2
+        )
+        solve_wall, objectives, _ = _timed_epoch_loop(
+            cluster, workload, epoch_length, HighsBackend(), incremental=False
+        )
+        sim = HadoopSimulator(
+            cluster,
+            workload,
+            LipsScheduler(epoch_length=epoch_length, backend=HighsBackend()),
+            SimConfig(placement_seed=0, speculative=False),
+        )
+        t0 = time.perf_counter()
+        sim.run()
+        sim_wall = time.perf_counter() - t0
+        events = sim.events.processed
+        rows.append(
+            {
+                "machines": machines,
+                "epochs": len(objectives),
+                "epoch_solve_s": solve_wall / max(1, len(objectives)),
+                "solve_wall_s": solve_wall,
+                "sim_wall_s": sim_wall,
+                "events": events,
+                "events_per_s": events / sim_wall if sim_wall > 0 else 0.0,
+            }
+        )
+    return rows
+
+
+def run_bench(
+    quick: bool = False,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    scaling: bool = False,
+) -> dict:
+    """Run the full benchmark; returns the ``repro.bench/1`` document.
+
+    ``shards`` (None = skip) adds the gated sharded-decomposition section
+    with that worker count (0 = auto); ``scaling`` adds the ungated
+    multi-size sweep.
+    """
     cluster, workload, epoch_length, meta = build_scenario(quick)
     simplex = _bench_simplex(cluster, workload, epoch_length)
     highs = _bench_highs(cluster, workload, epoch_length)
     sweep = _bench_sweep(quick, workers)
+    sharded = _bench_sharded(quick, shards) if shards is not None else None
+    scaling_rows = _bench_scaling() if scaling else None
     gate_checks = {
         "incremental_not_slower": bool(simplex["speedup"] >= 1.0),
         "objectives_match": simplex["equivalence"]["ok"],
         "sweep_results_identical": sweep["results_identical"],
     }
+    if sharded is not None:
+        gate_checks["sharded_speedup"] = bool(
+            sharded["speedup"] >= SHARDED_MIN_SPEEDUP
+        )
+        gate_checks["sharded_objectives_match"] = sharded["equivalence"]["ok"]
+        gate_checks["sharded_exercised"] = bool(
+            sharded["equivalence"]["models_decomposed"] > 0
+        )
     doc = {
         "schema": SCHEMA,
         "quick": quick,
@@ -240,6 +504,8 @@ def run_bench(quick: bool = False, workers: Optional[int] = None) -> dict:
         **simplex,
         "highs": highs,
         "sweep": sweep,
+        "sharded": sharded,
+        "scaling": scaling_rows,
         "gate": {"ok": all(gate_checks.values()), "checks": gate_checks},
     }
     registry = current_registry()
@@ -253,6 +519,10 @@ def run_bench(quick: bool = False, workers: Optional[int] = None) -> dict:
         registry.gauge("bench.speedup", help="cold/incremental wall ratio").set(
             simplex["speedup"]
         )
+        if sharded is not None:
+            registry.gauge(
+                "bench.sharded_speedup", help="non-sharded/sharded wall ratio"
+            ).set(sharded["speedup"])
     return doc
 
 
@@ -283,6 +553,24 @@ def build_bench_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="process-pool size for the sweep-throughput section "
         "(default: REPRO_WORKERS, else 2)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="?",
+        const=0,
+        default=None,
+        metavar="N",
+        help="run the sharded-decomposition section on the 100-machine "
+        "profile and gate a >=2x speedup over the incremental non-sharded "
+        "loop (N = shard worker processes; bare --shards auto-picks "
+        "min(8, cpu count))",
+    )
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="run the 20/100/500/1000-machine scaling sweep (epoch solve "
+        "time + simulator events/s) and append one history row per size",
     )
     parser.add_argument(
         "--history",
@@ -334,7 +622,12 @@ def main(argv: Sequence[str]) -> int:
 
             registry = MetricsRegistry()
             stack.enter_context(use_registry(registry))
-        doc = run_bench(quick=args.quick, workers=args.workers)
+        doc = run_bench(
+            quick=args.quick,
+            workers=args.workers,
+            shards=args.shards,
+            scaling=args.scaling,
+        )
         if registry is not None:
             registry.write_json(args.metrics)
             print(f"wrote {args.metrics}")
@@ -364,6 +657,24 @@ def main(argv: Sequence[str]) -> int:
         f"parallel[{doc['sweep']['workers']}] "
         f"{doc['sweep']['parallel_wall_s']:.2f}s"
     )
+    if doc.get("sharded"):
+        sh = doc["sharded"]
+        sheq = sh["equivalence"]
+        print(
+            f"sharded[{sh['shards']}]: non-sharded "
+            f"{sh['non_sharded']['wall_s']:.2f}s, sharded "
+            f"{sh['sharded']['wall_s']:.2f}s ({sh['speedup']:.2f}x, "
+            f"gate >={sh['min_speedup']:.1f}x), "
+            f"{sheq['models_decomposed']} models decomposed "
+            f"({sheq['models_fallback']} fallback), "
+            f"max rel obj delta {sheq['max_rel_objective_delta']:.2e}"
+        )
+    for row in doc.get("scaling") or ():
+        print(
+            f"scaling[{row['machines']:>4} machines]: "
+            f"epoch solve {row['epoch_solve_s']:.3f}s, "
+            f"{row['events']} events at {row['events_per_s']:.0f} ev/s"
+        )
     print(f"wrote {args.out}")
     if not doc["gate"]["ok"]:
         failed = [k for k, v in doc["gate"]["checks"].items() if not v]

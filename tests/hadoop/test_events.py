@@ -125,3 +125,77 @@ def test_len_counts_live_events():
     assert len(q) == 2
     h.cancel()
     assert len(q) == 1
+
+
+class TestCompaction:
+    """Cancelled entries must not accumulate in the heap forever."""
+
+    def test_heap_compacts_when_cancelled_dominate(self):
+        q = EventQueue()
+        handles = [q.schedule(float(i), lambda: None) for i in range(300)]
+        keep = q.schedule(1000.0, lambda: None)
+        for h in handles:
+            h.cancel()
+        # compaction fired somewhere along the way and evicted the garbage
+        assert q.compactions >= 1
+        assert len(q._heap) < 300
+        assert len(q) == 1
+        assert q.peek_time() == keep.time
+
+    def test_small_heaps_stay_lazy(self):
+        q = EventQueue()
+        handles = [q.schedule(float(i), lambda: None) for i in range(20)]
+        for h in handles:
+            h.cancel()
+        # below the floor, lazy skipping is cheaper than rebuilding
+        assert q.compactions == 0
+
+    def test_cancel_is_idempotent_in_the_accounting(self):
+        q = EventQueue()
+        h = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert len(q) == 1  # double-cancel must not double-count
+
+    def test_ordering_survives_compaction(self):
+        q = EventQueue()
+        fired = []
+        cancels = [
+            q.schedule(float(i), (lambda i=i: fired.append(i)))
+            for i in range(200)
+        ]
+        survivors = [
+            q.schedule(500.0 + i, (lambda i=i: fired.append(500 + i)), priority=i)
+            for i in range(5)
+        ]
+        for h in cancels:
+            h.cancel()
+        assert q.compactions >= 1
+        q.run()
+        assert fired == [500, 501, 502, 503, 504]
+        assert all(not h.cancelled for h in survivors)
+
+    def test_compaction_preserves_pop_results(self):
+        # the same schedule/cancel interleaving with and without compaction
+        # must fire the identical event sequence
+        def run(compact_min):
+            import repro.hadoop.events as ev
+
+            old = ev.COMPACT_MIN_CANCELLED
+            ev.COMPACT_MIN_CANCELLED = compact_min
+            try:
+                q = EventQueue()
+                fired = []
+                handles = {}
+                for i in range(150):
+                    handles[i] = q.schedule(
+                        float(i % 17), (lambda i=i: fired.append(i)), priority=i % 3
+                    )
+                for i in range(0, 150, 2):
+                    handles[i].cancel()
+                q.run()
+                return fired
+            finally:
+                ev.COMPACT_MIN_CANCELLED = old
+        assert run(compact_min=8) == run(compact_min=10**9)

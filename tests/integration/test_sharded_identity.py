@@ -1,0 +1,123 @@
+"""Serial vs pooled sharded runs: identical results, traces and ledgers.
+
+The determinism contract of :mod:`repro.lp.sharded`: shard construction and
+reconciliation depend only on the model, never on the worker count, and
+per-shard solves leave no observable trace of their own.  So a run with
+``shards=1`` (in process) and ``shards=2`` (process pool) must produce the
+same epoch objectives, the same cost-ledger records, and the same trace —
+byte for byte once the wall-clock attributes (the one real-time quantity a
+trace carries) are stripped.
+"""
+
+import json
+
+import numpy as np
+
+from repro.cluster.builder import ClusterBuilder
+from repro.cluster.topology import Topology
+from repro.core.epoch import EpochController
+from repro.lp.simplex import SimplexBackend
+from repro.obs.trace import Tracer, json_default
+from repro.workload.job import DataObject, Job, Workload
+
+#: real-clock attributes; everything else in a trace is simulation-determined
+WALL_CLOCK_ATTRS = {"wall_s", "lp_wall_s"}
+
+
+def _cluster():
+    b = ClusterBuilder(topology=Topology.of(["za", "zb"]), default_uptime=10_000.0)
+    b.add_machine("a0", ecu=2.0, cpu_cost=5.0e-5, zone="za")
+    b.add_machine("a1", ecu=3.0, cpu_cost=4.0e-5, zone="za")
+    b.add_machine("b0", ecu=5.0, cpu_cost=1.0e-5, zone="zb")
+    b.add_machine("b1", ecu=4.0, cpu_cost=2.0e-5, zone="zb")
+    return b.build()
+
+
+def _workload():
+    data = [
+        DataObject(data_id=i, name=f"d{i}", size_mb=64.0 * (i + 1), origin_store=i % 4)
+        for i in range(4)
+    ]
+    jobs = [
+        Job(
+            job_id=i,
+            name=f"j{i}",
+            tcp=(30.0 + 11.0 * i) / 64.0,
+            data_ids=[i],
+            num_tasks=4 + i,
+        )
+        for i in range(4)
+    ]
+    return Workload(jobs=jobs, data=data)
+
+
+def _run(shards):
+    tracer = Tracer()
+    controller = EpochController(
+        _cluster(),
+        epoch_length=120.0,
+        backend=SimplexBackend(),
+        keep_solutions=True,
+        incremental=True,
+        shards=shards,
+        tracer=tracer,
+    )
+    result = controller.run(_workload())
+    tracer.close()
+    return result, tracer.records, controller.incremental_context
+
+
+def _canonical(records):
+    """Trace records as JSONL bytes with wall-clock attrs stripped."""
+    scrubbed = [
+        {k: v for k, v in record.items() if k not in WALL_CLOCK_ATTRS}
+        for record in records
+    ]
+    return "\n".join(
+        json.dumps(r, sort_keys=True, default=json_default) for r in scrubbed
+    ).encode()
+
+
+def test_serial_and_pooled_runs_are_identical():
+    serial, serial_trace, serial_ctx = _run(shards=1)
+    pooled, pooled_trace, pooled_ctx = _run(shards=2)
+
+    # the decomposition must actually engage, or this test is vacuous
+    assert serial_ctx.warm.sharded_solves > 0
+    assert serial_ctx.warm.stats() == pooled_ctx.warm.stats()
+
+    assert serial.num_epochs == pooled.num_epochs
+    assert [r.solution.objective for r in serial.reports] == [
+        r.solution.objective for r in pooled.reports
+    ]
+    assert serial.total_cost == pooled.total_cost
+    assert serial.makespan == pooled.makespan
+
+    # ledgers record the same charges in the same order, exactly
+    assert serial.ledger.records == pooled.ledger.records
+
+    # traces agree byte for byte modulo wall-clock attributes
+    assert _canonical(serial_trace) == _canonical(pooled_trace)
+
+
+def test_sharded_controller_matches_monolithic_objectives():
+    """Per-epoch objectives of a sharded run match the unsharded run.
+
+    Both runs start from the same workload, so as long as every epoch's
+    sharded solve is exact the whole trajectories coincide.
+    """
+    sharded, _, ctx = _run(shards=1)
+    controller = EpochController(
+        _cluster(),
+        epoch_length=120.0,
+        backend=SimplexBackend(),
+        keep_solutions=True,
+        incremental=True,
+    )
+    mono = controller.run(_workload())
+    assert ctx.warm.sharded_solves > 0
+    assert sharded.num_epochs == mono.num_epochs
+    for a, b in zip(sharded.reports, mono.reports):
+        scale = max(1.0, abs(b.solution.objective))
+        assert abs(a.solution.objective - b.solution.objective) <= 1e-7 * scale
+    assert np.isclose(sharded.total_cost, mono.total_cost, rtol=1e-6)

@@ -1,0 +1,157 @@
+"""Structural block detection over assembled LPs.
+
+The detector must recover per-job blocks joined by capacity-like coupling
+rows — and refuse (return ``None``) whenever the structure would break the
+shard relaxation argument, so :mod:`repro.lp.sharded` silently degrades to
+the exact monolithic solve.
+"""
+
+import numpy as np
+from scipy import sparse
+
+from repro.lp.blocks import detect_blocks
+from repro.lp.problem import AssembledLP
+
+
+def assembled(c, a_ub, b_ub, bounds=None, col_labels=None, a_eq=None, b_eq=None):
+    """A hand-built AssembledLP (rows as dense lists, default bounds [0, inf))."""
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    a_ub = sparse.csr_matrix(np.asarray(a_ub, dtype=float).reshape(-1, n))
+    if bounds is None:
+        bounds = np.tile([0.0, np.inf], (n, 1))
+    return AssembledLP(
+        c=c,
+        a_ub=a_ub,
+        b_ub=np.asarray(b_ub, dtype=float),
+        a_eq=sparse.csr_matrix(np.asarray(a_eq, dtype=float).reshape(-1, n))
+        if a_eq is not None
+        else sparse.csr_matrix((0, n)),
+        b_eq=np.asarray(b_eq, dtype=float) if b_eq is not None else np.zeros(0),
+        bounds=np.asarray(bounds, dtype=float),
+        col_labels=col_labels,
+    )
+
+
+def two_block_model(**kwargs):
+    """Four columns in two blocks, one shared capacity row.
+
+    Rows 0/1 carry a negative coefficient (demand floors), so they are
+    structural and merge their block's columns; row 2 is capacity-like and
+    spans both blocks; row 3 is capacity-like but touches one block only.
+    """
+    return assembled(
+        c=[1.0, 2.0, 1.0, 3.0],
+        a_ub=[
+            [-1.0, -1.0, 0.0, 0.0],  # x0 + x1 >= 2
+            [0.0, 0.0, -1.0, -1.0],  # x2 + x3 >= 2
+            [1.0, 0.0, 1.0, 0.0],  # shared capacity: x0 + x2 <= 3
+            [0.0, 1.0, 0.0, 0.0],  # owned capacity: x1 <= 5
+        ],
+        b_ub=[-2.0, -2.0, 3.0, 5.0],
+        **kwargs,
+    )
+
+
+class TestDetection:
+    def test_two_blocks_one_coupling_row(self):
+        part = detect_blocks(two_block_model())
+        assert part is not None and part.num_blocks == 2
+        cols = [b.cols.tolist() for b in part.blocks]
+        assert cols == [[0, 1], [2, 3]]
+        assert part.coupling_rows.tolist() == [2]
+        # structural + single-block capacity rows are owned, not coupling
+        assert part.blocks[0].rows.tolist() == [0, 3]
+        assert part.blocks[1].rows.tolist() == [1]
+
+    def test_empty_row_with_nonneg_rhs_is_trivial(self):
+        asm = assembled(
+            c=[1.0, 1.0],
+            a_ub=[[-1.0, 0.0], [0.0, -1.0], [0.0, 0.0]],
+            b_ub=[-1.0, -1.0, 4.0],
+        )
+        part = detect_blocks(asm)
+        assert part is not None and part.num_blocks == 2
+        assert part.trivial_rows.tolist() == [2]
+        assert part.coupling_rows.size == 0
+
+    def test_block_keys_derive_from_label_subjects(self):
+        labels = [("xt", "jobA", 0), ("fake", "jobA"), ("xt", "jobB", 0), ("fake", "jobB")]
+        part = detect_blocks(two_block_model(col_labels=labels))
+        assert part.blocks[0].key == (repr("jobA"),)
+        assert part.blocks[1].key == (repr("jobB"),)
+
+    def test_missing_labels_yield_no_key(self):
+        part = detect_blocks(two_block_model())
+        assert all(b.key is None for b in part.blocks)
+
+
+class TestRefusals:
+    def test_fairness_row_collapses_to_one_block(self):
+        asm = two_block_model()
+        fair = sparse.csr_matrix(np.asarray([[-1.0, -1.0, -1.0, -1.0]]))
+        asm = assembled(
+            c=asm.c,
+            a_ub=sparse.vstack([asm.a_ub, fair]).toarray(),
+            b_ub=np.concatenate([asm.b_ub, [-1.0]]),
+        )
+        assert detect_blocks(asm) is None
+
+    def test_equality_rows_disable_decomposition(self):
+        asm = two_block_model()
+        asm = assembled(
+            c=asm.c,
+            a_ub=asm.a_ub.toarray(),
+            b_ub=asm.b_ub,
+            a_eq=[[1.0, 0.0, 0.0, 0.0]],
+            b_eq=[1.0],
+        )
+        assert detect_blocks(asm) is None
+
+    def test_empty_row_with_negative_rhs_is_infeasible(self):
+        asm = assembled(
+            c=[1.0, 1.0],
+            a_ub=[[-1.0, 0.0], [0.0, -1.0], [0.0, 0.0]],
+            b_ub=[-1.0, -1.0, -4.0],
+        )
+        assert detect_blocks(asm) is None
+
+    def test_negative_lower_bound_on_coupled_column(self):
+        # x0 participates in the shared capacity row; letting it go negative
+        # would break "per-shard usage <= joint usage <= budget"
+        bounds = np.tile([0.0, np.inf], (4, 1))
+        bounds[0, 0] = -1.0
+        assert detect_blocks(two_block_model(bounds=bounds)) is None
+
+    def test_negative_lower_bound_on_uncoupled_column_is_fine(self):
+        bounds = np.tile([0.0, np.inf], (4, 1))
+        bounds[3, 0] = -1.0  # x3 touches no coupling row
+        assert detect_blocks(two_block_model(bounds=bounds)) is not None
+
+    def test_allnonneg_row_with_negative_rhs_is_structural(self):
+        # looks like capacity but b < 0: must merge its columns, which here
+        # collapses everything to one block -> refuse
+        asm = two_block_model()
+        a = asm.a_ub.toarray()
+        a[2] = [1.0, 0.0, 1.0, 0.0]
+        b = asm.b_ub.copy()
+        b[2] = -1.0
+        assert detect_blocks(assembled(c=asm.c, a_ub=a, b_ub=b)) is None
+
+    def test_min_blocks_floor(self):
+        part = detect_blocks(two_block_model(), min_blocks=3)
+        assert part is None
+
+    def test_degenerate_models(self):
+        no_rows = assembled(c=[1.0, 1.0], a_ub=np.zeros((0, 2)), b_ub=[])
+        assert detect_blocks(no_rows) is None
+
+
+class TestDeterminism:
+    def test_partition_is_a_pure_function_of_the_model(self):
+        a = detect_blocks(two_block_model())
+        b = detect_blocks(two_block_model())
+        assert [blk.cols.tolist() for blk in a.blocks] == [
+            blk.cols.tolist() for blk in b.blocks
+        ]
+        assert a.coupling_rows.tolist() == b.coupling_rows.tolist()

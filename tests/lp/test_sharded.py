@@ -1,0 +1,193 @@
+"""Sharded solves must be invisible: same results, certified, or fallback.
+
+``solve_sharded`` may change how fast an epoch model is solved, never what
+is computed: objectives match the monolithic solve within ``GAP_RTOL``,
+merged solutions are feasible, anything uncertifiable falls back, and the
+serial (``shards=1``) and pooled (``shards>=2``) paths produce identical
+solutions bit for bit.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.lp.problem import AssembledLP
+from repro.lp.result import LPStatus
+from repro.lp.scipy_backend import HighsBackend
+from repro.lp.sharded import GAP_RTOL, resolve_shards, solve_sharded
+from repro.lp.simplex import SimplexBackend
+from repro.lp.warmstart import WarmStartContext
+
+
+def assembled(c, a_ub, b_ub, col_labels=None):
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    return AssembledLP(
+        c=c,
+        a_ub=sparse.csr_matrix(np.asarray(a_ub, dtype=float).reshape(-1, n)),
+        b_ub=np.asarray(b_ub, dtype=float),
+        a_eq=sparse.csr_matrix((0, n)),
+        b_eq=np.zeros(0),
+        bounds=np.tile([0.0, np.inf], (n, 1)),
+        col_labels=col_labels,
+    )
+
+
+def contention_model(cap=3.0, n_blocks=3):
+    """``n_blocks`` jobs with a cheap and a dear machine sharing capacity.
+
+    Each block must cover demand 2 with variables (cheap, dear); every
+    cheap variable draws on one shared capacity row of budget ``cap``.
+    With ``cap < 2 * n_blocks`` the round-0 relaxation oversubscribes the
+    row and the Benders reconcile loop has to run.
+    """
+    n = 2 * n_blocks
+    c = np.zeros(n)
+    rows, b = [], []
+    labels = []
+    for k in range(n_blocks):
+        cheap, dear = 2 * k, 2 * k + 1
+        c[cheap] = 1.0 + 0.25 * k  # distinct prices -> unique optimum
+        c[dear] = 4.0 + 0.5 * k
+        demand = np.zeros(n)
+        demand[[cheap, dear]] = -1.0
+        rows.append(demand)
+        b.append(-2.0)
+        labels += [("xt", f"job{k}", 0), ("fake", f"job{k}")]
+    shared = np.zeros(n)
+    shared[::2] = 1.0  # all cheap variables share one capacity row
+    rows.append(shared)
+    b.append(cap)
+    return assembled(c, rows, b, col_labels=labels)
+
+
+def monolithic_objective(asm):
+    res = SimplexBackend().solve_assembled(asm)
+    assert res.status is LPStatus.OPTIMAL
+    return res.objective
+
+
+class TestResolveShards:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "7")
+        assert resolve_shards(2) == 2
+        assert resolve_shards(0) == 0
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        assert resolve_shards() == 3
+        monkeypatch.setenv("REPRO_SHARDS", "garbage")
+        assert resolve_shards() == 0
+        monkeypatch.delenv("REPRO_SHARDS")
+        assert resolve_shards() == 0
+
+    def test_negative_clamps_to_zero(self):
+        assert resolve_shards(-4) == 0
+
+
+class TestExactness:
+    def test_round0_accepts_when_capacity_is_slack(self):
+        asm = contention_model(cap=100.0)
+        warm = WarmStartContext()
+        res = solve_sharded(asm, backend=SimplexBackend(), shards=1, warm=warm)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(monolithic_objective(asm), rel=1e-9)
+        assert res.backend.endswith("+sharded")
+        assert warm.sharded_solves == 1 and warm.sharded_fallbacks == 0
+        # slack capacity: no reconcile round needed
+        assert warm.shard_resolves == 0
+
+    def test_benders_reconciles_contended_capacity(self):
+        asm = contention_model(cap=3.0)
+        warm = WarmStartContext()
+        res = solve_sharded(asm, backend=SimplexBackend(), shards=1, warm=warm)
+        mono = monolithic_objective(asm)
+        assert res.status is LPStatus.OPTIMAL
+        assert warm.sharded_solves == 1 and warm.sharded_fallbacks == 0
+        assert warm.shard_resolves > 0  # the loop actually ran
+        assert abs(res.objective - mono) <= GAP_RTOL * max(1.0, abs(mono))
+        # the merged solution must respect every joint constraint
+        slack = asm.b_ub - asm.a_ub @ res.x
+        assert np.all(slack >= -1e-6)
+
+    @pytest.mark.parametrize("cap", [2.5, 4.0, 5.5])
+    def test_equivalence_across_contention_levels(self, cap):
+        asm = contention_model(cap=cap, n_blocks=4)
+        res = solve_sharded(asm, backend=SimplexBackend(), shards=1)
+        mono = monolithic_objective(asm)
+        assert abs(res.objective - mono) <= GAP_RTOL * max(1.0, abs(mono))
+
+    def test_highs_backend_also_shards(self):
+        asm = contention_model(cap=3.0)
+        warm = WarmStartContext()
+        res = solve_sharded(asm, backend=HighsBackend(), shards=1, warm=warm)
+        mono = monolithic_objective(asm)
+        assert warm.sharded_solves == 1
+        assert abs(res.objective - mono) <= GAP_RTOL * max(1.0, abs(mono))
+
+    def test_shard_bases_are_kept_per_block_key(self):
+        asm = contention_model(cap=3.0)
+        warm = WarmStartContext()
+        solve_sharded(asm, backend=SimplexBackend(), shards=1, warm=warm)
+        assert len(warm.shard_basis) > 0
+        # a second solve of the same model warm-starts every shard
+        before = warm.shard_solves
+        solve_sharded(asm, backend=SimplexBackend(), shards=1, warm=warm)
+        assert warm.shard_solves > before
+
+
+class TestFallbacks:
+    def test_shards_zero_is_the_plain_backend(self):
+        asm = contention_model()
+        res = solve_sharded(asm, backend=SimplexBackend(), shards=0)
+        assert res.backend == SimplexBackend().name
+        assert res.objective == pytest.approx(monolithic_objective(asm))
+
+    def test_non_decomposable_model_falls_back(self):
+        asm = contention_model()
+        # a structural row across all blocks collapses the partition
+        tie = np.zeros(asm.num_variables)
+        tie[:] = -1.0
+        asm = assembled(
+            asm.c,
+            sparse.vstack([asm.a_ub, sparse.csr_matrix(tie)]).toarray(),
+            np.concatenate([asm.b_ub, [-1.0]]),
+        )
+        warm = WarmStartContext()
+        res = solve_sharded(asm, backend=SimplexBackend(), shards=1, warm=warm)
+        assert warm.sharded_fallbacks == 1 and warm.sharded_solves == 0
+        assert res.objective == pytest.approx(monolithic_objective(asm))
+
+    def test_presolve_backend_falls_back(self):
+        # presolve'd backends drop duals, which the reconcile cuts need
+        asm = contention_model()
+        warm = WarmStartContext()
+        backend = SimplexBackend(presolve=True)
+        res = solve_sharded(asm, backend=backend, shards=1, warm=warm)
+        assert warm.sharded_fallbacks == 1
+        assert res.objective == pytest.approx(monolithic_objective(asm))
+
+    def test_infeasible_shard_falls_back_to_monolithic_verdict(self):
+        # demand no machine can cover within bounds: joint model infeasible
+        asm = assembled(
+            c=[1.0, 1.0, 1.0, 1.0],
+            a_ub=[
+                [-1.0, -1.0, 0.0, 0.0],
+                [0.0, 0.0, -1.0, -1.0],
+                [1.0, 1.0, 0.0, 0.0],  # block-0 usage cap below its demand
+                [1.0, 0.0, 1.0, 0.0],
+            ],
+            b_ub=[-2.0, -2.0, 1.0, 10.0],
+        )
+        res = solve_sharded(asm, backend=SimplexBackend(), shards=1)
+        assert res.status is LPStatus.INFEASIBLE
+
+
+class TestSerialPoolIdentity:
+    def test_pool_solution_is_bit_identical_to_serial(self):
+        asm = contention_model(cap=3.0, n_blocks=3)
+        serial = solve_sharded(asm, backend=SimplexBackend(), shards=1)
+        pooled = solve_sharded(asm, backend=SimplexBackend(), shards=2)
+        assert serial.objective == pooled.objective
+        assert np.array_equal(serial.x, pooled.x)
+        assert serial.iterations == pooled.iterations

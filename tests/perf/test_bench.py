@@ -11,8 +11,11 @@ from repro.perf.bench import (
     SCHEMA,
     append_history,
     build_bench_parser,
+    build_block_scenario,
     build_scenario,
     history_row,
+    resolve_bench_shards,
+    scaling_history_rows,
 )
 
 #: top-level keys every repro.bench/1 document must carry
@@ -26,6 +29,8 @@ SCHEMA_KEYS = {
     "equivalence",
     "highs",
     "sweep",
+    "sharded",
+    "scaling",
     "gate",
 }
 
@@ -49,6 +54,22 @@ class TestScenario:
         _, w2, _, _ = build_scenario(quick=True)
         assert [j.tcp for j in w1.jobs] == [j.tcp for j in w2.jobs]
 
+    def test_block_scenario_shape(self):
+        cluster, workload, epoch_length, meta = build_block_scenario(
+            machines=20, n_jobs=4, epochs_target=2
+        )
+        assert cluster.num_machines == meta["machines"] == 20
+        # stores are scarce (one per job), so the LP stays block-decomposable
+        # in size rather than exploding to O(data x machines^2)
+        assert cluster.num_stores == meta["stores"] == 4
+        assert len(workload.jobs) == meta["jobs"] == 4
+        assert epoch_length == meta["epoch_length_s"]
+
+    def test_block_scenario_is_deterministic(self):
+        _, w1, _, _ = build_block_scenario(machines=20, n_jobs=4)
+        _, w2, _, _ = build_block_scenario(machines=20, n_jobs=4)
+        assert [j.tcp for j in w1.jobs] == [j.tcp for j in w2.jobs]
+
 
 class TestParser:
     def test_defaults(self):
@@ -57,6 +78,8 @@ class TestParser:
         assert not args.quick and args.workers is None
         assert args.history == "BENCH_history.jsonl" and not args.no_history
         assert args.trace is None and args.metrics is None
+        # sharded/scaling sections are opt-in
+        assert args.shards is None and not args.scaling
 
     def test_flags(self):
         args = build_bench_parser().parse_args(
@@ -66,6 +89,18 @@ class TestParser:
         assert args.quick and args.out == "x.json" and args.workers == 3
         assert args.history == "h.jsonl"
         assert args.trace == "t.jsonl" and args.metrics == "m.json"
+
+    def test_shards_flag(self):
+        # bare --shards means "auto-pick"; an explicit count passes through
+        assert build_bench_parser().parse_args(["--shards"]).shards == 0
+        assert build_bench_parser().parse_args(["--shards", "4"]).shards == 4
+        assert build_bench_parser().parse_args(["--scaling"]).scaling is True
+
+    def test_resolve_bench_shards(self):
+        assert resolve_bench_shards(4) == 4
+        assert resolve_bench_shards(1) == 1
+        # auto never exceeds 8 and is always at least 1
+        assert 1 <= resolve_bench_shards(0) <= 8
 
 
 #: a minimal repro.bench/1 document with every field history_row reads
@@ -97,6 +132,34 @@ class TestHistory:
         assert len(rows) == 2
         assert all(r["schema"] == HISTORY_SCHEMA for r in rows)
 
+    def test_sharded_speedup_rides_on_the_main_row(self):
+        assert history_row(FAKE_DOC)["sharded_speedup"] is None
+        doc = dict(FAKE_DOC, sharded={"speedup": 2.5})
+        assert history_row(doc)["sharded_speedup"] == 2.5
+
+    def test_scaling_rows_one_per_size(self, tmp_path):
+        doc = dict(
+            FAKE_DOC,
+            scaling=[
+                {"machines": 20, "events": 100, "events_per_s": 50.0},
+                {"machines": 100, "events": 900, "events_per_s": 45.0},
+            ],
+        )
+        rows = scaling_history_rows(doc)
+        assert [r["machines"] for r in rows] == [20, 100]
+        assert all(
+            r["schema"] == HISTORY_SCHEMA and r["kind"] == "scaling"
+            for r in rows
+        )
+        # append_history interleaves them after the main row
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history(doc, path)
+        kinds = [
+            json.loads(line)["kind"] for line in path.read_text().splitlines()
+        ]
+        assert kinds == ["bench", "scaling", "scaling"]
+        assert scaling_history_rows(FAKE_DOC) == []
+
 
 class TestQuickBenchEndToEnd:
     def test_quick_bench_writes_schema_and_passes_gate(self, tmp_path, capsys):
@@ -120,3 +183,5 @@ class TestQuickBenchEndToEnd:
         assert stats["warm_solves"] > 0
         assert stats["assembly_cache_hits"] > 0
         assert doc["sweep"]["results_identical"] is True
+        # opt-in sections stay null (but present) when not requested
+        assert doc["sharded"] is None and doc["scaling"] is None
