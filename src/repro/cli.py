@@ -12,6 +12,8 @@ Usage::
     python -m repro lint              # static analysis: code + LP models
     python -m repro bench --quick     # incremental-LP pipeline benchmark
     python -m repro serve --sim       # crash-tolerant service soak
+    python -m repro serve --sim --live-port 8377   # + live HTTP telemetry
+    python -m repro top http://127.0.0.1:8377      # live dashboard
     python -m repro fig5 --workers 4  # fan sweeps over worker processes
 
 ``--full`` switches to the paper's full experiment sizes (equivalent to
@@ -218,8 +220,34 @@ def build_parser() -> argparse.ArgumentParser:
         "worker processes (equivalent to REPRO_SHARDS=N; 1 = shard but "
         "solve in process, 0 = monolithic, the default)",
     )
+    add_live_port_flag(parser)
     add_solver_flags(parser)
     return parser
+
+
+def add_live_port_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared --live-port flag (see repro.obs.live)."""
+    parser.add_argument(
+        "--live-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live telemetry (/metrics, /healthz, /slo, /trace, "
+        "/statusz) on 127.0.0.1:PORT while running; 0 picks a free port "
+        "(printed).  Watch with 'python -m repro top'",
+    )
+
+
+def start_live_plane(stack: contextlib.ExitStack, port: int):
+    """Start the live telemetry endpoint; returns the plane (server managed
+    by ``stack``).  Prints the bound URL so ``repro top`` can be pointed at
+    it even when ``port`` was 0."""
+    from repro.obs.live import LiveTelemetryPlane, LiveTelemetryServer
+
+    plane = LiveTelemetryPlane()
+    server = stack.enter_context(LiveTelemetryServer(plane, port=port))
+    print(f"live telemetry on {server.url}")
+    return plane
 
 
 def add_solver_flags(parser: argparse.ArgumentParser) -> None:
@@ -684,6 +712,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a JSON metrics-registry dump of the soak to PATH",
     )
+    add_live_port_flag(parser)
     return parser
 
 
@@ -730,7 +759,18 @@ def _run_serve(argv: Sequence[str]) -> int:
 
             registry = MetricsRegistry()
             stack.enter_context(use_registry(registry))
-        outcome = run_serve_soak(config, work_dir, min_sim_hours=args.min_hours)
+        plane = None
+        if args.live_port is not None:
+            from repro.obs.live import TelemetryError
+
+            try:
+                plane = start_live_plane(stack, args.live_port)
+            except TelemetryError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+        outcome = run_serve_soak(
+            config, work_dir, min_sim_hours=args.min_hours, plane=plane
+        )
         if registry is not None:
             registry.write_json(args.metrics)
             print(f"wrote {args.metrics}")
@@ -758,6 +798,16 @@ def _run_serve(argv: Sequence[str]) -> int:
             "byte-identical to reference"
             if outcome.ledger_identical
             else "DIFFERS from reference",
+        ),
+        *(
+            [(
+                "live plane",
+                f"{outcome.rolling_reconciliations} rolling reconciliations, "
+                f"max residual {outcome.max_rolling_residual:.1e}, "
+                f"tap dropped {outcome.tap_dropped}",
+            )]
+            if args.live_port is not None
+            else []
         ),
         ("total cost", f"${outcome.total_cost:.4f}"),
         ("makespan", f"{outcome.makespan:.0f} s"),
@@ -871,6 +921,55 @@ def _run_diff(argv: Sequence[str]) -> int:
     return 0 if result.ok else 1
 
 
+def build_top_parser() -> argparse.ArgumentParser:
+    """Parser for the ``python -m repro top`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Live dashboard over a running --live-port endpoint: "
+        "service state, epochs/s, cost/s, backlog, SLO budget meters and "
+        "solve-latency quantiles, refreshed in place.",
+    )
+    parser.add_argument(
+        "url",
+        nargs="?",
+        default="http://127.0.0.1:8377",
+        metavar="URL",
+        help="telemetry endpoint base URL (default http://127.0.0.1:8377)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh interval (default 1.0)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N frames (default: run until Ctrl-C)",
+    )
+    parser.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (logs, CI)",
+    )
+    return parser
+
+
+def _run_top(argv: Sequence[str]) -> int:
+    from repro.obs.top import run_top
+
+    args = build_top_parser().parse_args(argv)
+    return run_top(
+        args.url,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
+
+
 #: Subcommands with their own flags (dispatched on ``argv[0]`` before the
 #: experiment parser, so they never collide with experiment names).  New
 #: subcommands register here instead of special-casing :func:`main`.
@@ -887,6 +986,7 @@ SUBCOMMANDS: Dict[str, Callable[[Sequence[str]], int]] = {
     "bench": _run_bench,
     "diff": _run_diff,
     "serve": _run_serve,
+    "top": _run_top,
 }
 
 
@@ -944,6 +1044,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
             registry = MetricsRegistry()
             stack.enter_context(use_registry(registry))
+        if args.live_port is not None:
+            from repro.obs.live import TelemetryError
+            from repro.obs.registry import MetricsRegistry, use_registry
+            from repro.obs.trace import Tracer, use_tracer
+
+            try:
+                plane = start_live_plane(stack, args.live_port)
+            except TelemetryError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            if registry is None:
+                # no --metrics: scrape a plane-owned ambient registry
+                registry_for_plane = MetricsRegistry()
+                stack.enter_context(use_registry(registry_for_plane))
+                plane.registry = registry_for_plane
+            else:
+                plane.registry = registry
+            if args.trace:
+                # the --trace tracer is already ambient; feed its records
+                from repro.obs.trace import current_tracer
+
+                plane.attach_tracer(current_tracer())
+            else:
+                # no --trace: a tap-only tracer (nothing kept, nothing
+                # written) so the live trace tail still has a feed
+                tap_tracer = stack.enter_context(Tracer.tap_only())
+                stack.enter_context(use_tracer(tap_tracer))
+                plane.attach_tracer(tap_tracer)
         seen = set()
         for name in wanted:
             if name in seen:

@@ -194,6 +194,12 @@ class EpochController:
         self.shards = shards
         #: the IncrementalContext of the most recent run (None when off)
         self.incremental_context = None
+        #: optional live reconciliation: a :class:`repro.obs.ledger.
+        #: RollingLedger` folded + re-reconciled against the run ledger
+        #: after every scheduled epoch (repro.serve enables this; plain
+        #: runs may attach one too).  Read-only over run state — attaching
+        #: it cannot perturb scheduling or traces unless drift occurs.
+        self.rolling_ledger = None
         #: in-flight incremental run state (None between runs)
         self._state: Optional[_RunState] = None
 
@@ -526,6 +532,11 @@ class EpochController:
         )
         state.reports.append(report)
         state.epoch += 1
+        if self.rolling_ledger is not None:
+            self.rolling_ledger.fold(state.ledger)
+            self.rolling_ledger.reconcile(
+                state.ledger.total, tracer=tracer, ts=start, epoch=epoch
+            )
         return report
 
     def finish(self, jobs: Sequence[Job] = ()) -> OnlineRunResult:

@@ -43,3 +43,14 @@ def _fmt(cell: object) -> str:
 def percent(x: float) -> str:
     """Format a fraction as a percentage string."""
     return f"{100.0 * x:.1f}%"
+
+
+def meter(fraction: float, width: int = 24) -> str:
+    """Render a fraction as a fixed-width bar, e.g. ``[#####...........]``.
+
+    The input is clamped to [0, 1]; ``repro top`` uses this for SLO budget
+    and miss-rate gauges.
+    """
+    fraction = max(0.0, min(1.0, fraction))
+    filled = round(fraction * width)
+    return "[" + "#" * filled + "." * (width - filled) + "]"

@@ -192,6 +192,136 @@ class DollarLedger:
         return len(self.cells)
 
 
+class RollingLedger:
+    """Incremental dollar attribution, re-reconciled every epoch.
+
+    The end-of-run :class:`DollarLedger` proves attribution adds up only
+    *after* the run; a long-running service needs the same proof while it
+    is still running.  A ``RollingLedger`` keeps a cursor into the
+    authoritative :class:`~repro.cost.accounting.CostLedger` and folds the
+    records appended since the last fold into the same
+    ``job x node x category`` cells — per-cell amounts are retained so each
+    cell's total is an exact ``fsum``, making the rolling cells *equal* (not
+    merely close to) what :meth:`DollarLedger.from_cost_ledger` would build
+    from scratch.
+
+    :meth:`reconcile` checks the rolling total against the running
+    authoritative total within ``tol`` — but unlike the end-of-run check it
+    must not kill a live service: drift is surfaced as a metric
+    (``rolling_ledger_drift_total``) and a ``cat="ledger"`` trace event
+    instead of an exception, and the largest residual ever seen is kept on
+    :attr:`max_residual` for endpoint/gate consumption.
+    """
+
+    def __init__(self, tol: float = 1e-9) -> None:
+        self.tol = tol
+        self._cursor = 0
+        self._amounts: Dict[CellKey, List[float]] = {}
+        self._linked_amounts: Dict[CellKey, List[float]] = {}
+        self._counts: Dict[CellKey, int] = {}
+        self._cell_totals: Dict[CellKey, float] = {}
+        self.folds = 0
+        self.reconciliations = 0
+        self.last_residual = 0.0
+        self.max_residual = 0.0
+        self.drift_events = 0
+
+    # -- folding -------------------------------------------------------------
+    def fold(self, ledger: CostLedger) -> int:
+        """Fold records appended since the last fold; returns how many.
+
+        Only cells touched by new records re-``fsum``, so a fold costs
+        O(new records + touched cells), not O(run so far).
+        """
+        records = ledger.records
+        touched: set = set()
+        for r in records[self._cursor:]:
+            node = r.machine_id if r.machine_id is not None else r.store_id
+            key = (r.job_id, node, r.category)
+            self._amounts.setdefault(key, []).append(r.amount)
+            self._counts[key] = self._counts.get(key, 0) + 1
+            if r.span_id is not None:
+                self._linked_amounts.setdefault(key, []).append(r.amount)
+            touched.add(key)
+        folded = len(records) - self._cursor
+        self._cursor = len(records)
+        for key in touched:
+            self._cell_totals[key] = math.fsum(self._amounts[key])
+        if folded:
+            self.folds += 1
+        return folded
+
+    @property
+    def cursor(self) -> int:
+        """Authoritative-ledger records folded so far."""
+        return self._cursor
+
+    @property
+    def total(self) -> float:
+        """Exact (fsum-of-fsums) total over every rolling cell."""
+        return math.fsum(self._cell_totals.values())
+
+    def to_dollar_ledger(self) -> DollarLedger:
+        """Materialise the rolling cells as a :class:`DollarLedger`.
+
+        Cell for cell equal to ``DollarLedger.from_cost_ledger`` over the
+        folded prefix — the identity the determinism tests gate on.
+        """
+        cells = {
+            key: LedgerCell(
+                job=key[0],
+                node=key[1],
+                category=key[2],
+                dollars=self._cell_totals[key],
+                charges=self._counts[key],
+                linked=len(self._linked_amounts.get(key, ())),
+                linked_dollars=math.fsum(self._linked_amounts.get(key, ())),
+            )
+            for key in self._amounts
+        }
+        return DollarLedger(cells=cells)
+
+    # -- the live invariant ---------------------------------------------------
+    def reconcile(
+        self, expected_total: float, tracer=None, ts: float = 0.0, epoch: Optional[int] = None
+    ) -> float:
+        """Check the rolling cells re-sum to ``expected_total`` within tol.
+
+        Returns the signed residual.  Drift does **not** raise — a live
+        service must keep scheduling — it is counted, traced and latched
+        instead; callers (the soak gate, the CI smoke) fail the *run* on
+        ``max_residual`` afterwards.
+        """
+        residual = self.total - expected_total
+        self.reconciliations += 1
+        self.last_residual = residual
+        self.max_residual = max(self.max_residual, abs(residual))
+        if abs(residual) > self.tol:
+            self.drift_events += 1
+            from repro.obs.registry import current_registry
+
+            registry = current_registry()
+            if registry is not None:
+                registry.counter(
+                    "rolling_ledger_drift_total",
+                    help="rolling-ledger reconciliations exceeding tolerance",
+                ).inc()
+            if tracer is not None and tracer.enabled:
+                tracer.event(
+                    "ledger",
+                    "drift",
+                    ts,
+                    epoch=epoch,
+                    residual=residual,
+                    rolling_total=self.total,
+                    expected_total=expected_total,
+                )
+        return residual
+
+    def __len__(self) -> int:
+        return len(self._amounts)
+
+
 def emit_run_summary(
     tracer,
     *,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import contextlib
 import json
+import os
 import threading
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -60,6 +61,15 @@ class Metric:
         self._lock = threading.Lock()
 
     def _series(self) -> Dict[LabelKey, object]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[LabelKey, object]:  # pragma: no cover - abstract
+        """Point-in-time copy of every series, taken under the metric lock.
+
+        Unlike :meth:`dump` (which runs after a run has quiesced), a
+        snapshot may be taken *mid-run* from a scraping thread while the
+        main thread keeps observing — hence the lock.
+        """
         raise NotImplementedError
 
     def dump(self) -> dict:
@@ -104,6 +114,11 @@ class Counter(Metric):  # flow: shared
     def _series(self) -> Dict[LabelKey, float]:
         return self._values
 
+    def snapshot(self) -> Dict[LabelKey, float]:
+        """Locked point-in-time copy of every series."""
+        with self._lock:
+            return dict(self._values)
+
 
 class Gauge(Metric):  # flow: shared
     """A value that can move both ways per label set."""
@@ -131,6 +146,11 @@ class Gauge(Metric):  # flow: shared
 
     def _series(self) -> Dict[LabelKey, float]:
         return self._values
+
+    def snapshot(self) -> Dict[LabelKey, float]:
+        """Locked point-in-time copy of every series."""
+        with self._lock:
+            return dict(self._values)
 
 
 #: Default histogram buckets — tuned for LP solve times (seconds); spans
@@ -206,6 +226,42 @@ class Histogram(Metric):  # flow: shared
             return 0.0
         return series.sum / series.count
 
+    def quantile(self, q: float, **labels: object) -> float:
+        """Bucket-interpolated quantile estimate for the labelled series.
+
+        Standard Prometheus ``histogram_quantile`` semantics: find the
+        bucket the ``q``-th observation falls in and interpolate linearly
+        inside it, with two exactness refinements the tracked ``min``/
+        ``max`` allow — the first bucket interpolates from the observed
+        minimum (not 0), and a quantile landing in the ``+inf`` overflow
+        bucket returns the observed maximum instead of an unbounded guess.
+        Returns 0.0 for an empty series; ``q`` must be in [0, 1].
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        series = self._series_map.get(_label_key(labels))
+        if series is None or series.count == 0:
+            return 0.0
+        rank = q * series.count
+        cumulative = 0
+        for i, bucket_count in enumerate(series.bucket_counts):
+            if bucket_count == 0:
+                continue
+            prev_cumulative = cumulative
+            cumulative += bucket_count
+            if cumulative < rank:
+                continue
+            if i >= len(self.buckets):  # +inf overflow bucket
+                return series.max
+            hi = self.buckets[i]
+            lo = self.buckets[i - 1] if i > 0 else series.min
+            lo = max(min(lo, hi), series.min) if i == 0 else lo
+            frac = (rank - prev_cumulative) / bucket_count
+            value = lo + (hi - lo) * max(0.0, min(1.0, frac))
+            # the estimate can never leave the observed envelope
+            return max(series.min, min(series.max, value))
+        return series.max
+
     def _series(self) -> Dict[LabelKey, dict]:
         out: Dict[LabelKey, dict] = {}
         for key, s in self._series_map.items():
@@ -220,6 +276,83 @@ class Histogram(Metric):  # flow: shared
                 ],
             }
         return out
+
+    def snapshot(self) -> Dict[LabelKey, dict]:
+        """Locked point-in-time copy: bucket counts + count/sum/min/max."""
+        with self._lock:
+            out: Dict[LabelKey, dict] = {}
+            for key, s in self._series_map.items():
+                out[key] = {
+                    "count": s.count,
+                    "sum": s.sum,
+                    "min": s.min if s.count else None,
+                    "max": s.max if s.count else None,
+                    "bucket_counts": list(s.bucket_counts),
+                }
+            return out
+
+
+class MetricSnapshot:
+    """Frozen point-in-time view of one metric (see ``MetricsRegistry.snapshot``)."""
+
+    __slots__ = ("name", "kind", "help", "series", "buckets")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        series: Dict[LabelKey, object],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.series = series
+        self.buckets = buckets
+
+
+class RegistrySnapshot:
+    """A consistent-enough scrape of a registry taken mid-run.
+
+    Each metric's series are copied under that metric's own lock (the same
+    locks the hot-path observers take), so no individual series is ever
+    seen half-updated; cross-metric skew is possible and acceptable for a
+    live scrape.  Snapshots are plain data — safe to diff, serialise and
+    ship across threads.
+    """
+
+    def __init__(self, metrics: List[MetricSnapshot]) -> None:
+        self.metrics = metrics
+
+    def scalars(self) -> Dict[Tuple[str, LabelKey], float]:
+        """Flat ``(name, labels) -> value`` view of counters and gauges."""
+        out: Dict[Tuple[str, LabelKey], float] = {}
+        for m in self.metrics:
+            if m.kind in ("counter", "gauge"):
+                for key, value in m.series.items():
+                    out[(m.name, key)] = float(value)  # type: ignore[arg-type]
+        return out
+
+    def delta(self, previous: Optional["RegistrySnapshot"]) -> Dict[Tuple[str, LabelKey], float]:
+        """Per-series change since ``previous`` (everything, when None).
+
+        The delta-since-last-scrape view ``repro top`` rates are computed
+        from; gauge deltas are signed, counter deltas non-negative.
+        """
+        current = self.scalars()
+        if previous is None:
+            return current
+        base = previous.scalars()
+        return {
+            key: value - base.get(key, 0.0)
+            for key, value in current.items()
+            if value != base.get(key, 0.0)
+        }
+
+    def value(self, name: str, **labels: object) -> float:
+        """One scalar series' value (0.0 when absent) — convenience for tests."""
+        return self.scalars().get((name, _label_key(labels)), 0.0)
 
 
 class MetricsRegistry:  # flow: shared
@@ -315,15 +448,54 @@ class MetricsRegistry:  # flow: shared
                         mine_series.min = min(mine_series.min, series.min)
                         mine_series.max = max(mine_series.max, series.max)
 
+    def snapshot(self) -> RegistrySnapshot:
+        """Scrape every metric under its own lock (safe mid-run).
+
+        Metric *registration* is also locked, so the metric list itself is
+        copied under the registry lock before the per-metric scrapes.
+        """
+        with self._lock:
+            metrics = [self._metrics[k] for k in sorted(self._metrics)]
+        out: List[MetricSnapshot] = []
+        for metric in metrics:
+            out.append(
+                MetricSnapshot(
+                    name=metric.name,
+                    kind=metric.kind,
+                    help=metric.help,
+                    series=metric.snapshot(),
+                    buckets=metric.buckets if isinstance(metric, Histogram) else None,
+                )
+            )
+        return RegistrySnapshot(out)
+
     def dump(self) -> List[dict]:
         """JSON-ready dump of every metric (sorted, deterministic)."""
         return [m.dump() for m in self.metrics()]
 
     def write_json(self, path) -> None:
-        """Write the dump to ``path`` as pretty-printed JSON."""
-        with open(path, "w") as fh:
+        """Atomically write the dump to ``path`` as pretty-printed JSON.
+
+        Same tmp-then-replace + fsync discipline as the serve snapshots
+        (:func:`repro.serve.journal.write_snapshot`): a kill mid-dump can
+        leave a stale ``.tmp`` file behind but never a truncated dump at
+        ``path`` — the exit-time metrics file is either absent, the old
+        complete dump, or the new complete dump.
+        """
+        path = os.fspath(path)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as fh:
             json.dump(self.dump(), fh, indent=2, sort_keys=False)
             fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        parent = os.path.dirname(os.path.abspath(path))
+        dir_fd = os.open(parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics

@@ -113,9 +113,24 @@ def solve_table(records: List[dict], limit: Optional[int] = 40) -> str:
     table = format_table(headers, rows, title=title)
     wall = sum(s.get("wall_s", 0.0) for s in solves)
     iters = sum(int(s.get("iterations", 0)) for s in solves)
+    quantile_line = ""
+    latencies = [s.get("wall_s") for s in solves if s.get("wall_s") is not None]
+    if latencies:
+        # the same bucket-interpolated estimator the live /slo endpoint
+        # uses, so a post-hoc report and a mid-run scrape agree
+        from repro.obs.registry import Histogram
+
+        hist = Histogram("report_solve_wall_seconds")
+        for value in latencies:
+            hist.observe(float(value))
+        quantile_line = "\nwall latency: " + ", ".join(
+            f"p{int(q * 100)}={1e3 * hist.quantile(q):.2f} ms"
+            for q in (0.5, 0.95, 0.99)
+        )
     return (
         f"{table}\n"
         f"total: {len(solves)} solves, {1e3 * wall:.1f} ms wall, {iters} iterations"
+        f"{quantile_line}"
     )
 
 

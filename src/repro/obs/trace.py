@@ -48,7 +48,8 @@ from __future__ import annotations
 import contextlib
 import json
 import threading
-from typing import IO, Iterator, List, Optional, Sequence, Union
+from collections import deque
+from typing import IO, Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 #: Dispatch-level records (one per event-queue callback) and per-flow NIC
 #: records are high-volume and excluded by default; pass ``categories``
@@ -64,6 +65,127 @@ def json_default(obj):
     raise TypeError(f"Object of type {type(obj).__name__} is not JSON serializable")
 
 
+class TraceTap:  # flow: shared
+    """A bounded, non-blocking tap on a tracer's record stream.
+
+    The live telemetry plane (:mod:`repro.obs.live`) attaches one of these
+    to a :class:`Tracer` with :meth:`Tracer.add_tap`; every emitted record
+    is *also* offered to the tap — a ring buffer of the most recent
+    ``maxlen`` records with absolute sequence numbers, so HTTP readers can
+    page forward with a cursor.  Offering never blocks and never raises:
+    when the buffer is full the oldest record is evicted.
+
+    Drop accounting mirrors :attr:`Tracer.dropped_after_close`: an evicted
+    record counts in :attr:`dropped` only when a *registered subscriber*
+    (an attached streaming reader) had not consumed it yet — eviction past
+    nobody is the ring buffer working as designed, eviction past a lagging
+    subscriber is telemetry loss and must be visible.  The serve soak
+    gates on ``dropped == 0``.
+
+    The tap is passive: it copies record references, never mutates them,
+    and never touches the tracer's sink — attaching one cannot perturb the
+    trace file or any seeded result.
+    """
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        if maxlen < 1:
+            raise ValueError("tap maxlen must be >= 1")
+        self.maxlen = maxlen
+        self._lock = threading.Lock()
+        self._buf: Deque[Tuple[int, dict]] = deque()
+        self._next_seq = 0
+        #: records evicted before a registered subscriber consumed them
+        self.dropped = 0
+        self._subscribers: Dict[int, int] = {}
+        self._next_subscriber = 0
+
+    def offer(self, record: dict) -> None:
+        """Buffer one record (non-blocking; evicts the oldest when full)."""
+        with self._lock:
+            self._buf.append((self._next_seq, record))
+            self._next_seq += 1
+            while len(self._buf) > self.maxlen:
+                evicted_seq, _ = self._buf.popleft()
+                if any(cur <= evicted_seq for cur in self._subscribers.values()):
+                    self.dropped += 1
+
+    @property
+    def seq(self) -> int:
+        """Total records ever offered (the next record's sequence number)."""
+        with self._lock:
+            return self._next_seq
+
+    def tail(
+        self, since: Optional[int] = None, limit: Optional[int] = None
+    ) -> Tuple[List[dict], int, int]:
+        """Read buffered records; returns ``(records, next_cursor, lost)``.
+
+        ``since=None`` is the tail view — the most recent ``limit`` records.
+        With a cursor, records from ``since`` onward are returned oldest
+        first (at most ``limit``); ``lost`` counts records already evicted
+        past the cursor.  Pass ``next_cursor`` back as ``since`` to page.
+        """
+        with self._lock:
+            oldest = self._buf[0][0] if self._buf else self._next_seq
+            if since is None:
+                records = [r for _, r in self._buf]
+                if limit is not None and len(records) > limit:
+                    records = records[len(records) - limit:]
+                return records, self._next_seq, 0
+            lost = max(0, oldest - since)
+            out: List[dict] = []
+            cursor = max(since, oldest)
+            for s, r in self._buf:
+                if s < cursor:
+                    continue
+                out.append(r)
+                cursor = s + 1
+                if limit is not None and len(out) >= limit:
+                    break
+            return out, cursor, lost
+
+    # -- streaming subscribers (SSE readers) --------------------------------
+    def subscribe(self) -> int:
+        """Register a streaming reader; returns its subscriber id.
+
+        The reader's cursor starts at the oldest buffered record; records
+        evicted while the cursor lags count in :attr:`dropped`.
+        """
+        with self._lock:
+            sub = self._next_subscriber
+            self._next_subscriber += 1
+            self._subscribers[sub] = self._buf[0][0] if self._buf else self._next_seq
+            return sub
+
+    def unsubscribe(self, sub: int) -> None:
+        """Deregister a streaming reader (idempotent)."""
+        with self._lock:
+            self._subscribers.pop(sub, None)
+
+    def read(self, sub: int, limit: int = 256) -> Tuple[List[dict], int]:
+        """Consume up to ``limit`` records for subscriber ``sub``.
+
+        Returns ``(records, lost)`` and advances the subscriber's cursor;
+        ``lost`` counts records evicted past the cursor since the last read
+        (those are already in :attr:`dropped`).
+        """
+        with self._lock:
+            cursor = self._subscribers[sub]
+            oldest = self._buf[0][0] if self._buf else self._next_seq
+            lost = max(0, oldest - cursor)
+            cursor = max(cursor, oldest)
+            out: List[dict] = []
+            for s, r in self._buf:
+                if s < cursor:
+                    continue
+                out.append(r)
+                cursor = s + 1
+                if len(out) >= limit:
+                    break
+            self._subscribers[sub] = cursor
+            return out, lost
+
+
 class NullTracer:
     """The disabled tracer: every operation is a no-op.
 
@@ -72,6 +194,12 @@ class NullTracer:
     """
 
     enabled = False
+
+    def add_tap(self, tap: "TraceTap") -> None:
+        """No-op: a disabled tracer emits nothing for a tap to see."""
+
+    def remove_tap(self, tap: "TraceTap") -> None:
+        """No-op."""
 
     def wants(self, cat: str) -> bool:
         """Never wants anything."""
@@ -131,6 +259,8 @@ class Tracer:  # flow: shared
         #: (abandoned solver-timeout threads can outlive the run)
         self.dropped_after_close = 0
         self._next_span_id = 0
+        #: live-plane taps fed from :meth:`emit` (see :class:`TraceTap`)
+        self._taps: List[TraceTap] = []
         # emission must be thread-safe: abandoned solver-timeout threads
         # (repro.resilience) can outlive their solve and emit concurrently
         # with the main thread; an unlocked two-part write interleaves lines
@@ -142,6 +272,31 @@ class Tracer:  # flow: shared
         tracer = cls(sink=open(path, "w"), categories=categories, keep_records=False)
         tracer._owns_sink = True
         return tracer
+
+    @classmethod
+    def tap_only(cls, categories: Optional[Sequence[str]] = None) -> "Tracer":
+        """A tracer that neither writes nor retains records — tap feed only.
+
+        Used by ``--live-port`` without ``--trace``: the live plane's trace
+        tail needs a record stream, but nothing should accumulate in memory
+        or on disk.
+        """
+        tracer = cls(sink=None, categories=categories, keep_records=True)
+        tracer._keep = False
+        return tracer
+
+    # -- taps ---------------------------------------------------------------
+    def add_tap(self, tap: TraceTap) -> None:
+        """Attach a live tap; every subsequent emitted record is offered."""
+        with self._lock:
+            if tap not in self._taps:
+                self._taps.append(tap)
+
+    def remove_tap(self, tap: TraceTap) -> None:
+        """Detach a tap (idempotent)."""
+        with self._lock:
+            if tap in self._taps:
+                self._taps.remove(tap)
 
     # -- filtering ---------------------------------------------------------
     def wants(self, cat: str) -> bool:
@@ -177,6 +332,10 @@ class Tracer:  # flow: shared
                 self.records.append(record)
             if self._sink is not None:
                 self._sink.write(line + "\n")
+            # taps see records in sink order (offer is non-blocking and the
+            # tap's own lock is only ever taken after this one)
+            for tap in self._taps:
+                tap.offer(record)
 
     def event(self, cat: str, name: str, ts: float, **attrs) -> None:
         """Emit an instant event."""
@@ -264,6 +423,14 @@ class BufferedTracer:
     def new_span_id(self):
         """Allocate from the inner tracer (ids stay globally sequential)."""
         return self.inner.new_span_id()
+
+    def add_tap(self, tap: TraceTap) -> None:
+        """Attach to the inner tracer (taps see records at flush time)."""
+        self.inner.add_tap(tap)
+
+    def remove_tap(self, tap: TraceTap) -> None:
+        """Detach from the inner tracer."""
+        self.inner.remove_tap(tap)
 
     def event(self, cat: str, name: str, ts: float, **attrs) -> None:
         """Queue an instant event for the next :meth:`flush`."""

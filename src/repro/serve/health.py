@@ -33,10 +33,11 @@ and counted (``service_transitions_total``).
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
-from repro.obs.registry import current_registry
+from repro.obs.registry import Histogram, current_registry
 
 
 class ServiceState(enum.Enum):
@@ -85,6 +86,114 @@ class Transition:
     reason: str
 
 
+@dataclass(frozen=True)
+class SLOConfig:
+    """Service-level objectives over a sliding window of epochs."""
+
+    #: epochs the sliding window covers
+    window_epochs: int = 128
+    #: tolerated deadline-miss fraction of LP epochs inside the window;
+    #: burn rate is measured against this budget
+    miss_budget: float = 0.05
+    #: solve-latency quantiles the /slo endpoint and ``repro top`` render
+    latency_quantiles: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+    def __post_init__(self) -> None:
+        if self.window_epochs < 1:
+            raise ValueError("window_epochs must be >= 1")
+        if not 0.0 < self.miss_budget <= 1.0:
+            raise ValueError("miss_budget must be in (0, 1]")
+
+
+class SLOTracker:
+    """Sliding-window SLO accounting: miss budget + solve-latency quantiles.
+
+    Fed one verdict per epoch from :meth:`HealthMonitor.observe_epoch`; the
+    window holds the last ``window_epochs`` verdicts, so miss rate and
+    budget burn describe *recent* behaviour, not the whole run — exactly
+    what an operator deciding whether a DEGRADED transition is news needs.
+    Lag observations land in a private bucketed histogram (the registry's
+    :class:`~repro.obs.registry.Histogram`, unregistered) whose
+    bucket-interpolated quantiles back the latency objectives.
+
+    Entirely deterministic: no clocks, no randomness — the tracker state is
+    a pure function of the observed epoch sequence.
+    """
+
+    def __init__(self, config: Optional[SLOConfig] = None, deadline_s: float = 1.0) -> None:
+        self.config = config or SLOConfig()
+        self.deadline_s = deadline_s
+        #: (epoch, used_lp, missed) verdicts inside the window
+        self._window: Deque[Tuple[int, bool, bool]] = deque(
+            maxlen=self.config.window_epochs
+        )
+        self._lag = Histogram("slo_epoch_lag_seconds", "per-epoch LP lag (window-independent)")
+        self.epochs_observed = 0
+
+    def observe(self, epoch: int, used_lp: bool, missed: bool, lag_s: float = 0.0) -> None:
+        """Fold one finished epoch's verdict into the window."""
+        self._window.append((epoch, used_lp, missed and used_lp))
+        self.epochs_observed += 1
+        if used_lp:
+            self._lag.observe(lag_s)
+
+    # -- the budget ----------------------------------------------------------
+    @property
+    def window_size(self) -> int:
+        """Epochs currently inside the window."""
+        return len(self._window)
+
+    @property
+    def lp_epochs(self) -> int:
+        """LP-scheduled epochs inside the window (greedy epochs cannot miss)."""
+        return sum(1 for _, used_lp, _ in self._window if used_lp)
+
+    @property
+    def misses(self) -> int:
+        """Deadline misses inside the window."""
+        return sum(1 for _, _, missed in self._window if missed)
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction of LP epochs in the window (0 when none ran)."""
+        lp = self.lp_epochs
+        return self.misses / lp if lp else 0.0
+
+    @property
+    def burn_rate(self) -> float:
+        """Budget burn: 1.0 = missing exactly at budget, >1 = over budget."""
+        return self.miss_rate / self.config.miss_budget
+
+    @property
+    def budget_remaining(self) -> float:
+        """Unburned fraction of the miss budget (clamped to [0, 1])."""
+        return max(0.0, min(1.0, 1.0 - self.burn_rate))
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated lag quantile over every observed LP epoch."""
+        return self._lag.quantile(q)
+
+    def to_dict(self) -> dict:
+        """JSON view for the ``/slo`` endpoint and ``repro top``."""
+        return {
+            "window_epochs": self.config.window_epochs,
+            "window_size": self.window_size,
+            "epochs_observed": self.epochs_observed,
+            "lp_epochs": self.lp_epochs,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            "miss_budget": self.config.miss_budget,
+            "burn_rate": self.burn_rate,
+            "budget_remaining": self.budget_remaining,
+            "deadline_s": self.deadline_s,
+            "lag_quantiles_s": {
+                f"p{int(q * 100)}": self.quantile(q)
+                for q in self.config.latency_quantiles
+            },
+            "lag_observations": self._lag.count(),
+        }
+
+
 @dataclass
 class HealthMonitor:
     """Tracks service health across epochs; see the module docstring."""
@@ -96,6 +205,9 @@ class HealthMonitor:
     #: epochs spent in the current state (drives DEGRADED probing)
     epochs_in_state: int = 0
     transitions: List[Transition] = field(default_factory=list)
+    #: optional sliding-window SLO accounting fed by observe_epoch; not part
+    #: of the snapshot schema (the window rebuilds after recovery)
+    slo: Optional[SLOTracker] = None
 
     def plan_epoch(self) -> bool:
         """Decide whether the *next* epoch uses the LP (True) or greedy."""
@@ -113,15 +225,18 @@ class HealthMonitor:
 
     def observe_epoch(
         self, epoch: int, used_lp: bool, missed: bool, backlog: int,
-        tracer=None, ts: float = 0.0,
+        tracer=None, ts: float = 0.0, lag_s: float = 0.0,
     ) -> Optional[Transition]:
         """Fold one finished epoch into the machine; returns any transition.
 
         ``missed`` is meaningful only when ``used_lp`` (greedy epochs cannot
         miss — that is the point of degrading).  At most one transition
         happens per epoch; backlog pressure outranks lag recovery.
+        ``lag_s`` is the epoch's LP lag, forwarded to the SLO tracker.
         """
         cfg = self.config
+        if self.slo is not None:
+            self.slo.observe(epoch, used_lp, missed, lag_s)
         self.epochs_in_state += 1
         if used_lp:
             if missed:

@@ -38,10 +38,11 @@ import numpy as np
 from repro.cluster.builder import Cluster
 from repro.core.epoch import EpochController, EpochReport, OnlineRunResult, _QueueEntry
 from repro.core.solution import CostBreakdown
+from repro.obs.ledger import RollingLedger
 from repro.obs.registry import MetricsRegistry, current_registry, use_registry
 from repro.obs.trace import NULL_TRACER, BufferedTracer, current_tracer
 from repro.serve.admission import AdmissionController, AdmissionDecision, TokenBucket
-from repro.serve.health import HealthConfig, HealthMonitor
+from repro.serve.health import HealthConfig, HealthMonitor, SLOTracker
 from repro.serve.journal import (
     REC_ADMISSION,
     REC_ADVANCE,
@@ -202,7 +203,10 @@ class SchedulingService:
             # journaled run even if REPRO_SHARDS differs at recovery time
             shards=config.shards,
         )
-        self.health = HealthMonitor(config=config.health)
+        self.health = HealthMonitor(
+            config=config.health,
+            slo=SLOTracker(deadline_s=config.health.epoch_deadline_s),
+        )
         self.admission = AdmissionController(
             max_pending=config.max_pending,
             bucket=TokenBucket(
@@ -217,6 +221,7 @@ class SchedulingService:
         self.admitted_arrivals: Dict[int, float] = {}
         self.epochs_ticked = 0
         self._replaying = False
+        self._plane = None
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> None:
@@ -224,6 +229,8 @@ class SchedulingService:
         if self.tracer is None:
             self.tracer = current_tracer()
         self.controller.tracer = self.tracer
+        if self._plane is not None and self.tracer.enabled:
+            self._plane.attach_tracer(self.tracer)
         self.controller.begin()
         if self.wal_dir is not None:
             self.wal_dir.mkdir(parents=True, exist_ok=True)
@@ -252,6 +259,46 @@ class SchedulingService:
     def backlog(self) -> int:
         """Jobs queued for the next epoch."""
         return self.controller.pending
+
+    # -- live telemetry -------------------------------------------------------
+    def enable_rolling_ledger(self, tol: float = LEDGER_TOLERANCE) -> RollingLedger:
+        """Reconcile dollar attribution every epoch (idempotent).
+
+        Installs a :class:`~repro.obs.ledger.RollingLedger` on the epoch
+        controller: each ``step()`` folds the epoch's new charges and checks
+        the rolling cells re-sum to the authoritative running total.
+        """
+        if self.controller.rolling_ledger is None:
+            self.controller.rolling_ledger = RollingLedger(tol=tol)
+        return self.controller.rolling_ledger
+
+    def attach_plane(self, plane) -> None:
+        """Wire a :class:`~repro.obs.live.LiveTelemetryPlane` to this service.
+
+        Enables every-epoch ledger reconciliation, installs :meth:`status`
+        as the plane's /healthz + /slo provider, and (once the tracer is
+        resolved — here or at :meth:`start`) feeds the plane's trace tail.
+        """
+        self._plane = plane
+        plane.set_rolling_ledger(self.enable_rolling_ledger())
+        plane.set_status_provider(self.status)
+        if self.tracer is not None and self.tracer.enabled:
+            plane.attach_tracer(self.tracer)
+
+    def status(self) -> dict:
+        """Point-in-time service state for the live endpoints and `repro top`."""
+        out: Dict[str, Any] = {
+            "state": self.health.state.value,
+            "epoch": self.controller.epoch_index,
+            "epochs_ticked": self.epochs_ticked,
+            "backlog": self.controller.pending,
+            "clock": self.controller.clock,
+            "transitions": len(self.health.transitions),
+            "admission": self.admission.to_dict(),
+        }
+        if self.health.slo is not None:
+            out["slo"] = self.health.slo.to_dict()
+        return out
 
     # -- admission -----------------------------------------------------------
     def submit(self, job: Job, data: Optional[DataObject] = None) -> AdmissionDecision:
@@ -320,7 +367,7 @@ class SchedulingService:
         )
         # the epoch record is on disk: its trace spans may now be emitted
         buffer.flush()
-        self._observe(epoch, used_lp=attempted_lp, missed=missed)
+        self._observe(epoch, used_lp=attempted_lp, missed=missed, lag_s=lag)
         self.epochs_ticked += 1
         if (
             report is not None
@@ -339,7 +386,9 @@ class SchedulingService:
         self.controller.skip_idle_to(time)
         self._journal(REC_ADVANCE, epoch=self.controller.epoch_index)
 
-    def _observe(self, epoch: int, used_lp: bool, missed: bool) -> None:
+    def _observe(
+        self, epoch: int, used_lp: bool, missed: bool, lag_s: float = 0.0
+    ) -> None:
         """Fold one epoch's verdict into the health machine + metrics."""
         self.health.observe_epoch(
             epoch,
@@ -348,6 +397,7 @@ class SchedulingService:
             backlog=self.controller.pending,
             tracer=self.tracer,
             ts=self.controller.clock,
+            lag_s=lag_s,
         )
         registry = current_registry()
         if registry is not None:
@@ -423,6 +473,9 @@ class SchedulingService:
         state.reports = [_report_from_dict(r) for r in payload["reports"]]
         self.admission = AdmissionController.from_dict(payload["admission"])
         self.health = HealthMonitor.from_dict(payload["health"], config=self.config.health)
+        # the SLO window is observational, not part of the snapshot schema:
+        # it restarts empty and refills from the replayed WAL suffix onward
+        self.health.slo = SLOTracker(deadline_s=self.config.health.epoch_deadline_s)
         self.admitted_arrivals = {
             int(k): float(v) for k, v in payload["admitted_arrivals"].items()
         }
@@ -558,7 +611,12 @@ class SchedulingService:
                     f"journal={record['degraded']}"
                 )
             self._observe(
-                epoch, used_lp=bool(record["used_lp"]), missed=bool(record["missed"])
+                epoch,
+                used_lp=bool(record["used_lp"]),
+                missed=bool(record["missed"]),
+                # the journaled lag, never a re-measured one — the replayed
+                # SLO window must match what the pre-crash watchdog saw
+                lag_s=float(record.get("lag_s", 0.0)),
             )
             self.epochs_ticked += 1
             stats.epochs_replayed += 1

@@ -122,6 +122,10 @@ class ServeSoakOutcome:
     shed: int = 0
     completed: int = 0
     deadline_misses: int = 0
+    #: live-plane accounting (all zero when no plane was attached)
+    rolling_reconciliations: int = 0
+    max_rolling_residual: float = 0.0
+    tap_dropped: int = 0
     degraded_epochs: int = 0
     transitions: int = 0
     snapshots: int = 0
@@ -306,12 +310,13 @@ def _build_service(
     wal_dir: Optional[Path],
     tracer=None,
     recovering: bool = False,
+    plane=None,
 ):
     """One service instance wired to epoch-clock-keyed chaos."""
     backend = WindowedChaosBackend(HighsBackend(), fail_windows, config.epoch_length)
     lag = make_lag_injector(lag_windows, config.lag_s, config.epoch_length)
     if recovering:
-        return SchedulingService.recover(
+        service, stats = SchedulingService.recover(
             cluster,
             config.service_config(),
             wal_dir,
@@ -319,6 +324,9 @@ def _build_service(
             lag_injector=lag,
             tracer=tracer,
         )
+        if plane is not None:
+            service.attach_plane(plane)
+        return service, stats
     service = SchedulingService(
         cluster,
         config.service_config(),
@@ -327,6 +335,8 @@ def _build_service(
         lag_injector=lag,
         tracer=tracer,
     )
+    if plane is not None:
+        service.attach_plane(plane)
     service.start()
     return service, None
 
@@ -335,12 +345,20 @@ def run_serve_soak(
     config: ServeSoakConfig,
     work_dir: Path,
     min_sim_hours: float = 2.0,
+    plane=None,
 ) -> ServeSoakOutcome:
-    """Run one full soak (reference + killed/recovered victim) in ``work_dir``."""
+    """Run one full soak (reference + killed/recovered victim) in ``work_dir``.
+
+    Passing a :class:`~repro.obs.live.LiveTelemetryPlane` attaches it to
+    every service instance (including recovered ones): the soak then also
+    gates on the live invariants — every-epoch rolling-ledger
+    reconciliation staying inside tolerance and ``trace_tap_dropped == 0``.
+    """
     work_dir = Path(work_dir)
     work_dir.mkdir(parents=True, exist_ok=True)
     outcome = ServeSoakOutcome(seed=config.seed)
     ambient = current_registry()
+    rolling_ledgers = []
 
     rng = np.random.default_rng(config.seed)
     cluster = build_soak_cluster(config.num_machines, rng)
@@ -354,12 +372,16 @@ def run_serve_soak(
     # -- reference run: uninterrupted, no persistence ------------------------
     ref_trace = work_dir / "trace-reference.jsonl"
     ref_registry = MetricsRegistry()
+    if plane is not None:
+        plane.registry = ref_registry
     with use_registry(ref_registry):
         with Tracer.to_path(ref_trace) as tracer, use_tracer(tracer):
             service, _ = _build_service(
-                config, cluster, fail_windows, lag_windows, wal_dir=None, tracer=tracer
+                config, cluster, fail_windows, lag_windows, wal_dir=None,
+                tracer=tracer, plane=plane,
             )
             drive_service(service, schedule, data_by_job)
+            rolling_ledgers.append(service.controller.rolling_ledger)
             ref_sim_time = service.clock
             ref_admission = service.admission
             ref_health = service.health
@@ -385,6 +407,8 @@ def run_serve_soak(
     # -- victim run: killed per kill_after_epochs, then recovered ------------
     wal_dir = work_dir / "wal"
     victim_registry = MetricsRegistry()
+    if plane is not None:
+        plane.registry = victim_registry
     kill_points = sorted(config.kill_after_epochs)
     victim_trace_parts: List[Path] = []
     with use_registry(victim_registry):
@@ -392,7 +416,8 @@ def run_serve_soak(
         victim_trace_parts.append(part)
         with Tracer.to_path(part) as tracer, use_tracer(tracer):
             service, _ = _build_service(
-                config, cluster, fail_windows, lag_windows, wal_dir=wal_dir, tracer=tracer
+                config, cluster, fail_windows, lag_windows, wal_dir=wal_dir,
+                tracer=tracer, plane=plane,
             )
             drive_service(
                 service,
@@ -400,6 +425,7 @@ def run_serve_soak(
                 data_by_job,
                 stop_after_ticks=kill_points[0] if kill_points else None,
             )
+            rolling_ledgers.append(service.controller.rolling_ledger)
         victim_result = None
         for n, _kill in enumerate(kill_points):
             # simulated crash: abandon the service object; only release the fd
@@ -417,7 +443,9 @@ def run_serve_soak(
                     wal_dir=wal_dir,
                     tracer=tracer,
                     recovering=True,
+                    plane=plane,
                 )
+                rolling_ledgers.append(service.controller.rolling_ledger)
                 outcome.replayed_records += stats.records_replayed
                 outcome.max_replay_drift = max(
                     outcome.max_replay_drift, stats.max_cost_drift
@@ -510,4 +538,36 @@ def run_serve_soak(
                 f"{outcome.deadline_misses} deadline misses but no DEGRADED transition",
             )
         )
+    # -- live-plane gates ----------------------------------------------------
+    if plane is not None:
+        for rolling in rolling_ledgers:
+            if rolling is None:
+                continue
+            outcome.rolling_reconciliations += rolling.reconciliations
+            outcome.max_rolling_residual = max(
+                outcome.max_rolling_residual, rolling.max_residual
+            )
+            if rolling.drift_events:
+                outcome.violations.append(
+                    InvariantViolation(
+                        "rolling_ledger",
+                        f"{rolling.drift_events} reconciliations drifted past "
+                        f"{rolling.tol:g} (max residual {rolling.max_residual:.3e})",
+                    )
+                )
+        if outcome.rolling_reconciliations == 0:
+            outcome.violations.append(
+                InvariantViolation(
+                    "rolling_ledger", "plane attached but no reconciliation ever ran"
+                )
+            )
+        outcome.tap_dropped = plane.tap.dropped
+        if plane.tap.dropped:
+            outcome.violations.append(
+                InvariantViolation(
+                    "trace_tap",
+                    f"{plane.tap.dropped} trace records evicted past a live "
+                    f"subscriber (tap too small or reader too slow)",
+                )
+            )
     return outcome

@@ -127,3 +127,77 @@ class TestSimulatorJoin:
         assert dollars.reconcile(summary["total_cost"]) == pytest.approx(
             0.0, abs=1e-9
         )
+
+
+class TestRollingLedger:
+    def test_incremental_fold_equals_batch(self):
+        from repro.obs.ledger import RollingLedger
+
+        ledger = build_ledger(
+            [("cpu", 1.25, 0, 1, True), ("placement", 0.5, None, 0, False),
+             ("runtime", 0.125, 1, 1, True), ("cpu", 2.0, 0, 1, False)]
+        )
+        rolling = RollingLedger()
+        # fold in two uneven increments (simulating two epochs)
+        half = CostLedger()
+        half.records = ledger.records[:2]
+        rolling.fold(half)
+        rolling.fold(ledger)
+        assert rolling.cursor == len(ledger.records)
+        assert rolling.to_dollar_ledger().cells == (
+            DollarLedger.from_cost_ledger(ledger).cells
+        )
+
+    @given(st.lists(charge, max_size=60), st.integers(min_value=1, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_chunked_folds_always_equal_batch(self, charges, chunk):
+        from repro.obs.ledger import RollingLedger
+
+        ledger = build_ledger(charges)
+        rolling = RollingLedger()
+        for end in range(0, len(ledger.records) + chunk, chunk):
+            partial = CostLedger()
+            partial.records = ledger.records[: min(end, len(ledger.records))]
+            rolling.fold(partial)
+            # after every fold the rolling prefix must equal the batch build
+            batch = DollarLedger.from_cost_ledger(partial)
+            assert rolling.to_dollar_ledger().cells == batch.cells
+            assert rolling.reconcile(batch.total) == pytest.approx(0.0, abs=1e-9)
+        assert rolling.drift_events == 0
+        assert rolling.max_residual <= rolling.tol
+
+    def test_reconcile_never_raises_but_counts_drift(self):
+        from repro.obs.registry import MetricsRegistry, use_registry
+        from repro.obs.ledger import RollingLedger
+
+        rolling = RollingLedger()
+        ledger = build_ledger([("cpu", 1.0, 0, 0, False)])
+        rolling.fold(ledger)
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            residual = rolling.reconcile(5.0, tracer=tracer, ts=1.0, epoch=3)
+        assert residual == pytest.approx(-4.0)
+        assert rolling.drift_events == 1
+        assert rolling.max_residual == pytest.approx(4.0)
+        assert registry.counter("rolling_ledger_drift_total").total() == 1
+        (event,) = [r for r in tracer.records if r["cat"] == "ledger"]
+        assert event["name"] == "drift" and event["epoch"] == 3
+
+    def test_every_epoch_cells_equal_end_of_run_ledger(self):
+        """On the smoke workload, per-epoch rolling cells == final DollarLedger."""
+        from repro.obs.ledger import RollingLedger
+
+        result = run_once()
+        ledger = result.metrics.ledger
+        rolling = RollingLedger()
+        # fold record-prefixes as an epoch controller would per epoch
+        for cut in range(0, len(ledger.records), 7):
+            partial = CostLedger()
+            partial.records = ledger.records[:cut]
+            rolling.fold(partial)
+        rolling.fold(ledger)
+        final = DollarLedger.from_cost_ledger(ledger)
+        assert rolling.to_dollar_ledger().cells == final.cells
+        assert rolling.reconcile(ledger.total) == pytest.approx(0.0, abs=1e-9)
+        assert rolling.drift_events == 0

@@ -158,3 +158,109 @@ class TestCurrentRegistry:
             assert installed is reg
             assert current_registry() is reg
         assert current_registry() is None
+
+
+class TestHistogramQuantile:
+    def test_empty_series_is_zero(self):
+        assert Histogram("lat").quantile(0.5) == 0.0
+
+    def test_q_out_of_range_raises(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_interpolates_inside_a_bucket(self):
+        # 100 observations spread over (1, 2]: rank q*100 interpolates
+        # linearly between the bucket bounds
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        for _ in range(100):
+            h.observe(1.5)
+        assert h.quantile(0.5) == pytest.approx(1.5, abs=0.02)
+
+    def test_extremes_clamp_to_observed_envelope(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        for v in (1.2, 1.4, 1.8):
+            h.observe(v)
+        assert h.quantile(0.0) >= 1.2
+        assert h.quantile(1.0) <= 1.8
+
+    def test_overflow_bucket_returns_observed_max(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(37.0)
+        assert h.quantile(0.99) == 37.0
+
+    def test_first_bucket_interpolates_from_min(self):
+        h = Histogram("lat", buckets=(10.0,))
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        q = h.quantile(0.5)
+        assert 2.0 <= q <= 10.0
+
+    def test_labelled_series_independent(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5, backend="a")
+        h.observe(5.0, backend="b")
+        assert h.quantile(0.5, backend="a") <= 1.0
+        assert h.quantile(0.5, backend="b") >= 1.0
+
+
+class TestSnapshots:
+    def test_scalar_snapshot_is_a_copy(self):
+        c = Counter("hits")
+        c.inc(2, zone="z")
+        snap = c.snapshot()
+        c.inc(5, zone="z")
+        assert list(snap.values()) == [2]
+
+    def test_registry_snapshot_values(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3, k="v")
+        reg.gauge("b").set(1.5)
+        reg.histogram("h").observe(0.01)
+        snap = reg.snapshot()
+        assert snap.value("a", k="v") == 3
+        assert snap.value("b") == 1.5
+        assert snap.value("missing") == 0.0
+        (hist,) = [m for m in snap.metrics if m.kind == "histogram"]
+        assert hist.buckets is not None
+        (series,) = hist.series.values()
+        assert series["count"] == 1
+
+    def test_delta_since_previous(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        before = reg.snapshot()
+        reg.counter("a").inc(2)
+        reg.gauge("g").set(-1.0)
+        after = reg.snapshot()
+        delta = after.delta(before)
+        assert delta[("a", ())] == 2
+        assert delta[("g", ())] == -1.0
+
+    def test_delta_against_none_is_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        assert reg.snapshot().delta(None) == {("a", ()): 3}
+
+
+class TestAtomicDump:
+    def test_overwrites_existing_dump_atomically(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(1)
+        path = tmp_path / "m.json"
+        reg.write_json(path)
+        reg.counter("hits").inc(1)
+        reg.write_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded[0]["series"][0]["value"] == 2
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(1)
+        path = tmp_path / "m.json"
+        reg.write_json(path)
+        assert not (tmp_path / "m.json.tmp").exists()

@@ -8,6 +8,7 @@ from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
     Tracer,
+    TraceTap,
     current_tracer,
     use_tracer,
 )
@@ -137,3 +138,109 @@ class TestAmbientTracer:
         with use_tracer(t):
             assert current_tracer() is t
         assert current_tracer() is NULL_TRACER
+
+
+class TestTraceTap:
+    def test_offer_and_tail(self):
+        tap = TraceTap(maxlen=8)
+        t = Tracer()
+        t.add_tap(tap)
+        t.event("epoch", "a", 0.0)
+        t.event("epoch", "b", 1.0)
+        records, cursor, lost = tap.tail()
+        assert [r["name"] for r in records] == ["a", "b"]
+        assert cursor == 2 and lost == 0
+
+    def test_cursor_paging(self):
+        tap = TraceTap(maxlen=8)
+        for i in range(5):
+            tap.offer({"i": i})
+        first, cursor, _ = tap.tail(since=0, limit=2)
+        rest, cursor, _ = tap.tail(since=cursor, limit=10)
+        assert [r["i"] for r in first] == [0, 1]
+        assert [r["i"] for r in rest] == [2, 3, 4]
+
+    def test_tail_limit_keeps_most_recent(self):
+        tap = TraceTap(maxlen=8)
+        for i in range(5):
+            tap.offer({"i": i})
+        records, _, _ = tap.tail(limit=2)
+        assert [r["i"] for r in records] == [3, 4]
+
+    def test_eviction_without_subscriber_is_free(self):
+        tap = TraceTap(maxlen=2)
+        for i in range(10):
+            tap.offer({"i": i})
+        assert tap.dropped == 0
+        records, _, _ = tap.tail()
+        assert [r["i"] for r in records] == [8, 9]
+
+    def test_stale_cursor_reports_lost(self):
+        tap = TraceTap(maxlen=2)
+        for i in range(5):
+            tap.offer({"i": i})
+        records, cursor, lost = tap.tail(since=0)
+        assert lost == 3  # records 0..2 already evicted
+        assert [r["i"] for r in records] == [3, 4]
+        assert cursor == 5
+
+    def test_lagging_subscriber_counts_drops(self):
+        tap = TraceTap(maxlen=2)
+        sub = tap.subscribe()
+        for i in range(5):
+            tap.offer({"i": i})
+        assert tap.dropped == 3
+        records, lost = tap.read(sub)
+        assert lost == 3
+        assert [r["i"] for r in records] == [3, 4]
+        # caught up now: further offers within capacity drop nothing more
+        tap.offer({"i": 5})
+        assert tap.dropped == 3
+        tap.unsubscribe(sub)
+
+    def test_keeping_up_subscriber_drops_nothing(self):
+        tap = TraceTap(maxlen=4)
+        sub = tap.subscribe()
+        for i in range(20):
+            tap.offer({"i": i})
+            tap.read(sub)
+        assert tap.dropped == 0
+
+    def test_rejects_silly_maxlen(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TraceTap(maxlen=0)
+
+    def test_tap_does_not_perturb_records_or_sink(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer.to_path(path) as plain:
+            plain.event("epoch", "x", 0.0, value=1)
+        tapped_path = tmp_path / "t2.jsonl"
+        tap = TraceTap()
+        with Tracer.to_path(tapped_path) as tapped:
+            tapped.add_tap(tap)
+            tapped.event("epoch", "x", 0.0, value=1)
+        assert path.read_text() == tapped_path.read_text()
+        records, _, _ = tap.tail()
+        assert records == [json.loads(path.read_text())]
+
+    def test_buffered_tracer_delegates_taps(self):
+        from repro.obs.trace import BufferedTracer
+
+        inner = Tracer()
+        tap = TraceTap()
+        buffered = BufferedTracer(inner)
+        buffered.add_tap(tap)
+        buffered.event("epoch", "x", 0.0)
+        assert tap.seq == 0  # nothing until flush
+        buffered.flush()
+        assert tap.seq == 1
+
+    def test_tap_only_tracer_keeps_nothing(self):
+        tap = TraceTap()
+        t = Tracer.tap_only()
+        t.add_tap(tap)
+        t.event("epoch", "x", 0.0)
+        assert t.records == []
+        assert tap.seq == 1

@@ -167,3 +167,113 @@ class TestConfigValidation:
     def test_rejects_degenerate_configs(self, overrides):
         with pytest.raises(ValueError):
             _config(**overrides)
+
+
+class TestSLOConfig:
+    @pytest.mark.parametrize(
+        "overrides",
+        [{"window_epochs": 0}, {"miss_budget": 0.0}, {"miss_budget": 1.5}],
+    )
+    def test_rejects_degenerate_configs(self, overrides):
+        from repro.serve.health import SLOConfig
+
+        with pytest.raises(ValueError):
+            SLOConfig(**overrides)
+
+
+class TestSLOTracker:
+    def _tracker(self, **overrides):
+        from repro.serve.health import SLOConfig, SLOTracker
+
+        return SLOTracker(config=SLOConfig(**overrides), deadline_s=1.0)
+
+    def test_miss_rate_counts_only_lp_epochs(self):
+        slo = self._tracker(window_epochs=16, miss_budget=0.5)
+        slo.observe(0, used_lp=True, missed=True, lag_s=2.0)
+        slo.observe(1, used_lp=True, missed=False, lag_s=0.1)
+        # greedy epochs cannot miss and do not dilute the rate
+        slo.observe(2, used_lp=False, missed=False)
+        assert slo.window_size == 3
+        assert slo.lp_epochs == 2
+        assert slo.misses == 1
+        assert slo.miss_rate == pytest.approx(0.5)
+
+    def test_window_slides(self):
+        slo = self._tracker(window_epochs=4, miss_budget=0.5)
+        for epoch in range(4):
+            slo.observe(epoch, used_lp=True, missed=True, lag_s=2.0)
+        assert slo.miss_rate == pytest.approx(1.0)
+        for epoch in range(4, 8):
+            slo.observe(epoch, used_lp=True, missed=False, lag_s=0.1)
+        # the misses have slid out of the window
+        assert slo.miss_rate == 0.0
+        assert slo.window_size == 4
+        assert slo.epochs_observed == 8
+
+    def test_burn_rate_and_budget(self):
+        slo = self._tracker(window_epochs=16, miss_budget=0.25)
+        for epoch in range(8):
+            slo.observe(epoch, used_lp=True, missed=epoch == 0, lag_s=0.1)
+        # 1 miss / 8 LP epochs = 12.5% vs a 25% budget: half burned
+        assert slo.burn_rate == pytest.approx(0.5)
+        assert slo.budget_remaining == pytest.approx(0.5)
+
+    def test_budget_remaining_clamps_when_over_budget(self):
+        slo = self._tracker(window_epochs=8, miss_budget=0.05)
+        for epoch in range(4):
+            slo.observe(epoch, used_lp=True, missed=True, lag_s=3.0)
+        assert slo.burn_rate > 1.0
+        assert slo.budget_remaining == 0.0
+
+    def test_empty_window_is_quiet(self):
+        slo = self._tracker()
+        assert slo.miss_rate == 0.0
+        assert slo.burn_rate == 0.0
+        assert slo.budget_remaining == 1.0
+        assert slo.quantile(0.95) == 0.0
+
+    def test_lag_quantiles_only_from_lp_epochs(self):
+        slo = self._tracker()
+        for epoch in range(50):
+            slo.observe(epoch, used_lp=True, missed=False, lag_s=0.01)
+        slo.observe(50, used_lp=False, missed=False, lag_s=99.0)  # ignored
+        payload = slo.to_dict()
+        assert payload["lag_observations"] == 50
+        assert payload["lag_quantiles_s"]["p99"] < 1.0
+
+    def test_to_dict_shape(self):
+        slo = self._tracker(window_epochs=32, miss_budget=0.1)
+        slo.observe(0, used_lp=True, missed=False, lag_s=0.2)
+        payload = slo.to_dict()
+        assert payload["window_epochs"] == 32
+        assert payload["miss_budget"] == pytest.approx(0.1)
+        assert set(payload["lag_quantiles_s"]) == {"p50", "p95", "p99"}
+        import json
+
+        json.dumps(payload)  # must be JSON-ready for /slo
+
+    def test_deterministic_replay(self):
+        # the tracker is a pure function of the observed sequence
+        verdicts = [(e, e % 3 != 0, e % 5 == 0, 0.1 * e) for e in range(40)]
+        a, b = self._tracker(), self._tracker()
+        for epoch, used_lp, missed, lag in verdicts:
+            a.observe(epoch, used_lp, missed, lag)
+            b.observe(epoch, used_lp, missed, lag)
+        assert a.to_dict() == b.to_dict()
+
+
+class TestMonitorSLOWiring:
+    def test_observe_epoch_feeds_tracker(self):
+        from repro.serve.health import SLOTracker
+
+        monitor = HealthMonitor(config=_config(), slo=SLOTracker(deadline_s=1.0))
+        monitor.observe_epoch(0, used_lp=True, missed=True, backlog=0, lag_s=2.0)
+        monitor.observe_epoch(1, used_lp=False, missed=False, backlog=0)
+        assert monitor.slo.window_size == 2
+        assert monitor.slo.misses == 1
+        assert monitor.slo.to_dict()["lag_observations"] == 1
+
+    def test_monitor_without_tracker_still_works(self):
+        monitor = HealthMonitor(config=_config())
+        assert monitor.observe_epoch(0, used_lp=True, missed=False, backlog=0) is None
+        assert monitor.slo is None

@@ -349,3 +349,84 @@ class TestWatchdogAndShedding:
         assert first.admitted and not second.admitted
         assert second.reason == "rate_limit"
         assert service.admission.shed_total == 1
+
+
+class TestLivePlane:
+    def test_attach_plane_reconciles_every_epoch(self, two_zone_cluster):
+        from repro.obs.live import LiveTelemetryPlane
+
+        plane = LiveTelemetryPlane()
+        service = SchedulingService(two_zone_cluster, _config())
+        service.attach_plane(plane)
+        service.start()
+        result = _run_to_completion(service, _workload())
+        rolling = service.controller.rolling_ledger
+        assert rolling is not None
+        # one reconciliation per tick, zero drift, exact residuals
+        assert rolling.reconciliations == service.epochs_ticked
+        assert rolling.drift_events == 0
+        assert rolling.max_residual <= rolling.tol
+        # the rolling cells equal the end-of-run batch ledger exactly
+        from repro.obs.ledger import DollarLedger
+
+        final = DollarLedger.from_cost_ledger(result.ledger)
+        assert rolling.to_dollar_ledger().cells == final.cells
+        assert rolling.total == pytest.approx(result.total_cost, abs=1e-9)
+
+    def test_status_surfaces_slo_and_admission(self, two_zone_cluster):
+        from repro.obs.live import LiveTelemetryPlane
+
+        plane = LiveTelemetryPlane()
+        service = SchedulingService(two_zone_cluster, _config())
+        service.attach_plane(plane)
+        service.start()
+        for job, data in _workload():
+            assert service.submit(job, data).admitted
+        while service.backlog:
+            service.tick()
+        # status() reads the in-flight run: sample before result() closes it
+        status = service.status()
+        assert status["state"] == "healthy"
+        assert status["epochs_ticked"] == service.epochs_ticked
+        slo = status["slo"]
+        assert slo["window_size"] == service.epochs_ticked
+        assert slo["misses"] == 0
+        assert status["admission"]["admitted"] == 4
+        # the plane's health view folds the same status in
+        health = plane.health()
+        assert health["ok"] is True
+        assert health["service"]["epoch"] == status["epoch"]
+        assert plane.slo() == slo
+
+    def test_plane_tap_sees_service_trace(self, two_zone_cluster, tmp_path):
+        from repro.obs.live import LiveTelemetryPlane
+
+        plane = LiveTelemetryPlane()
+        trace_path = tmp_path / "trace.jsonl"
+        with Tracer.to_path(trace_path) as tracer:
+            with use_tracer(tracer):
+                service = SchedulingService(two_zone_cluster, _config())
+                service.attach_plane(plane)
+                service.start()
+                _run_to_completion(service, _workload(num_jobs=2))
+        # journal-before-trace flush means the tap saw every record the
+        # file did (the tap hangs off the inner tracer, post-buffer)
+        assert plane.tap.seq == len(trace_path.read_text().splitlines())
+        assert plane.tap.dropped == 0
+        records, _, _ = plane.tap.tail()
+        assert any(r.get("cat") == "epoch" for r in records)
+
+    def test_run_identical_with_and_without_plane(self, two_zone_cluster):
+        from repro.obs.live import LiveTelemetryPlane
+
+        def run(plane):
+            service = SchedulingService(two_zone_cluster, _config())
+            if plane is not None:
+                service.attach_plane(plane)
+            service.start()
+            return _run_to_completion(service, _workload())
+
+        bare = run(None)
+        observed = run(LiveTelemetryPlane())
+        assert observed.total_cost == bare.total_cost
+        assert observed.job_completion == bare.job_completion
